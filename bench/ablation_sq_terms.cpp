@@ -1,0 +1,73 @@
+/// \file ablation_sq_terms.cpp
+/// \brief Ablation of the E[S_q] truncation (paper §3.1): "only the first
+///        20 terms are calculated in practice.  Simulation results show
+///        that this choice does not dramatically affect the accuracy of
+///        the estimation while it substantially improves the runtime."
+///
+/// Sweeps the truncation point on two benchmarks with very different qubit
+/// counts and reports the estimate drift vs the exact (all Q terms)
+/// reference, plus the estimator runtime.
+#include <cmath>
+#include <cstdio>
+
+#include "benchgen/suite.h"
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "iig/iig.h"
+#include "qodg/qodg.h"
+#include "synth/ft_synth.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace leqa;
+
+void sweep(const std::string& name) {
+    const auto ft = benchgen::make_ft_benchmark(name).circuit;
+    const qodg::Qodg graph(ft);
+    const iig::Iig iig(ft);
+    const fabric::PhysicalParams params; // Table 1
+
+    core::LeqaOptions exact_options;
+    exact_options.exact_sq = true;
+    util::Stopwatch exact_clock;
+    const auto exact =
+        core::LeqaEstimator(params, exact_options).estimate(graph, iig);
+    const double exact_s = exact_clock.seconds();
+
+    std::printf("--- %s: Q = %zu qubits, exact reference D = %.6E s "
+                "(%.1f ms) ---\n",
+                name.c_str(), iig.num_qubits(), exact.latency_seconds(),
+                exact_s * 1e3);
+
+    util::Table table({"E[S_q] terms", "D (s)", "drift vs exact (%)", "runtime (ms)"});
+    for (const int terms : {1, 2, 3, 5, 10, 20, 50, 100}) {
+        if (static_cast<std::size_t>(terms) > iig.num_qubits()) break;
+        core::LeqaOptions options;
+        options.sq_terms = terms;
+        const core::LeqaEstimator estimator(params, options);
+        util::Stopwatch clock;
+        const auto estimate = estimator.estimate(graph, iig);
+        const double runtime_ms = clock.milliseconds();
+        const double drift =
+            100.0 * std::abs(estimate.latency_us - exact.latency_us) / exact.latency_us;
+        table.add_row({std::to_string(terms),
+                       util::format_scientific(estimate.latency_seconds(), 3),
+                       util::format_double(drift, 3), util::format_double(runtime_ms, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== Ablation: E[S_q] truncation (paper: first 20 terms) ===\n\n");
+    sweep("hwb50ps");    // Q = 370
+    sweep("hwb100ps");   // Q = 1106: exact path is Q*A binomial evaluations
+    std::printf("claim check: at 20 terms the drift should be a fraction of a\n"
+                "percent while the runtime stays flat vs Q (the exact reference\n"
+                "grows with Q).\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/// \file harness.h
+/// \brief Shared machinery for the paper-reproduction bench binaries.
+///
+/// Methodology (matches the paper §4):
+///   - QSPR (our re-implementation, congestion-aware maze routing) produces
+///     the "actual" latency of each benchmark;
+///   - LEQA's speed parameter v is calibrated once on the three smallest
+///     benchmarks against that mapper (the paper's stated use of v as the
+///     mapper-tuning knob) and then frozen;
+///   - both tools run on the identical FT netlist; wall-clock runtimes
+///     cover mapping / estimation only (generation and synthesis excluded,
+///     mirroring the paper's shared-parser setup).
+///
+/// Environment knobs:
+///   LEQA_BENCH_FAST=1   skip benchmarks above 80k FT ops (quick CI runs)
+///   LEQA_BENCH_LIMIT=N  custom op-count cap
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/suite.h"
+#include "core/calibrate.h"
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "qspr/qspr.h"
+#include "synth/ft_synth.h"
+#include "util/env.h"
+#include "util/stopwatch.h"
+
+namespace leqa::bench {
+
+/// One evaluated suite row (ours + the paper's published values).
+struct SuiteRow {
+    benchgen::PaperBenchmark spec;
+    std::size_t qubits = 0;
+    std::size_t ops = 0;
+    double actual_s = 0.0;
+    double estimated_s = 0.0;
+    double error_pct = 0.0;
+    double qspr_runtime_s = 0.0;
+    double leqa_runtime_s = 0.0;
+    double speedup = 0.0;
+};
+
+/// Op-count cap from the environment (0 = no cap).
+inline std::size_t bench_op_limit() {
+    if (util::env_flag("LEQA_BENCH_FAST")) return 80000;
+    return static_cast<std::size_t>(util::env_int("LEQA_BENCH_LIMIT", 0));
+}
+
+/// Calibrate v on the three smallest suite benchmarks against QSPR.
+inline core::CalibrationResult calibrate_on_smallest(
+    const fabric::PhysicalParams& params, const qspr::QsprOptions& qspr_options = {}) {
+    const std::vector<std::string> training = {"8bitadder", "gf2^16mult", "hwb15ps"};
+    std::vector<circuit::Circuit> circuits;
+    circuits.reserve(training.size());
+    for (const auto& name : training) {
+        circuits.push_back(benchgen::make_ft_benchmark(name).circuit);
+    }
+    const qspr::QsprMapper mapper(params, qspr_options);
+    std::vector<core::CalibrationSample> samples;
+    for (const auto& circ : circuits) {
+        samples.push_back({&circ, mapper.map(circ).latency_us});
+    }
+    return core::calibrate_v(samples, params);
+}
+
+/// Evaluate the full suite: QSPR actual + LEQA estimate + wall times.
+inline std::vector<SuiteRow> run_suite(const fabric::PhysicalParams& params,
+                                       const core::LeqaOptions& leqa_options = {},
+                                       const qspr::QsprOptions& qspr_options = {},
+                                       bool verbose = true) {
+    const std::size_t limit = bench_op_limit();
+    std::vector<SuiteRow> rows;
+    for (const auto& spec : benchgen::paper_suite()) {
+        if (limit > 0 && spec.paper_ops > limit) {
+            if (verbose) {
+                std::fprintf(stderr, "[bench] skipping %s (%zu ops > limit %zu)\n",
+                             spec.name.c_str(), spec.paper_ops, limit);
+            }
+            continue;
+        }
+        SuiteRow row;
+        row.spec = spec;
+        const auto ft = benchgen::make_ft_benchmark(spec.name);
+        row.qubits = ft.circuit.num_qubits();
+        row.ops = ft.circuit.size();
+
+        const qspr::QsprMapper mapper(params, qspr_options);
+        util::Stopwatch qspr_clock;
+        const auto actual = mapper.map(ft.circuit);
+        row.qspr_runtime_s = qspr_clock.seconds();
+        row.actual_s = actual.latency_us * 1e-6;
+
+        const core::LeqaEstimator estimator(params, leqa_options);
+        util::Stopwatch leqa_clock;
+        const auto estimate = estimator.estimate(ft.circuit);
+        row.leqa_runtime_s = leqa_clock.seconds();
+        row.estimated_s = estimate.latency_seconds();
+
+        row.error_pct = 100.0 * std::abs(row.estimated_s - row.actual_s) / row.actual_s;
+        row.speedup = row.leqa_runtime_s > 0.0 ? row.qspr_runtime_s / row.leqa_runtime_s : 0.0;
+        if (verbose) {
+            std::fprintf(stderr, "[bench] %-18s actual %.3E s, estimate %.3E s (%.2f%%), "
+                                 "qspr %.3fs, leqa %.4fs\n",
+                         spec.name.c_str(), row.actual_s, row.estimated_s, row.error_pct,
+                         row.qspr_runtime_s, row.leqa_runtime_s);
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace leqa::bench

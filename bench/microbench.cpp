@@ -1,0 +1,144 @@
+/// \file microbench.cpp
+/// \brief google-benchmark micro-benchmarks of LEQA's components, matching
+///        the complexity analysis of Eq. 17 / the supplemental material:
+///        O(|V| + |E|) graph construction, O(A) coverage grid, O(T*A*logQ)
+///        expected-surface evaluation, O(|V| + |E|) critical path.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/gf2_mult.h"
+#include "benchgen/suite.h"
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "iig/iig.h"
+#include "parser/qasm.h"
+#include "qodg/qodg.h"
+#include "qspr/qspr.h"
+#include "synth/ft_synth.h"
+
+namespace {
+
+using namespace leqa;
+
+circuit::Circuit ft_mult(int n) {
+    benchgen::Gf2MultSpec spec;
+    spec.n = n;
+    spec.form = benchgen::Gf2PolyForm::Auto;
+    return synth::ft_synthesize(benchgen::gf2_mult(spec)).circuit;
+}
+
+void BM_QodgBuild(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const qodg::Qodg graph(circ);
+        benchmark::DoNotOptimize(graph.num_edges());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(circ.size()));
+}
+BENCHMARK(BM_QodgBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IigBuild(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const iig::Iig iig(circ);
+        benchmark::DoNotOptimize(iig.num_edges());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(circ.size()));
+}
+BENCHMARK(BM_IigBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CriticalPath(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    const qodg::Qodg graph(circ);
+    const fabric::PhysicalParams params;
+    const auto delays =
+        graph.node_delays([&](circuit::GateKind kind) { return params.delay_us(kind); });
+    for (auto _ : state) {
+        const auto lp = graph.longest_path(delays);
+        benchmark::DoNotOptimize(lp.length);
+    }
+}
+BENCHMARK(BM_CriticalPath)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CoverageGrid(benchmark::State& state) {
+    const int side = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (int x = 1; x <= side; ++x) {
+            for (int y = 1; y <= side; ++y) {
+                sum += core::LeqaEstimator::coverage_probability(x, y, side, side, 6);
+            }
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_CoverageGrid)->Arg(60)->Arg(100);
+
+void BM_ExpectedSurfaces(benchmark::State& state) {
+    const int terms = static_cast<int>(state.range(0));
+    std::vector<double> coverage;
+    for (int x = 1; x <= 60; ++x) {
+        for (int y = 1; y <= 60; ++y) {
+            coverage.push_back(core::LeqaEstimator::coverage_probability(x, y, 60, 60, 6));
+        }
+    }
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (int q = 1; q <= terms; ++q) {
+            sum += core::LeqaEstimator::expected_surface(coverage, 768, q);
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_ExpectedSurfaces)->Arg(20)->Arg(100);
+
+void BM_LeqaEndToEnd(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    const qodg::Qodg graph(circ);
+    const iig::Iig iig(circ);
+    const core::LeqaEstimator estimator(fabric::PhysicalParams{});
+    for (auto _ : state) {
+        const auto estimate = estimator.estimate(graph, iig);
+        benchmark::DoNotOptimize(estimate.latency_us);
+    }
+}
+BENCHMARK(BM_LeqaEndToEnd)->Arg(16)->Arg(32);
+
+void BM_QsprMap(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    const qspr::QsprMapper mapper(fabric::PhysicalParams{});
+    for (auto _ : state) {
+        const auto result = mapper.map(circ);
+        benchmark::DoNotOptimize(result.latency_us);
+    }
+}
+BENCHMARK(BM_QsprMap)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_QasmParse(benchmark::State& state) {
+    const auto circ = ft_mult(16);
+    const std::string text = parser::write_qasm(circ);
+    for (auto _ : state) {
+        const auto parsed = parser::parse_qasm(text);
+        benchmark::DoNotOptimize(parsed.size());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_QasmParse);
+
+void BM_FtSynthesis(benchmark::State& state) {
+    benchgen::Gf2MultSpec spec;
+    spec.n = static_cast<int>(state.range(0));
+    spec.form = benchgen::Gf2PolyForm::Auto;
+    const auto circ = benchgen::gf2_mult(spec);
+    for (auto _ : state) {
+        const auto result = synth::ft_synthesize(circ);
+        benchmark::DoNotOptimize(result.circuit.size());
+    }
+}
+BENCHMARK(BM_FtSynthesis)->Arg(16)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

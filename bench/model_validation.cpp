@@ -1,0 +1,144 @@
+/// \file model_validation.cpp
+/// \brief Validates LEQA's three stochastic model components against
+///        direct Monte Carlo simulation (the content of the paper's
+///        Figures 3, 4 and 5):
+///
+///   1. zone coverage: analytic P_xy (Eq. 5) and E[S_q] (Eq. 4) vs counting
+///      random zone placements;
+///   2. Hamiltonian-path length: Eq. 15 (averaged BHH tour bounds, tour ->
+///      path correction) vs exact/2-opt solutions of sampled instances;
+///   3. M/M/1 congestion: Little's-formula waiting time (Eqs. 9-11) vs a
+///      discrete-event queue simulation.
+#include <cmath>
+#include <cstdio>
+
+#include "core/leqa.h"
+#include "mathx/queueing.h"
+#include "mathx/tsp.h"
+#include "mc/path_model.h"
+#include "mc/queue_sim.h"
+#include "mc/zone_coverage.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+    using namespace leqa;
+    util::Rng rng(0xC0FFEE);
+
+    std::printf("=== Model validation: analytic forms vs Monte Carlo ===\n\n");
+
+    // ---------------------------------------------------------------------
+    std::printf("-- 1. zone coverage: P_xy (Eq. 5) vs simulation --\n");
+    {
+        mc::ZoneCoverageConfig config;
+        config.width = 20;
+        config.height = 20;
+        config.zone_side = 5;
+        config.trials = 60000;
+        util::Table table({"cell (x,y)", "analytic P", "Monte Carlo P", "diff"});
+        for (const auto& [x, y] : {std::pair{1, 1}, {3, 3}, {10, 10}, {20, 1}, {10, 1}}) {
+            const double analytic = core::LeqaEstimator::coverage_probability(
+                x, y, config.width, config.height, config.zone_side);
+            const double empirical = mc::empirical_coverage_probability(config, x, y, rng);
+            table.add_row({"(" + std::to_string(x) + "," + std::to_string(y) + ")",
+                           util::format_double(analytic, 4),
+                           util::format_double(empirical, 4),
+                           util::format_double(std::abs(analytic - empirical), 2)});
+        }
+        std::printf("%s\n", table.to_string().c_str());
+    }
+
+    // ---------------------------------------------------------------------
+    std::printf("-- 2. expected q-covered surface: E[S_q] (Eq. 4) vs simulation --\n");
+    {
+        mc::ZoneCoverageConfig config;
+        config.width = 30;
+        config.height = 30;
+        config.zone_side = 6;
+        config.num_zones = 24;
+        config.trials = 1500;
+        std::vector<double> coverage;
+        for (int x = 1; x <= config.width; ++x) {
+            for (int y = 1; y <= config.height; ++y) {
+                coverage.push_back(core::LeqaEstimator::coverage_probability(
+                    x, y, config.width, config.height, config.zone_side));
+            }
+        }
+        const auto empirical = mc::empirical_expected_surfaces(config, 8, rng);
+        util::Table table({"q", "analytic E[S_q]", "Monte Carlo E[S_q]", "rel diff (%)"});
+        for (long long q = 0; q <= 8; ++q) {
+            const double analytic =
+                core::LeqaEstimator::expected_surface(coverage, config.num_zones, q);
+            const double mc_value = empirical[static_cast<std::size_t>(q)];
+            const double rel = analytic > 1e-6
+                                   ? 100.0 * std::abs(analytic - mc_value) / analytic
+                                   : 0.0;
+            table.add_row({std::to_string(q), util::format_double(analytic, 5),
+                           util::format_double(mc_value, 5), util::format_double(rel, 3)});
+        }
+        std::printf("%s", table.to_string().c_str());
+        std::printf("note: Eq. 4 treats cell coverages as independent across zones;\n"
+                    "the simulation includes the true spatial correlation, so small\n"
+                    "systematic gaps at the distribution tails are expected.\n\n");
+    }
+
+    // ---------------------------------------------------------------------
+    std::printf("-- 3. Hamiltonian path: Eq. 15 vs exact/2-opt solutions --\n");
+    {
+        util::Table table({"M (neighbors)", "B (area)", "Eq. 15", "Monte Carlo",
+                           "rel diff (%)", "solver"});
+        for (const int m : {2, 4, 7, 11, 19, 39}) {
+            mc::PathModelConfig config;
+            config.num_points = m + 1;
+            config.zone_area = static_cast<double>(m + 1); // B_i = M_i + 1 (Eq. 6)
+            config.trials = m <= 11 ? 600 : 250;
+            const auto result = mc::empirical_path_model(config, rng);
+            const double analytic = mathx::expected_hamiltonian_path(
+                config.zone_area, static_cast<double>(m));
+            table.add_row({std::to_string(m), util::format_double(config.zone_area, 3),
+                           util::format_double(analytic, 4),
+                           util::format_double(result.mean_path, 4),
+                           util::format_double(
+                               100.0 * std::abs(analytic - result.mean_path) /
+                                   result.mean_path,
+                               3),
+                           result.exact ? "exact DP" : "2-opt"});
+        }
+        std::printf("%s", table.to_string().c_str());
+        std::printf("note: Eqs. 13-14 are asymptotic (M >> 1); the paper applies them\n"
+                    "at small M anyway, which is visible as the small-M bias above.\n\n");
+    }
+
+    // ---------------------------------------------------------------------
+    std::printf("-- 4. M/M/1 congestion: Eqs. 9-11 vs discrete-event simulation --\n");
+    {
+        const double nc = 5.0;
+        const double d_uncongest = 1000.0;
+        const double mu = mathx::channel_service_rate(nc, d_uncongest);
+        util::Table table({"queue q", "lambda (Eq. 10)", "W analytic (Eq. 11)",
+                           "W simulated", "L simulated", "rel diff W (%)"});
+        for (const double q : {1.0, 2.0, 5.0, 9.0, 19.0}) {
+            const double lambda = mathx::arrival_rate_from_queue_length(q, nc, d_uncongest);
+            const double w_analytic =
+                mathx::average_wait_from_queue_length(q, nc, d_uncongest);
+            mc::QueueSimConfig config;
+            config.arrival_rate = lambda;
+            config.service_rate = mu;
+            const auto sim = mc::simulate_mm1(config, rng);
+            table.add_row(
+                {util::format_double(q, 3), util::format_double(lambda, 4),
+                 util::format_double(w_analytic, 5),
+                 util::format_double(sim.mean_system_time, 5),
+                 util::format_double(sim.mean_queue_length, 4),
+                 util::format_double(100.0 *
+                                         std::abs(w_analytic - sim.mean_system_time) /
+                                         w_analytic,
+                                     3)});
+        }
+        std::printf("%s", table.to_string().c_str());
+        std::printf("Little's law closes: L_sim ~ q and W_sim ~ (1+q) d/Nc, the exact\n"
+                    "expression LEQA substitutes into Eq. 8.\n");
+    }
+    return 0;
+}

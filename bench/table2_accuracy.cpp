@@ -1,0 +1,57 @@
+/// \file table2_accuracy.cpp
+/// \brief Reproduces the paper's Table 2: actual latency computed by the
+///        detailed QSPR mapper vs the latency estimated by LEQA, with the
+///        absolute relative error per benchmark.
+///
+/// The paper reports an average error of 2.11% with a maximum below 9%.
+/// Our absolute latencies differ from the paper's (our QSPR is a
+/// re-implementation, not the authors' Java tool), but the claim under
+/// test is the *estimator accuracy against its mapper*, which this bench
+/// measures directly after the documented one-time v calibration.
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "mathx/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+    using namespace leqa;
+
+    std::printf("=== Table 2: actual (QSPR) vs estimated (LEQA) latency ===\n\n");
+
+    fabric::PhysicalParams params; // Table 1
+    const auto calibration = bench::calibrate_on_smallest(params);
+    params.v = calibration.v;
+    std::printf("calibrated v = %.6f on {8bitadder, gf2^16mult, hwb15ps} "
+                "(training error %.2f%%)\n\n",
+                calibration.v, calibration.mean_abs_rel_error * 100.0);
+
+    const auto rows = bench::run_suite(params);
+
+    util::Table table({"Benchmark", "Actual Delay (sec)", "Estimated Delay (sec)",
+                       "Abs Error (%)", "paper err (%)"});
+    std::vector<double> errors;
+    for (const auto& row : rows) {
+        table.add_row({row.spec.name, util::format_scientific(row.actual_s, 3),
+                       util::format_scientific(row.estimated_s, 3),
+                       util::format_double(row.error_pct, 3),
+                       util::format_double(row.spec.paper_error_pct, 3)});
+        errors.push_back(row.error_pct);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    if (!errors.empty()) {
+        std::printf("average |error|: %.2f%%   (paper: 2.11%%)\n",
+                    mathx::mean(errors));
+        std::printf("maximum |error|: %.2f%%   (paper: 8.29%%, \"below 9%%\")\n",
+                    mathx::max_value(errors));
+        const bool avg_ok = mathx::mean(errors) < 6.0;
+        const bool max_ok = mathx::max_value(errors) < 15.0;
+        std::printf("shape check: average %s, maximum %s\n",
+                    avg_ok ? "within band" : "OUT OF BAND",
+                    max_ok ? "within band" : "OUT OF BAND");
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/// \file coding_advisor.cpp
+/// \brief Compare alternative codings of the same function with LEQA.
+///
+/// The paper's motivation: a fast estimator lets quantum algorithm
+/// designers "learn efficient ways of coding their quantum algorithms by
+/// quickly comparing the latency of different software coding techniques."
+/// This example compares three codings of the same multiply-accumulate
+/// kernel over GF(2^16):
+///   A. trinomial-style reduction is impossible for n = 16, so: pentanomial
+///      multiplier (the suite default);
+///   B. the same multiplier with ancilla-sharing FT synthesis (fewer
+///      qubits, more serialization);
+///   C. a "wide" variant that spends 2x the qubits to halve the
+///      multiplication depth (two half-multipliers + xor combine).
+///
+///   $ ./build/examples/coding_advisor
+#include <cstdio>
+
+#include "benchgen/gf2_mult.h"
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "synth/ft_synth.h"
+
+namespace {
+
+using namespace leqa;
+
+struct Candidate {
+    const char* label;
+    circuit::Circuit ft_circuit;
+};
+
+void report(const Candidate& candidate, const core::LeqaEstimator& estimator,
+            double baseline_s) {
+    const core::LeqaEstimate estimate = estimator.estimate(candidate.ft_circuit);
+    std::printf("%-38s %8zu %9zu %12.4E %9.2fx\n", candidate.label,
+                candidate.ft_circuit.num_qubits(), candidate.ft_circuit.size(),
+                estimate.latency_seconds(),
+                baseline_s > 0 ? estimate.latency_seconds() / baseline_s : 1.0);
+}
+
+} // namespace
+
+int main() {
+    benchgen::Gf2MultSpec spec;
+    spec.n = 16;
+    spec.form = benchgen::Gf2PolyForm::Pentanomial;
+    const circuit::Circuit mult = benchgen::gf2_mult(spec);
+
+    // Coding A: standard flow (fresh ancillas -- none needed here).
+    Candidate coding_a{"A: pentanomial multiplier", synth::ft_synthesize(mult).circuit};
+
+    // Coding B: identical netlist, ancilla-sharing synthesis.  For this
+    // kernel the netlist has no multi-controlled gates, so B == A; it is
+    // kept to show the knob (and costs nothing).
+    synth::FtSynthOptions sharing;
+    sharing.share_ancillas = true;
+    Candidate coding_b{"B: same, ancilla-sharing synthesis",
+                       synth::ft_synthesize(mult, sharing).circuit};
+
+    // Coding C: interleave two independent half-size multiplications that
+    // a compiler could extract (a0*b0 and a1*b1 into separate accumulators)
+    // -- twice the qubits, half the sequential depth.
+    benchgen::Gf2MultSpec half;
+    half.n = 8;
+    half.form = benchgen::Gf2PolyForm::Auto;
+    const circuit::Circuit half_mult = benchgen::gf2_mult(half);
+    circuit::Circuit wide(48, "gf2^16mult-wide");
+    {
+        // Two disjoint 24-qubit half multipliers, gates interleaved so the
+        // scheduler can overlap them.
+        const auto& gates = half_mult.gates();
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            circuit::Gate low = gates[i];
+            wide.add_gate(low);
+            circuit::Gate high = gates[i];
+            for (auto& q : high.controls) q += 24;
+            for (auto& q : high.targets) q += 24;
+            wide.add_gate(high);
+        }
+    }
+    Candidate coding_c{"C: two interleaved half-multipliers",
+                       synth::ft_synthesize(wide).circuit};
+
+    const fabric::PhysicalParams params; // Table 1
+    const core::LeqaEstimator estimator(params);
+    const double baseline =
+        estimator.estimate(coding_a.ft_circuit).latency_seconds();
+
+    std::printf("LEQA as a coding advisor (fabric %dx%d, Table 1 parameters)\n\n",
+                params.width, params.height);
+    std::printf("%-38s %8s %9s %12s %9s\n", "coding", "qubits", "FT ops", "D (s)",
+                "vs A");
+    report(coding_a, estimator, baseline);
+    report(coding_b, estimator, baseline);
+    report(coding_c, estimator, baseline);
+    std::printf("\nCoding C shows the classic width-vs-depth trade: more qubits,\n"
+                "shorter critical path, lower estimated latency -- evaluated in\n"
+                "milliseconds instead of a full map-and-route run per variant.\n");
+    return 0;
+}

@@ -1,0 +1,32 @@
+/// \file adders.h
+/// \brief Reversible ripple-carry adders (the paper's Nbitadder / modNadder
+///        benchmark families).
+///
+/// VBE-style (Vedral-Barenco-Ekert) ripple-carry adder on 3n qubits:
+///   a[0..n-1]  addend (preserved),
+///   b[0..n-1]  becomes (a + b) mod 2^n,
+///   c[0..n-1]  carry ancillas (restored to 0).
+///
+/// The paper's "8bitadder" uses exactly this register budget (24 qubits for
+/// n = 8).  Its op count (822) came from a different synthesized netlist;
+/// ours is the textbook construction (4(n-1) Toffolis, ~4n CNOTs before FT
+/// synthesis), functionally verified.  A mod-2^k adder is the same circuit
+/// (addition mod 2^k is the natural overflow behaviour).
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace leqa::benchgen {
+
+/// n-bit VBE ripple-carry adder: b <- (a + b) mod 2^n.
+[[nodiscard]] circuit::Circuit vbe_adder(int n);
+
+/// Pre-FT gate counts of vbe_adder (for tests and planning).
+struct AdderCounts {
+    std::size_t toffolis = 0;
+    std::size_t cnots = 0;
+    [[nodiscard]] std::size_t total() const { return toffolis + cnots; }
+};
+[[nodiscard]] AdderCounts vbe_adder_counts(int n);
+
+} // namespace leqa::benchgen

@@ -1,0 +1,126 @@
+#include "benchgen/suite.h"
+
+#include <algorithm>
+
+#include "benchgen/adders.h"
+#include "benchgen/gf2_mult.h"
+#include "benchgen/surrogate.h"
+#include "util/error.h"
+
+namespace leqa::benchgen {
+
+namespace {
+
+std::vector<PaperBenchmark> build_suite() {
+    // Columns: name, kind, paper qubits, paper ops, actual (s), estimated
+    // (s), |error| %, QSPR runtime (s), LEQA runtime (s), speedup, size
+    // parameter, surrogate base qubits.  Values transcribed from Tables 2
+    // and 3 of the paper.
+    std::vector<PaperBenchmark> suite;
+    const auto add = [&](std::string name, BenchmarkKind kind, std::size_t qubits,
+                         std::size_t ops, double actual, double estimated, double err,
+                         double qspr_rt, double leqa_rt, double speedup, int n,
+                         std::size_t base) {
+        PaperBenchmark b;
+        b.name = std::move(name);
+        b.kind = kind;
+        b.paper_qubits = qubits;
+        b.paper_ops = ops;
+        b.paper_actual_s = actual;
+        b.paper_estimated_s = estimated;
+        b.paper_error_pct = err;
+        b.paper_qspr_runtime_s = qspr_rt;
+        b.paper_leqa_runtime_s = leqa_rt;
+        b.paper_speedup = speedup;
+        b.size_parameter = n;
+        b.surrogate_base = base;
+        suite.push_back(std::move(b));
+    };
+
+    add("8bitadder", BenchmarkKind::Adder, 24, 822, 1.617e0, 1.667e0, 3.10, 0.9, 0.115, 8.2, 8, 0);
+    add("gf2^16mult", BenchmarkKind::Gf2Mult, 48, 3885, 4.460e0, 4.524e0, 1.45, 3.0, 0.289, 10.3, 16, 0);
+    add("hwb15ps", BenchmarkKind::Surrogate, 47, 3885, 1.940e1, 1.993e1, 2.76, 2.7, 0.256, 10.7, 15, 15);
+    add("hwb16ps", BenchmarkKind::Surrogate, 55, 3811, 1.852e1, 1.903e1, 2.76, 2.9, 0.250, 11.5, 16, 16);
+    add("gf2^18mult", BenchmarkKind::Gf2Mult, 54, 4911, 5.085e0, 5.109e0, 0.46, 3.5, 0.276, 12.6, 18, 0);
+    add("gf2^19mult", BenchmarkKind::Gf2Mult, 57, 5469, 5.393e0, 5.407e0, 0.25, 3.7, 0.259, 14.2, 19, 0);
+    add("gf2^20mult", BenchmarkKind::Gf2Mult, 60, 6019, 5.654e0, 5.660e0, 0.11, 5.1, 0.301, 17.1, 20, 0);
+    add("ham15", BenchmarkKind::Surrogate, 146, 5308, 2.518e1, 2.530e1, 0.51, 4.3, 0.257, 16.6, 15, 15);
+    add("hwb20ps", BenchmarkKind::Surrogate, 83, 6395, 3.026e1, 3.106e1, 2.66, 3.8, 0.272, 13.9, 20, 20);
+    add("hwb50ps", BenchmarkKind::Surrogate, 370, 25370, 1.236e2, 1.274e2, 3.10, 11.8, 0.450, 26.3, 50, 50);
+    add("gf2^50mult", BenchmarkKind::Gf2Mult, 150, 37647, 1.474e1, 1.495e1, 1.44, 16.9, 0.398, 42.5, 50, 0);
+    add("mod1048576adder", BenchmarkKind::Surrogate, 1180, 37070, 2.027e2, 1.958e2, 3.38, 20.2, 0.382, 52.8, 20, 61);
+    add("gf2^64mult", BenchmarkKind::Gf2Mult, 192, 61629, 1.904e1, 1.935e1, 1.64, 29.4, 0.461, 63.8, 64, 0);
+    add("hwb100ps", BenchmarkKind::Surrogate, 1106, 67735, 3.427e2, 3.402e2, 0.72, 26.7, 0.575, 46.4, 100, 100);
+    add("gf2^100mult", BenchmarkKind::Gf2Mult, 300, 150297, 3.015e1, 2.998e1, 0.57, 65.2, 0.859, 76.0, 100, 0);
+    add("hwb200ps", BenchmarkKind::Surrogate, 3145, 175490, 9.638e2, 8.839e2, 8.29, 66.7, 0.915, 72.9, 200, 200);
+    add("gf2^128mult", BenchmarkKind::Gf2Mult, 384, 246141, 3.886e1, 3.838e1, 1.24, 106.0, 1.381, 78.3, 128, 0);
+    add("gf2^256mult", BenchmarkKind::Gf2Mult, 768, 983805, 7.936e1, 7.654e1, 3.55, 524.8, 4.576, 114.7, 256, 0);
+    return suite;
+}
+
+} // namespace
+
+const std::vector<PaperBenchmark>& paper_suite() {
+    static const std::vector<PaperBenchmark> suite = build_suite();
+    return suite;
+}
+
+const PaperBenchmark& find_benchmark(const std::string& name) {
+    const auto& suite = paper_suite();
+    const auto it = std::find_if(suite.begin(), suite.end(),
+                                 [&](const PaperBenchmark& b) { return b.name == name; });
+    LEQA_REQUIRE(it != suite.end(), "unknown benchmark: " + name);
+    return *it;
+}
+
+bool has_benchmark(const std::string& name) {
+    const auto& suite = paper_suite();
+    return std::any_of(suite.begin(), suite.end(),
+                       [&](const PaperBenchmark& b) { return b.name == name; });
+}
+
+circuit::Circuit make_benchmark(const std::string& name) {
+    const PaperBenchmark& spec = find_benchmark(name);
+    switch (spec.kind) {
+        case BenchmarkKind::Adder:
+            return vbe_adder(spec.size_parameter);
+        case BenchmarkKind::Gf2Mult: {
+            Gf2MultSpec gf2;
+            gf2.n = spec.size_parameter;
+            // The paper's op counts match pentanomial reduction everywhere
+            // except gf2^20mult, which matches the trinomial count exactly.
+            gf2.form = spec.size_parameter == 20 ? Gf2PolyForm::Trinomial
+                                                 : Gf2PolyForm::Pentanomial;
+            return gf2_mult(gf2);
+        }
+        case BenchmarkKind::Surrogate: {
+            SurrogateSpec surrogate;
+            surrogate.name = spec.name;
+            surrogate.base_qubits = spec.surrogate_base;
+            surrogate.target_qubits = spec.paper_qubits;
+            surrogate.target_ft_ops = spec.paper_ops;
+            surrogate.seed = 0x5EED0000ULL + static_cast<std::uint64_t>(spec.size_parameter);
+            return surrogate_benchmark(surrogate);
+        }
+    }
+    throw util::InternalError("unhandled benchmark kind");
+}
+
+synth::FtSynthResult make_ft_benchmark(const std::string& name) {
+    return synth::ft_synthesize(make_benchmark(name));
+}
+
+circuit::Circuit ham3() {
+    circuit::Circuit circ(3, "ham3");
+    circ.add_comment("generator: ham3 (paper Figure 2 reconstruction)");
+    // One Toffoli (15 FT ops after synthesis) plus four FT gates = the 19
+    // numbered operations of Figure 2(b).
+    circ.toffoli(0, 1, 2);
+    circ.cnot(1, 2);
+    circ.cnot(0, 1);
+    circ.t(0);
+    circ.cnot(2, 0);
+    return circ;
+}
+
+} // namespace leqa::benchgen

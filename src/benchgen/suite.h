@@ -1,0 +1,66 @@
+/// \file suite.h
+/// \brief The paper's benchmark suite (Tables 2 and 3) and factories.
+///
+/// Each entry records the paper's published numbers (qubit count, FT op
+/// count, QSPR actual latency, LEQA estimate, runtimes) alongside a factory
+/// that regenerates an equivalent circuit: constructive generators for the
+/// gf2 multipliers and the adder, count-exact structural surrogates for the
+/// hwb / ham / mod benchmarks (see DESIGN.md §5 for the substitution
+/// rationale).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "synth/ft_synth.h"
+
+namespace leqa::benchgen {
+
+enum class BenchmarkKind {
+    Adder,      ///< constructive VBE adder (functional)
+    Gf2Mult,    ///< constructive GF(2^n) multiplier (functional, count-exact)
+    Surrogate,  ///< count-exact structural surrogate
+};
+
+struct PaperBenchmark {
+    std::string name;
+    BenchmarkKind kind = BenchmarkKind::Surrogate;
+
+    // Published values (Tables 2 and 3).
+    std::size_t paper_qubits = 0;
+    std::size_t paper_ops = 0;
+    double paper_actual_s = 0.0;      ///< QSPR "actual delay"
+    double paper_estimated_s = 0.0;   ///< LEQA estimate
+    double paper_error_pct = 0.0;
+    double paper_qspr_runtime_s = 0.0;
+    double paper_leqa_runtime_s = 0.0;
+    double paper_speedup = 0.0;
+
+    // Generator parameters.
+    int size_parameter = 0;           ///< n for adders / multipliers
+    std::size_t surrogate_base = 0;   ///< base qubits for surrogates
+};
+
+/// The 18 benchmarks of Tables 2-3, in the paper's (operation count) order.
+[[nodiscard]] const std::vector<PaperBenchmark>& paper_suite();
+
+/// Look up one entry by name; throws InputError for unknown names.
+[[nodiscard]] const PaperBenchmark& find_benchmark(const std::string& name);
+
+/// True when the name exists in the suite.
+[[nodiscard]] bool has_benchmark(const std::string& name);
+
+/// Build the pre-FT-synthesis reversible netlist for a suite entry.
+[[nodiscard]] circuit::Circuit make_benchmark(const std::string& name);
+
+/// Build and FT-synthesize (fresh ancillas, the paper's flow).
+[[nodiscard]] synth::FtSynthResult make_ft_benchmark(const std::string& name);
+
+/// The ham3 circuit of the paper's Figure 2: one Toffoli plus four FT gates
+/// on 3 qubits (19 FT operations after synthesis).  Reconstructed from the
+/// figure; used by the quickstart example and the QODG tests.
+[[nodiscard]] circuit::Circuit ham3();
+
+} // namespace leqa::benchgen

@@ -1,0 +1,47 @@
+/// \file surrogate.h
+/// \brief Count-targeted structural surrogates for benchmarks whose original
+///        netlists are not redistributable (hwbNps, ham15, mod1048576adder).
+///
+/// LEQA and QSPR consume only the *structure* of a netlist: the operation
+/// mix, the dependency graph, and the interaction-intensity statistics --
+/// never the Boolean function it computes.  The surrogate generator
+/// therefore reproduces the published qubit and FT-operation counts
+/// *exactly* while mimicking the decomposed-Toffoli structure of Maslov's
+/// synthesized circuits:
+///
+///   - `base` working qubits carry the logical computation;
+///   - multi-controlled Toffolis (k >= 3 controls) over sliding windows of
+///     the working qubits supply the ancilla growth: each contributes k-1
+///     fresh ancillas and 30(k-1)+1 FT ops (no ancilla sharing, §4.1);
+///   - the remaining op budget is filled with 3-input Toffolis (15 FT ops)
+///     and CNOTs (1 FT op) mixing local and long-range partners.
+///
+/// The generator solves the small integer program
+///     3x + 2y = ancillas,  91x + 61y + 15*t3 + cnots = ft_ops
+/// and emits a deterministic, seeded circuit.  ft_synthesize() of the
+/// result has exactly `qubits` qubits and `ft_ops` operations (asserted in
+/// the tests).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+
+namespace leqa::benchgen {
+
+struct SurrogateSpec {
+    std::string name;          ///< circuit name, e.g. "hwb15ps"
+    std::size_t base_qubits = 0; ///< working qubits before ancillas
+    std::size_t target_qubits = 0; ///< post-synthesis qubit count (paper value)
+    std::size_t target_ft_ops = 0; ///< post-synthesis op count (paper value)
+    std::uint64_t seed = 1;    ///< interaction-pattern seed
+};
+
+/// Build the pre-FT surrogate.  After synth::ft_synthesize (fresh-ancilla
+/// mode) the circuit has exactly spec.target_qubits qubits and
+/// spec.target_ft_ops operations.  Throws InputError when the targets are
+/// not representable (e.g. fewer target qubits than base qubits, or an op
+/// budget too small for the required ancilla gates).
+[[nodiscard]] circuit::Circuit surrogate_benchmark(const SurrogateSpec& spec);
+
+} // namespace leqa::benchgen

@@ -1,0 +1,148 @@
+#include "circuit/gate.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::circuit {
+
+namespace {
+// Indexed by GateKind.  max_controls == -1 means unbounded.
+constexpr std::array<GateInfo, kGateKindCount> kGateTable = {{
+    /* X       */ {"x", 0, 0, 1, true, true, true},
+    /* Y       */ {"y", 0, 0, 1, true, false, true},
+    /* Z       */ {"z", 0, 0, 1, true, false, true},
+    /* H       */ {"h", 0, 0, 1, true, false, true},
+    /* S       */ {"s", 0, 0, 1, true, false, false},
+    /* Sdg     */ {"sdg", 0, 0, 1, true, false, false},
+    /* T       */ {"t", 0, 0, 1, true, false, false},
+    /* Tdg     */ {"tdg", 0, 0, 1, true, false, false},
+    /* Cnot    */ {"cnot", 1, 1, 1, true, true, true},
+    /* Toffoli */ {"toffoli", 1, -1, 1, false, true, true},
+    /* Fredkin */ {"fredkin", 1, -1, 2, false, true, true},
+    /* Swap    */ {"swap", 0, 0, 2, false, true, true},
+}};
+} // namespace
+
+const GateInfo& gate_info(GateKind kind) {
+    return kGateTable[static_cast<std::size_t>(kind)];
+}
+
+std::string gate_name(GateKind kind) { return gate_info(kind).name; }
+
+GateKind parse_gate_name(const std::string& name) {
+    const std::string lowered = util::to_lower(name);
+    for (std::size_t i = 0; i < kGateKindCount; ++i) {
+        if (lowered == kGateTable[i].name) return static_cast<GateKind>(i);
+    }
+    // Accept common aliases.
+    if (lowered == "not") return GateKind::X;
+    if (lowered == "cx") return GateKind::Cnot;
+    if (lowered == "ccx" || lowered == "ccnot") return GateKind::Toffoli;
+    if (lowered == "cswap") return GateKind::Fredkin;
+    if (lowered == "t+" || lowered == "tdag") return GateKind::Tdg;
+    if (lowered == "s+" || lowered == "sdag") return GateKind::Sdg;
+    throw util::InputError("unknown gate mnemonic: " + name);
+}
+
+bool is_gate_name(const std::string& name) {
+    try {
+        (void)parse_gate_name(name);
+        return true;
+    } catch (const util::InputError&) {
+        return false;
+    }
+}
+
+std::vector<Qubit> Gate::qubits() const {
+    std::vector<Qubit> out = controls;
+    out.insert(out.end(), targets.begin(), targets.end());
+    return out;
+}
+
+bool Gate::is_ft() const {
+    if (!gate_info(kind).is_ft) return false;
+    // CNOT with exactly one control is FT; the enum cannot express a
+    // multi-controlled CNOT so the static table is sufficient, but keep the
+    // check defensive.
+    return true;
+}
+
+void Gate::validate() const {
+    const GateInfo& info = gate_info(kind);
+    const auto n_controls = static_cast<int>(controls.size());
+    const auto n_targets = static_cast<int>(targets.size());
+    LEQA_REQUIRE(n_controls >= info.min_controls,
+                 std::string(info.name) + ": too few controls");
+    LEQA_REQUIRE(info.max_controls < 0 || n_controls <= info.max_controls,
+                 std::string(info.name) + ": too many controls");
+    LEQA_REQUIRE(n_targets == info.targets,
+                 std::string(info.name) + ": wrong number of targets");
+    std::vector<Qubit> all = qubits();
+    std::sort(all.begin(), all.end());
+    LEQA_REQUIRE(std::adjacent_find(all.begin(), all.end()) == all.end(),
+                 std::string(info.name) + ": duplicate qubit operand");
+}
+
+void Gate::validate_against(std::size_t num_qubits) const {
+    validate();
+    for (const Qubit q : qubits()) {
+        LEQA_REQUIRE(q < num_qubits,
+                     "qubit index " + std::to_string(q) + " out of range (circuit has " +
+                         std::to_string(num_qubits) + " qubits)");
+    }
+}
+
+std::string Gate::to_string() const {
+    std::ostringstream out;
+    out << gate_name(kind);
+    bool first = true;
+    for (const Qubit q : controls) {
+        out << (first ? " q" : ", q") << q;
+        first = false;
+    }
+    if (!controls.empty()) out << " ->";
+    first = true;
+    for (const Qubit q : targets) {
+        out << (first ? " q" : ", q") << q;
+        first = false;
+    }
+    return out.str();
+}
+
+Gate make_x(Qubit q) { return Gate(GateKind::X, {}, {q}); }
+Gate make_y(Qubit q) { return Gate(GateKind::Y, {}, {q}); }
+Gate make_z(Qubit q) { return Gate(GateKind::Z, {}, {q}); }
+Gate make_h(Qubit q) { return Gate(GateKind::H, {}, {q}); }
+Gate make_s(Qubit q) { return Gate(GateKind::S, {}, {q}); }
+Gate make_sdg(Qubit q) { return Gate(GateKind::Sdg, {}, {q}); }
+Gate make_t(Qubit q) { return Gate(GateKind::T, {}, {q}); }
+Gate make_tdg(Qubit q) { return Gate(GateKind::Tdg, {}, {q}); }
+
+Gate make_cnot(Qubit control, Qubit target) {
+    return Gate(GateKind::Cnot, {control}, {target});
+}
+
+Gate make_toffoli(Qubit c0, Qubit c1, Qubit target) {
+    return Gate(GateKind::Toffoli, {c0, c1}, {target});
+}
+
+Gate make_mcx(std::vector<Qubit> controls, Qubit target) {
+    if (controls.size() == 1) return make_cnot(controls[0], target);
+    return Gate(GateKind::Toffoli, std::move(controls), {target});
+}
+
+Gate make_fredkin(Qubit control, Qubit a, Qubit b) {
+    return Gate(GateKind::Fredkin, {control}, {a, b});
+}
+
+Gate make_mcswap(std::vector<Qubit> controls, Qubit a, Qubit b) {
+    return Gate(GateKind::Fredkin, std::move(controls), {a, b});
+}
+
+Gate make_swap(Qubit a, Qubit b) { return Gate(GateKind::Swap, {}, {a, b}); }
+
+} // namespace leqa::circuit

@@ -1,0 +1,121 @@
+/// \file gate.h
+/// \brief Gate kinds, per-kind metadata, and the Gate record.
+///
+/// The library distinguishes three gate tiers (paper §2):
+///   - reversible-logic gates produced by synthesis: NOT/X, CNOT, Toffoli
+///     (any number of controls), Fredkin (controlled SWAP, any number of
+///     controls), SWAP;
+///   - the fault-tolerant (FT) operation set the fabric executes:
+///     {CNOT, H, T, T-dagger, S, S-dagger, X, Y, Z};
+///   - everything else is rejected by the FT-checking passes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leqa::circuit {
+
+/// Logical qubit index within a Circuit.
+using Qubit = std::uint32_t;
+
+enum class GateKind : std::uint8_t {
+    // One-qubit FT operations.
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg, ///< S-dagger (inverse phase)
+    T,
+    Tdg, ///< T-dagger (-pi/4 rotation)
+    // Two-qubit FT operation (the only one, per the paper).
+    Cnot,
+    // Reversible-logic gates that FT synthesis lowers.
+    Toffoli, ///< multi-controlled X; >= 1 control
+    Fredkin, ///< multi-controlled SWAP; >= 1 control
+    Swap,
+};
+
+/// Number of distinct GateKind values (for array-indexed tables).
+inline constexpr std::size_t kGateKindCount = static_cast<std::size_t>(GateKind::Swap) + 1;
+
+/// Static metadata for a gate kind.
+struct GateInfo {
+    const char* name;        ///< canonical lower-case mnemonic
+    int min_controls;        ///< minimum number of control qubits
+    int max_controls;        ///< maximum (-1 = unbounded)
+    int targets;             ///< number of target qubits
+    bool is_ft;              ///< member of the FT operation set
+    bool is_classical;       ///< permutation of computational basis states
+    bool is_self_inverse;    ///< U^2 = I
+};
+
+/// Metadata lookup (never fails; kind is a closed enum).
+[[nodiscard]] const GateInfo& gate_info(GateKind kind);
+
+/// Canonical mnemonic, e.g. "cnot", "tdg".
+[[nodiscard]] std::string gate_name(GateKind kind);
+
+/// Parse a mnemonic (case-insensitive).  Throws InputError if unknown.
+[[nodiscard]] GateKind parse_gate_name(const std::string& name);
+
+/// True if \p name is a known mnemonic.
+[[nodiscard]] bool is_gate_name(const std::string& name);
+
+/// A single gate application: kind + control qubits + target qubits.
+///
+/// Controls and targets must be disjoint and duplicate-free; Gate::validate
+/// enforces this.  For Fredkin the two swapped qubits are the targets.
+struct Gate {
+    GateKind kind = GateKind::X;
+    std::vector<Qubit> controls;
+    std::vector<Qubit> targets;
+
+    Gate() = default;
+    Gate(GateKind k, std::vector<Qubit> ctrls, std::vector<Qubit> tgts)
+        : kind(k), controls(std::move(ctrls)), targets(std::move(tgts)) {}
+
+    /// Total qubits touched (controls + targets).
+    [[nodiscard]] std::size_t arity() const { return controls.size() + targets.size(); }
+
+    /// All touched qubits, controls first.
+    [[nodiscard]] std::vector<Qubit> qubits() const;
+
+    /// True for gates touching exactly two qubits (CNOT, SWAP, 1-ctl ops).
+    [[nodiscard]] bool is_two_qubit() const { return arity() == 2; }
+
+    /// True if the gate is in the FT set *as applied* (e.g. Toffoli with
+    /// two controls is not FT; CNOT is).
+    [[nodiscard]] bool is_ft() const;
+
+    /// Throws InputError if control/target counts are invalid for the kind,
+    /// or if any qubit repeats.
+    void validate() const;
+
+    /// Throws InputError if any qubit index is >= num_qubits.
+    void validate_against(std::size_t num_qubits) const;
+
+    /// Human-readable form, e.g. "toffoli q0, q1 -> q2".
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] bool operator==(const Gate& other) const = default;
+};
+
+/// Convenience constructors for the common gates.
+[[nodiscard]] Gate make_x(Qubit q);
+[[nodiscard]] Gate make_y(Qubit q);
+[[nodiscard]] Gate make_z(Qubit q);
+[[nodiscard]] Gate make_h(Qubit q);
+[[nodiscard]] Gate make_s(Qubit q);
+[[nodiscard]] Gate make_sdg(Qubit q);
+[[nodiscard]] Gate make_t(Qubit q);
+[[nodiscard]] Gate make_tdg(Qubit q);
+[[nodiscard]] Gate make_cnot(Qubit control, Qubit target);
+[[nodiscard]] Gate make_toffoli(Qubit c0, Qubit c1, Qubit target);
+[[nodiscard]] Gate make_mcx(std::vector<Qubit> controls, Qubit target);
+[[nodiscard]] Gate make_fredkin(Qubit control, Qubit a, Qubit b);
+[[nodiscard]] Gate make_mcswap(std::vector<Qubit> controls, Qubit a, Qubit b);
+[[nodiscard]] Gate make_swap(Qubit a, Qubit b);
+
+} // namespace leqa::circuit

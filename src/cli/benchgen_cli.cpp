@@ -1,0 +1,54 @@
+/// \file benchgen_cli.cpp
+/// \brief Emit the paper's benchmark netlists as .qasm / .real files.
+///
+/// Examples:
+///   benchgen_cli --list
+///   benchgen_cli gf2^16mult out/gf2_16.qasm
+///   benchgen_cli hwb15ps out/hwb15ps.real --ft
+#include <cstdio>
+
+#include "cli/common.h"
+
+namespace {
+
+using namespace leqa;
+
+int body(int argc, char** argv) {
+    util::ArgParser parser("Generate the paper's benchmark circuits");
+    parser.add_positional("name", "suite benchmark name (see --list)", false);
+    parser.add_positional("output", "output netlist path (.qasm or .real)", false);
+    parser.add_flag("list", "list the benchmark suite with its published numbers");
+    parser.add_flag("ft", "FT-synthesize before writing (.qasm output only)");
+    if (!parser.parse(argc, argv)) return 0;
+
+    if (parser.flag("list")) {
+        std::printf("%-18s %6s %9s %12s %12s %9s\n", "name", "qubits", "ops",
+                    "actual(s)", "estimated(s)", "error(%)");
+        for (const auto& b : benchgen::paper_suite()) {
+            std::printf("%-18s %6zu %9zu %12.3E %12.3E %9.2f\n", b.name.c_str(),
+                        b.paper_qubits, b.paper_ops, b.paper_actual_s,
+                        b.paper_estimated_s, b.paper_error_pct);
+        }
+        return 0;
+    }
+
+    const auto name = parser.positional("name");
+    const auto output = parser.positional("output");
+    LEQA_REQUIRE(name.has_value() && output.has_value(),
+                 "usage: benchgen_cli <name> <output> (or --list)");
+
+    circuit::Circuit circ = benchgen::make_benchmark(*name);
+    if (parser.flag("ft")) {
+        auto result = synth::ft_synthesize(circ);
+        std::printf("ft synthesis: %s\n", result.stats.to_string().c_str());
+        circ = std::move(result.circuit);
+    }
+    parser::save_netlist(circ, *output);
+    std::printf("wrote %s (%zu qubits, %zu gates) to %s\n", circ.name().c_str(),
+                circ.num_qubits(), circ.size(), output->c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) { return leqa::cli::run_main(argc, argv, body); }

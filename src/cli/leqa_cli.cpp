@@ -1,0 +1,100 @@
+/// \file leqa_cli.cpp
+/// \brief Command-line LEQA estimator: netlist (or generated benchmark) in,
+///        latency estimate and model breakdown out.
+///
+/// Examples:
+///   leqa_cli gf2^16mult
+///   leqa_cli path/to/circuit.qasm --fabric 80x80 --nc 3 --v 0.002
+///   leqa_cli bench:hwb15ps --breakdown --dot qodg.dot
+#include <cstdio>
+
+#include "cli/common.h"
+#include "core/leqa.h"
+#include "iig/iig.h"
+#include "qodg/qodg.h"
+#include "report/report.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace leqa;
+
+int body(int argc, char** argv) {
+    util::ArgParser parser(
+        "LEQA: fast latency estimation for a quantum algorithm mapped to a "
+        "tiled quantum circuit fabric (DAC 2013)");
+    parser.add_positional("input", "netlist path (.qasm/.real) or suite benchmark name");
+    cli::add_param_options(parser);
+    parser.add_option("sq-terms", "number of E[S_q] terms (paper: 20)", "20");
+    parser.add_flag("exact-sq", "evaluate all Q terms of E[S_q]");
+    parser.add_flag("breakdown", "print the model intermediates");
+    parser.add_flag("no-synth", "input is already FT-synthesized");
+    parser.add_option("dot", "write the QODG as Graphviz DOT to this path");
+    parser.add_option("json", "write the estimate as JSON to this path");
+    if (!parser.parse(argc, argv)) return 0;
+
+    const auto params = cli::resolve_params(parser);
+    core::LeqaOptions options;
+    options.sq_terms = static_cast<int>(parser.option_int("sq-terms"));
+    options.exact_sq = parser.flag("exact-sq");
+
+    circuit::Circuit circ = cli::resolve_input(*parser.positional("input"));
+    std::size_t pre_ft_gates = circ.size();
+    if (!parser.flag("no-synth") && !circ.is_ft()) {
+        const auto result = synth::ft_synthesize(circ);
+        std::printf("ft synthesis: %s\n", result.stats.to_string().c_str());
+        circ = std::move(result.circuit);
+    }
+
+    const util::Stopwatch total;
+    const core::LeqaEstimator estimator(params, options);
+    const core::LeqaEstimate estimate = estimator.estimate(circ);
+    const double runtime_s = total.seconds();
+
+    std::printf("circuit: %s\n", circ.name().empty() ? "(unnamed)" : circ.name().c_str());
+    std::printf("  logical qubits:      %zu\n", estimate.num_qubits);
+    std::printf("  FT operations:       %zu (from %zu reversible gates)\n",
+                estimate.num_ops, pre_ft_gates);
+    std::printf("fabric: %dx%d ULBs, Nc=%d, Tmove=%.0f us, v=%g\n", params.width,
+                params.height, params.nc, params.t_move_us, params.v);
+    std::printf("estimated latency D: %.6E s  (%.3f us)\n",
+                estimate.latency_seconds(), estimate.latency_us);
+    std::printf("leqa runtime: %.3f ms\n", runtime_s * 1e3);
+
+    if (parser.flag("breakdown")) {
+        std::printf("\nmodel breakdown:\n");
+        std::printf("  B (avg zone area):      %.4f\n", estimate.zone_area_b);
+        std::printf("  d_uncongest:            %.3f us\n", estimate.d_uncongest_us);
+        std::printf("  L_CNOT^avg (Eq. 2):     %.3f us\n", estimate.l_cnot_avg_us);
+        std::printf("  L_1q^avg (2 Tmove):     %.3f us\n", estimate.l_one_qubit_avg_us);
+        std::printf("  critical path ops:      %zu (%zu CNOT, %zu one-qubit)\n",
+                    estimate.critical_census.total_ops, estimate.critical_cnots,
+                    estimate.critical_one_qubit);
+        std::printf("  critical gate delay:    %.3f us (no routing)\n",
+                    estimate.critical_gate_delay_us);
+        std::printf("  covered area sum E[Sq]: %.4f of %lld ULBs\n",
+                    estimate.covered_area, params.area());
+        std::printf("  E[S_q] / d_q terms (q = 1..%zu):\n", estimate.e_sq.size());
+        for (std::size_t i = 0; i < estimate.e_sq.size(); ++i) {
+            if (estimate.e_sq[i] < 1e-9 && i > 4) continue; // skip the flat tail
+            std::printf("    q=%2zu  E[S_q]=%10.4f  d_q=%10.3f us\n", i + 1,
+                        estimate.e_sq[i], estimate.d_q[i]);
+        }
+    }
+
+    if (parser.option_given("dot")) {
+        const qodg::Qodg graph(circ);
+        parser::write_file(parser.option("dot"), graph.to_dot(circ));
+        std::printf("wrote QODG DOT to %s\n", parser.option("dot").c_str());
+    }
+    if (parser.option_given("json")) {
+        parser::write_file(parser.option("json"),
+                           report::estimate_to_json(estimate, params, circ.name()));
+        std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) { return leqa::cli::run_main(argc, argv, body); }

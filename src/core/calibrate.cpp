@@ -1,0 +1,138 @@
+#include "core/calibrate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "iig/iig.h"
+#include "qodg/qodg.h"
+#include "util/error.h"
+
+namespace leqa::core {
+
+namespace {
+
+/// Prebuilt graphs for each sample so the v sweep does not re-parse.
+struct PreparedSample {
+    std::unique_ptr<qodg::Qodg> graph;
+    std::unique_ptr<iig::Iig> iig;
+    double actual_latency_us = 0.0;
+};
+
+double error_at(const std::vector<PreparedSample>& prepared,
+                const fabric::PhysicalParams& params, const LeqaOptions& options,
+                double v, std::size_t& evaluations) {
+    fabric::PhysicalParams tuned = params;
+    tuned.v = v;
+    LeqaEstimator estimator(tuned, options);
+    double total = 0.0;
+    for (const PreparedSample& sample : prepared) {
+        const LeqaEstimate estimate = estimator.estimate(*sample.graph, *sample.iig);
+        ++evaluations;
+        total += std::abs(estimate.latency_us - sample.actual_latency_us) /
+                 sample.actual_latency_us;
+    }
+    return total / static_cast<double>(prepared.size());
+}
+
+} // namespace
+
+double mean_abs_relative_error(const std::vector<CalibrationSample>& samples,
+                               const fabric::PhysicalParams& params,
+                               const LeqaOptions& options) {
+    LEQA_REQUIRE(!samples.empty(), "need at least one calibration sample");
+    LeqaEstimator estimator(params, options);
+    double total = 0.0;
+    for (const CalibrationSample& sample : samples) {
+        LEQA_REQUIRE(sample.ft_circuit != nullptr, "null circuit in calibration sample");
+        LEQA_REQUIRE(sample.actual_latency_us > 0.0,
+                     "calibration sample must have positive actual latency");
+        const LeqaEstimate estimate = estimator.estimate(*sample.ft_circuit);
+        total += std::abs(estimate.latency_us - sample.actual_latency_us) /
+                 sample.actual_latency_us;
+    }
+    return total / static_cast<double>(samples.size());
+}
+
+CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
+                              const fabric::PhysicalParams& base_params,
+                              const LeqaOptions& options,
+                              const CalibratorOptions& calibrator_options) {
+    LEQA_REQUIRE(!samples.empty(), "need at least one calibration sample");
+    LEQA_REQUIRE(calibrator_options.v_min > 0.0 &&
+                     calibrator_options.v_max > calibrator_options.v_min,
+                 "invalid v search range");
+    LEQA_REQUIRE(calibrator_options.coarse_grid >= 2, "coarse grid needs >= 2 points");
+
+    std::vector<PreparedSample> prepared;
+    prepared.reserve(samples.size());
+    for (const CalibrationSample& sample : samples) {
+        LEQA_REQUIRE(sample.ft_circuit != nullptr, "null circuit in calibration sample");
+        LEQA_REQUIRE(sample.actual_latency_us > 0.0,
+                     "calibration sample must have positive actual latency");
+        PreparedSample p;
+        p.graph = std::make_unique<qodg::Qodg>(*sample.ft_circuit);
+        p.iig = std::make_unique<iig::Iig>(*sample.ft_circuit);
+        p.actual_latency_us = sample.actual_latency_us;
+        prepared.push_back(std::move(p));
+    }
+
+    CalibrationResult result;
+    const double log_min = std::log10(calibrator_options.v_min);
+    const double log_max = std::log10(calibrator_options.v_max);
+
+    // Coarse log-spaced scan.
+    double best_log_v = log_min;
+    double best_error = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < calibrator_options.coarse_grid; ++i) {
+        const double log_v = log_min + (log_max - log_min) * i /
+                                           (calibrator_options.coarse_grid - 1);
+        const double error = error_at(prepared, base_params, options,
+                                      std::pow(10.0, log_v), result.evaluations);
+        if (error < best_error) {
+            best_error = error;
+            best_log_v = log_v;
+        }
+    }
+
+    // Golden-section refinement on the bracket around the best grid point.
+    const double step = (log_max - log_min) / (calibrator_options.coarse_grid - 1);
+    double lo = std::max(log_min, best_log_v - step);
+    double hi = std::min(log_max, best_log_v + step);
+    constexpr double kInvPhi = 0.6180339887498949;
+    double x1 = hi - kInvPhi * (hi - lo);
+    double x2 = lo + kInvPhi * (hi - lo);
+    double f1 = error_at(prepared, base_params, options, std::pow(10.0, x1),
+                         result.evaluations);
+    double f2 = error_at(prepared, base_params, options, std::pow(10.0, x2),
+                         result.evaluations);
+    for (int i = 0; i < calibrator_options.refine_iterations; ++i) {
+        if (f1 <= f2) {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - kInvPhi * (hi - lo);
+            f1 = error_at(prepared, base_params, options, std::pow(10.0, x1),
+                          result.evaluations);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + kInvPhi * (hi - lo);
+            f2 = error_at(prepared, base_params, options, std::pow(10.0, x2),
+                          result.evaluations);
+        }
+    }
+    const double refined_log_v = f1 <= f2 ? x1 : x2;
+    const double refined_error = std::min(f1, f2);
+
+    if (refined_error <= best_error) {
+        result.v = std::pow(10.0, refined_log_v);
+        result.mean_abs_rel_error = refined_error;
+    } else {
+        result.v = std::pow(10.0, best_log_v);
+        result.mean_abs_rel_error = best_error;
+    }
+    return result;
+}
+
+} // namespace leqa::core

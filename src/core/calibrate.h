@@ -1,0 +1,54 @@
+/// \file calibrate.h
+/// \brief Fitting LEQA's speed parameter v against a detailed mapper.
+///
+/// The paper (§3.2) introduces v as "a parameter depending on the physical
+/// characteristics of the fabric technology ... [that] also can be used for
+/// tuning the LEQA with different quantum mappers".  The calibrator fits v
+/// on a small training set of (circuit, actual latency) pairs produced by a
+/// mapper (our QSPR re-implementation), minimizing the mean absolute
+/// relative error; the fitted v is then frozen for evaluation, mirroring
+/// the paper's methodology of one fixed v per mapper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/leqa.h"
+#include "fabric/params.h"
+
+namespace leqa::core {
+
+/// One training pair.
+struct CalibrationSample {
+    const circuit::Circuit* ft_circuit = nullptr; ///< borrowed, not owned
+    double actual_latency_us = 0.0;
+};
+
+struct CalibrationResult {
+    double v = 0.0;                 ///< fitted speed parameter
+    double mean_abs_rel_error = 0.0; ///< at the fitted v, over the samples
+    std::size_t evaluations = 0;    ///< estimator invocations spent
+};
+
+struct CalibratorOptions {
+    double v_min = 1e-6;
+    double v_max = 1.0;
+    int coarse_grid = 48;       ///< log-spaced coarse scan points
+    int refine_iterations = 40; ///< golden-section refinement steps
+};
+
+/// Mean absolute relative error of LEQA over samples at the given params.
+[[nodiscard]] double mean_abs_relative_error(
+    const std::vector<CalibrationSample>& samples,
+    const fabric::PhysicalParams& params, const LeqaOptions& options);
+
+/// Fit v: coarse log-grid scan followed by golden-section refinement of the
+/// best bracket.  Deterministic.  Throws InputError on an empty sample set.
+[[nodiscard]] CalibrationResult calibrate_v(
+    const std::vector<CalibrationSample>& samples,
+    const fabric::PhysicalParams& base_params, const LeqaOptions& options = {},
+    const CalibratorOptions& calibrator_options = {});
+
+} // namespace leqa::core

@@ -1,0 +1,76 @@
+#include "core/sweep.h"
+
+#include "util/error.h"
+
+namespace leqa::core {
+
+namespace {
+
+SweepResult run_sweep(const qodg::Qodg& graph, const iig::Iig& iig,
+                      const std::vector<fabric::PhysicalParams>& configurations,
+                      const LeqaOptions& options) {
+    LEQA_REQUIRE(!configurations.empty(), "sweep has no feasible configurations");
+    SweepResult result;
+    result.points.reserve(configurations.size());
+    for (const auto& params : configurations) {
+        LeqaEstimator estimator(params, options);
+        SweepPoint point{params, estimator.estimate(graph, iig)};
+        result.points.push_back(std::move(point));
+        if (result.points.back().estimate.latency_us <
+            result.points[result.best_index].estimate.latency_us) {
+            result.best_index = result.points.size() - 1;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
+                               const fabric::PhysicalParams& base,
+                               const std::vector<int>& sides,
+                               const LeqaOptions& options) {
+    std::vector<fabric::PhysicalParams> configurations;
+    for (const int side : sides) {
+        LEQA_REQUIRE(side >= 1, "fabric side must be >= 1");
+        if (static_cast<std::size_t>(side) * static_cast<std::size_t>(side) <
+            iig.num_qubits()) {
+            continue; // cannot host the circuit
+        }
+        fabric::PhysicalParams params = base;
+        params.width = side;
+        params.height = side;
+        configurations.push_back(params);
+    }
+    return run_sweep(graph, iig, configurations, options);
+}
+
+SweepResult sweep_channel_capacity(const qodg::Qodg& graph, const iig::Iig& iig,
+                                   const fabric::PhysicalParams& base,
+                                   const std::vector<int>& capacities,
+                                   const LeqaOptions& options) {
+    std::vector<fabric::PhysicalParams> configurations;
+    for (const int nc : capacities) {
+        LEQA_REQUIRE(nc >= 1, "channel capacity must be >= 1");
+        fabric::PhysicalParams params = base;
+        params.nc = nc;
+        configurations.push_back(params);
+    }
+    return run_sweep(graph, iig, configurations, options);
+}
+
+SweepResult sweep_speed(const qodg::Qodg& graph, const iig::Iig& iig,
+                        const fabric::PhysicalParams& base,
+                        const std::vector<double>& speeds,
+                        const LeqaOptions& options) {
+    std::vector<fabric::PhysicalParams> configurations;
+    for (const double v : speeds) {
+        LEQA_REQUIRE(v > 0.0, "speed must be positive");
+        fabric::PhysicalParams params = base;
+        params.v = v;
+        configurations.push_back(params);
+    }
+    return run_sweep(graph, iig, configurations, options);
+}
+
+} // namespace leqa::core

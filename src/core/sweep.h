@@ -1,0 +1,53 @@
+/// \file sweep.h
+/// \brief Design-space sweeps built on the estimator.
+///
+/// The paper positions LEQA as the inner loop of design exploration: "Size
+/// of the fabric ... can be changed to find the optimal size for the
+/// fabric which results in the minimum delay."  These helpers run the
+/// estimator across one-parameter families (fabric side, channel capacity,
+/// qubit speed) against prebuilt graphs and report the latency-minimal
+/// point.
+#pragma once
+
+#include <vector>
+
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "iig/iig.h"
+#include "qodg/qodg.h"
+
+namespace leqa::core {
+
+struct SweepPoint {
+    fabric::PhysicalParams params;
+    LeqaEstimate estimate;
+};
+
+struct SweepResult {
+    std::vector<SweepPoint> points;
+    std::size_t best_index = 0; ///< index of the minimum-latency point
+
+    [[nodiscard]] const SweepPoint& best() const { return points.at(best_index); }
+};
+
+/// Sweep square fabrics of the given sides.  Sides too small to host the
+/// circuit's qubits are skipped; throws InputError if none remain.
+[[nodiscard]] SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
+                                             const fabric::PhysicalParams& base,
+                                             const std::vector<int>& sides,
+                                             const LeqaOptions& options = {});
+
+/// Sweep channel capacities Nc.
+[[nodiscard]] SweepResult sweep_channel_capacity(const qodg::Qodg& graph,
+                                                 const iig::Iig& iig,
+                                                 const fabric::PhysicalParams& base,
+                                                 const std::vector<int>& capacities,
+                                                 const LeqaOptions& options = {});
+
+/// Sweep the qubit-speed parameter v.
+[[nodiscard]] SweepResult sweep_speed(const qodg::Qodg& graph, const iig::Iig& iig,
+                                      const fabric::PhysicalParams& base,
+                                      const std::vector<double>& speeds,
+                                      const LeqaOptions& options = {});
+
+} // namespace leqa::core

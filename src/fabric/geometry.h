@@ -1,0 +1,74 @@
+/// \file geometry.h
+/// \brief Grid geometry of the tiled quantum architecture (paper Figure 1).
+///
+/// The fabric is a `width x height` grid of ULBs separated by routing
+/// channels.  We model each channel as the set of unit *segments* between
+/// horizontally or vertically adjacent ULBs; quantum crossbars sit at the
+/// junctions and are absorbed into the segment hop cost.  A qubit route is
+/// a sequence of segments produced by dimension-ordered (XY) routing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leqa::fabric {
+
+/// ULB coordinates (x column, y row), zero-based.
+struct UlbCoord {
+    int x = 0;
+    int y = 0;
+
+    [[nodiscard]] bool operator==(const UlbCoord&) const = default;
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Dense ULB index.
+using UlbId = std::int32_t;
+
+/// Dense channel-segment index.
+using SegmentId = std::int32_t;
+
+class FabricGeometry {
+public:
+    FabricGeometry(int width, int height);
+
+    [[nodiscard]] int width() const { return width_; }
+    [[nodiscard]] int height() const { return height_; }
+    [[nodiscard]] std::size_t num_ulbs() const {
+        return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+    }
+    /// Number of channel segments: (width-1)*height horizontal +
+    /// width*(height-1) vertical.
+    [[nodiscard]] std::size_t num_segments() const;
+
+    [[nodiscard]] bool in_bounds(UlbCoord c) const;
+    [[nodiscard]] UlbId ulb_id(UlbCoord c) const;
+    [[nodiscard]] UlbCoord ulb_coord(UlbId id) const;
+
+    /// Segment between two adjacent ULBs; throws InputError if not adjacent.
+    [[nodiscard]] SegmentId segment_between(UlbCoord a, UlbCoord b) const;
+
+    /// Manhattan distance between ULBs (hop count of a shortest route).
+    [[nodiscard]] int manhattan(UlbCoord a, UlbCoord b) const;
+
+    /// Dimension-ordered route a -> b: all X moves then all Y moves.
+    /// Returns the segment sequence (empty when a == b).
+    [[nodiscard]] std::vector<SegmentId> xy_route(UlbCoord a, UlbCoord b) const;
+
+    /// ULBs at L-infinity ring radius r around center, clipped to bounds,
+    /// in deterministic scan order.  r = 0 yields {center}.
+    [[nodiscard]] std::vector<UlbCoord> ring(UlbCoord center, int r) const;
+
+    /// The 2-4 orthogonal neighbors of a ULB.
+    [[nodiscard]] std::vector<UlbCoord> neighbors(UlbCoord c) const;
+
+    /// Midpoint ULB of two coordinates (componentwise average, floor).
+    [[nodiscard]] UlbCoord midpoint(UlbCoord a, UlbCoord b) const;
+
+private:
+    int width_;
+    int height_;
+};
+
+} // namespace leqa::fabric

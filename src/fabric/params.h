@@ -1,0 +1,63 @@
+/// \file params.h
+/// \brief Physical parameters of the tiled quantum architecture (paper
+///        Table 1).
+///
+/// Defaults reproduce the paper's setup: an ion-trap fabric with the
+/// [[7,1,3]] Steane code, whose non-transversal T / T-dagger gates are
+/// roughly twice as slow as the transversal gates, a 60x60 ULB grid,
+/// channel capacity Nc = 5, qubit move time Tmove = 100 us, and the LEQA
+/// speed/tuning parameter v = 0.001.  All delays are microseconds.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace leqa::fabric {
+
+struct PhysicalParams {
+    // --- FT operation delays (Table 1, left column) -----------------------
+    double d_h_us = 5440.0;      ///< Hadamard
+    double d_t_us = 10940.0;     ///< T and T-dagger (non-transversal in Steane)
+    double d_pauli_us = 5240.0;  ///< X, Y, Z
+    double d_s_us = 5240.0;      ///< S / S-dagger (transversal in Steane)
+    double d_cnot_us = 4930.0;   ///< CNOT
+
+    // --- TQA specification (Table 1, right column) ------------------------
+    int nc = 5;                  ///< routing channel capacity
+    double v = 0.001;            ///< logical-qubit speed / LEQA tuning knob
+    int width = 60;              ///< fabric width a (ULBs)
+    int height = 60;             ///< fabric height b (ULBs)
+    double t_move_us = 100.0;    ///< single-hop move time Tmove
+
+    /// Delay of one FT operation kind.  Throws InputError for non-FT kinds
+    /// (Toffoli etc. must be synthesized away first).
+    [[nodiscard]] double delay_us(circuit::GateKind kind) const;
+
+    /// Total fabric area A = width * height (number of ULBs).
+    [[nodiscard]] long long area() const {
+        return static_cast<long long>(width) * height;
+    }
+
+    /// Average routing latency of one-qubit operations, L_g^avg = 2 * Tmove
+    /// (the paper's empirical value, §3).
+    [[nodiscard]] double one_qubit_routing_latency_us() const { return 2.0 * t_move_us; }
+
+    /// Throws InputError when any parameter is non-physical.
+    void validate() const;
+
+    /// Serialize as "key = value" lines.
+    [[nodiscard]] std::string to_config() const;
+
+    /// Parse "key = value" lines ('#' comments allowed).  Unknown keys are
+    /// an error; missing keys keep their defaults.
+    static PhysicalParams from_config(const std::string& text);
+
+    /// Convenience file round-trips.
+    static PhysicalParams load(const std::string& path);
+    void save(const std::string& path) const;
+
+    [[nodiscard]] bool operator==(const PhysicalParams&) const = default;
+};
+
+} // namespace leqa::fabric

@@ -1,0 +1,46 @@
+#include "mathx/binomial.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace leqa::mathx {
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+    LEQA_REQUIRE(n >= 0 && k >= 0 && k <= n, "log_binomial: need 0 <= k <= n");
+    if (k == 0 || k == n) return 0.0;
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial(std::int64_t n, std::int64_t k) {
+    return std::exp(log_binomial(n, k));
+}
+
+double binomial_pmf(std::int64_t n, std::int64_t k, double p) {
+    LEQA_REQUIRE(n >= 0 && k >= 0 && k <= n, "binomial_pmf: need 0 <= k <= n");
+    LEQA_REQUIRE(p >= 0.0 && p <= 1.0, "binomial_pmf: need 0 <= p <= 1");
+    if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0) return k == n ? 1.0 : 0.0;
+    const double log_pmf = log_binomial(n, k) +
+                           static_cast<double>(k) * std::log(p) +
+                           static_cast<double>(n - k) * std::log1p(-p);
+    return std::exp(log_pmf);
+}
+
+std::vector<double> binomial_row_recursive(std::int64_t n, std::int64_t max_k) {
+    LEQA_REQUIRE(n >= 0 && max_k >= 0 && max_k <= n,
+                 "binomial_row_recursive: need 0 <= max_k <= n");
+    std::vector<double> row(static_cast<std::size_t>(max_k) + 1);
+    row[0] = 1.0; // f(n, 0) = 1
+    for (std::int64_t q = 1; q <= max_k; ++q) {
+        // f(n, q) = f(n, q-1) * (n - q + 1) / q   (paper Eq. 18)
+        row[static_cast<std::size_t>(q)] =
+            row[static_cast<std::size_t>(q - 1)] *
+            (static_cast<double>(n - q + 1) / static_cast<double>(q));
+    }
+    return row;
+}
+
+} // namespace leqa::mathx

@@ -1,0 +1,33 @@
+/// \file binomial.h
+/// \brief Binomial coefficients and binomial PMF evaluation.
+///
+/// LEQA's Eq. (4) evaluates C(Q,q) * P^q * (1-P)^(Q-q) with Q as large as
+/// several thousand.  The direct product underflows/overflows in double
+/// precision, so the primary implementation works in log space.  The paper's
+/// supplemental material also gives a constant-time multiplicative recursion
+/// for C(Q,q) (Eq. 18); it is provided for fidelity and cross-checked in the
+/// tests against the log-space form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace leqa::mathx {
+
+/// ln C(n, k).  Requires 0 <= k <= n.
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k);
+
+/// C(n, k) as a double (may be +inf for huge n).  Requires 0 <= k <= n.
+[[nodiscard]] double binomial(std::int64_t n, std::int64_t k);
+
+/// Binomial PMF  C(n,k) p^k (1-p)^(n-k)  computed in log space.
+/// Handles the p == 0 and p == 1 endpoints exactly.
+/// Requires 0 <= k <= n and 0 <= p <= 1.
+[[nodiscard]] double binomial_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// The paper's Eq. (18) recursion: returns the row C(n,0..max_k) computed by
+/// f(n,0)=1, f(n,q)=f(n,q-1)*(n-q+1)/q.  Values may overflow to +inf for
+/// large n; intended for small n and for validating log_binomial.
+[[nodiscard]] std::vector<double> binomial_row_recursive(std::int64_t n, std::int64_t max_k);
+
+} // namespace leqa::mathx

@@ -1,0 +1,250 @@
+#include "mathx/gf2poly.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace leqa::mathx {
+
+namespace {
+constexpr int kWordBits = 64;
+
+std::vector<int> prime_factors(int n) {
+    std::vector<int> factors;
+    for (int p = 2; p * p <= n; ++p) {
+        if (n % p == 0) {
+            factors.push_back(p);
+            while (n % p == 0) n /= p;
+        }
+    }
+    if (n > 1) factors.push_back(n);
+    return factors;
+}
+} // namespace
+
+Gf2Poly Gf2Poly::monomial(int exponent) {
+    LEQA_REQUIRE(exponent >= 0, "monomial exponent must be non-negative");
+    Gf2Poly p;
+    p.set_coeff(exponent, true);
+    return p;
+}
+
+Gf2Poly Gf2Poly::from_exponents(const std::vector<int>& exponents) {
+    Gf2Poly p;
+    for (const int e : exponents) p.set_coeff(e, !p.coeff(e));
+    return p;
+}
+
+int Gf2Poly::degree() const {
+    for (std::size_t w = words_.size(); w > 0; --w) {
+        const std::uint64_t word = words_[w - 1];
+        if (word != 0) {
+            return static_cast<int>((w - 1) * kWordBits) + (63 - std::countl_zero(word));
+        }
+    }
+    return -1;
+}
+
+bool Gf2Poly::coeff(int exponent) const {
+    LEQA_REQUIRE(exponent >= 0, "exponent must be non-negative");
+    const auto word = static_cast<std::size_t>(exponent) / kWordBits;
+    if (word >= words_.size()) return false;
+    return ((words_[word] >> (exponent % kWordBits)) & 1ULL) != 0;
+}
+
+void Gf2Poly::set_coeff(int exponent, bool value) {
+    LEQA_REQUIRE(exponent >= 0, "exponent must be non-negative");
+    const auto word = static_cast<std::size_t>(exponent) / kWordBits;
+    if (word >= words_.size()) {
+        if (!value) return;
+        words_.resize(word + 1, 0);
+    }
+    const std::uint64_t mask = 1ULL << (exponent % kWordBits);
+    if (value) {
+        words_[word] |= mask;
+    } else {
+        words_[word] &= ~mask;
+    }
+    trim();
+}
+
+std::vector<int> Gf2Poly::exponents() const {
+    std::vector<int> out;
+    for (int e = degree(); e >= 0; --e) {
+        if (coeff(e)) out.push_back(e);
+    }
+    return out;
+}
+
+void Gf2Poly::operator^=(const Gf2Poly& other) {
+    if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
+    for (std::size_t w = 0; w < other.words_.size(); ++w) words_[w] ^= other.words_[w];
+    trim();
+}
+
+bool Gf2Poly::operator==(const Gf2Poly& other) const {
+    const std::size_t common = std::min(words_.size(), other.words_.size());
+    for (std::size_t w = 0; w < common; ++w) {
+        if (words_[w] != other.words_[w]) return false;
+    }
+    for (std::size_t w = common; w < words_.size(); ++w) {
+        if (words_[w] != 0) return false;
+    }
+    for (std::size_t w = common; w < other.words_.size(); ++w) {
+        if (other.words_[w] != 0) return false;
+    }
+    return true;
+}
+
+Gf2Poly Gf2Poly::shifted(int k) const {
+    LEQA_REQUIRE(k >= 0, "shift must be non-negative");
+    if (is_zero() || k == 0) {
+        Gf2Poly copy = *this;
+        return copy;
+    }
+    Gf2Poly out;
+    const int word_shift = k / kWordBits;
+    const int bit_shift = k % kWordBits;
+    out.words_.assign(words_.size() + static_cast<std::size_t>(word_shift) + 1, 0);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        out.words_[w + word_shift] |= words_[w] << bit_shift;
+        if (bit_shift != 0) {
+            out.words_[w + word_shift + 1] |= words_[w] >> (kWordBits - bit_shift);
+        }
+    }
+    out.trim();
+    return out;
+}
+
+Gf2Poly Gf2Poly::mod(const Gf2Poly& modulus) const {
+    LEQA_REQUIRE(!modulus.is_zero(), "modulus must be non-zero");
+    Gf2Poly remainder = *this;
+    const int mod_degree = modulus.degree();
+    int deg = remainder.degree();
+    while (deg >= mod_degree) {
+        remainder ^= modulus.shifted(deg - mod_degree);
+        deg = remainder.degree();
+    }
+    return remainder;
+}
+
+Gf2Poly Gf2Poly::mulmod(const Gf2Poly& a, const Gf2Poly& b, const Gf2Poly& modulus) {
+    LEQA_REQUIRE(!modulus.is_zero(), "modulus must be non-zero");
+    Gf2Poly result;
+    const Gf2Poly a_reduced = a.mod(modulus);
+    const Gf2Poly b_reduced = b.mod(modulus);
+    // Horner style over the bits of a, high to low, reducing as we go so
+    // the working degree stays < 2 * deg(modulus).
+    for (int e = a_reduced.degree(); e >= 0; --e) {
+        result = result.shifted(1);
+        if (a_reduced.coeff(e)) result ^= b_reduced;
+        result = result.mod(modulus);
+    }
+    return result;
+}
+
+Gf2Poly Gf2Poly::gcd(Gf2Poly a, Gf2Poly b) {
+    while (!b.is_zero()) {
+        Gf2Poly r = a.mod(b);
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+std::string Gf2Poly::to_string() const {
+    if (is_zero()) return "0";
+    std::ostringstream out;
+    bool first = true;
+    for (const int e : exponents()) {
+        if (!first) out << " + ";
+        if (e == 0) out << "1";
+        else if (e == 1) out << "x";
+        else out << "x^" << e;
+        first = false;
+    }
+    return out.str();
+}
+
+void Gf2Poly::trim() {
+    while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+bool is_irreducible(const Gf2Poly& p) {
+    const int n = p.degree();
+    if (n <= 0) return false;
+    if (n == 1) return true;
+    if (!p.coeff(0)) return false; // divisible by x
+
+    const Gf2Poly x = Gf2Poly::monomial(1);
+
+    // x^(2^n) mod p must equal x.
+    Gf2Poly cur = x;
+    for (int i = 0; i < n; ++i) cur = Gf2Poly::mulmod(cur, cur, p);
+    if (!(cur == x.mod(p))) return false;
+
+    // For each prime divisor d of n: gcd(x^(2^(n/d)) - x, p) must be 1.
+    for (const int d : prime_factors(n)) {
+        Gf2Poly h = x;
+        for (int i = 0; i < n / d; ++i) h = Gf2Poly::mulmod(h, h, p);
+        h ^= x;
+        const Gf2Poly g = Gf2Poly::gcd(h.mod(p), p);
+        if (g.degree() != 0) return false;
+    }
+    return true;
+}
+
+std::optional<int> find_irreducible_trinomial(int n) {
+    LEQA_REQUIRE(n >= 2, "degree must be >= 2");
+    for (int t = 1; t < n; ++t) {
+        if (is_irreducible(Gf2Poly::from_exponents({n, t, 0}))) return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<int>> find_irreducible_pentanomial(int n) {
+    LEQA_REQUIRE(n >= 4, "degree must be >= 4");
+    for (int t3 = 3; t3 < n; ++t3) {
+        for (int t2 = 2; t2 < t3; ++t2) {
+            for (int t1 = 1; t1 < t2; ++t1) {
+                if (is_irreducible(Gf2Poly::from_exponents({n, t3, t2, t1, 0}))) {
+                    return std::vector<int>{t3, t2, t1};
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<int> irreducible_middle_terms(int n, bool force_pentanomial) {
+    static std::mutex cache_mutex;
+    static std::map<std::pair<int, bool>, std::vector<int>> cache;
+    {
+        const std::lock_guard<std::mutex> lock(cache_mutex);
+        const auto it = cache.find({n, force_pentanomial});
+        if (it != cache.end()) return it->second;
+    }
+
+    std::vector<int> terms;
+    if (!force_pentanomial) {
+        if (const auto t = find_irreducible_trinomial(n)) {
+            terms = {*t};
+        }
+    }
+    if (terms.empty()) {
+        const auto penta = find_irreducible_pentanomial(n);
+        LEQA_REQUIRE(penta.has_value(),
+                     "no irreducible trinomial/pentanomial of degree " + std::to_string(n));
+        terms = *penta;
+    }
+
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    cache[{n, force_pentanomial}] = terms;
+    return terms;
+}
+
+} // namespace leqa::mathx

@@ -1,0 +1,51 @@
+#include "mathx/queueing.h"
+
+#include "util/error.h"
+
+namespace leqa::mathx {
+
+double Mm1Queue::utilization() const {
+    LEQA_REQUIRE(mu > 0.0, "Mm1Queue: service rate must be positive");
+    return lambda / mu;
+}
+
+double Mm1Queue::average_queue_length() const {
+    LEQA_REQUIRE(mu > lambda, "Mm1Queue: queue is unstable (lambda >= mu)");
+    LEQA_REQUIRE(lambda >= 0.0, "Mm1Queue: arrival rate must be non-negative");
+    return lambda / (mu - lambda);
+}
+
+double Mm1Queue::average_wait() const {
+    LEQA_REQUIRE(mu > lambda, "Mm1Queue: queue is unstable (lambda >= mu)");
+    return 1.0 / (mu - lambda);
+}
+
+double channel_service_rate(double nc, double d_uncongest_us) {
+    LEQA_REQUIRE(nc > 0.0, "channel capacity Nc must be positive");
+    LEQA_REQUIRE(d_uncongest_us > 0.0, "d_uncongest must be positive");
+    return nc / d_uncongest_us;
+}
+
+double arrival_rate_from_queue_length(double q, double nc, double d_uncongest_us) {
+    LEQA_REQUIRE(q >= 0.0, "queue length must be non-negative");
+    LEQA_REQUIRE(nc > 0.0, "channel capacity Nc must be positive");
+    LEQA_REQUIRE(d_uncongest_us > 0.0, "d_uncongest must be positive");
+    return q * nc / ((1.0 + q) * d_uncongest_us);
+}
+
+double average_wait_from_queue_length(double q, double nc, double d_uncongest_us) {
+    LEQA_REQUIRE(q >= 0.0, "queue length must be non-negative");
+    LEQA_REQUIRE(nc > 0.0, "channel capacity Nc must be positive");
+    LEQA_REQUIRE(d_uncongest_us > 0.0, "d_uncongest must be positive");
+    return (1.0 + q) * d_uncongest_us / nc;
+}
+
+double congested_delay(double q, double nc, double d_uncongest_us) {
+    LEQA_REQUIRE(q >= 0.0, "queue length must be non-negative");
+    LEQA_REQUIRE(nc > 0.0, "channel capacity Nc must be positive");
+    LEQA_REQUIRE(d_uncongest_us > 0.0, "d_uncongest must be positive");
+    if (q <= nc) return d_uncongest_us;
+    return (1.0 + q) * d_uncongest_us / nc;
+}
+
+} // namespace leqa::mathx

@@ -1,0 +1,49 @@
+/// \file queueing.h
+/// \brief M/M/1 queue algebra for LEQA's congestion model (paper §3.1).
+///
+/// The paper models a routing channel as an M/M/1/inf queue: service rate
+/// mu = Nc / d_uncongest (Nc qubits leave per uncongested transit time) and
+/// an arrival rate lambda backed out from the observed queue length q via
+/// Eq. (9)/(10).  Little's formula then gives the average waiting time
+/// W_avg = (1+q) * d_uncongest / Nc  (Eq. 11), which is the congested branch
+/// of the piecewise delay model d_q (Eq. 8).
+#pragma once
+
+namespace leqa::mathx {
+
+/// M/M/1 steady-state helper functions.  All rates are per microsecond and
+/// all times are microseconds, matching the rest of the library.
+struct Mm1Queue {
+    double lambda = 0.0; ///< arrival rate
+    double mu = 0.0;     ///< service rate
+
+    /// Utilization rho = lambda / mu.
+    [[nodiscard]] double utilization() const;
+
+    /// Average number of customers in the system, lambda / (mu - lambda).
+    /// Requires lambda < mu (stable queue).
+    [[nodiscard]] double average_queue_length() const;
+
+    /// Average time in system via Little's formula, L / lambda.
+    [[nodiscard]] double average_wait() const;
+};
+
+/// Service rate of a routing channel: mu = Nc / d_uncongest  (paper §3.1).
+[[nodiscard]] double channel_service_rate(double nc, double d_uncongest_us);
+
+/// Arrival rate recovered from queue length q (paper Eq. 10):
+///   lambda = q * Nc / ((1 + q) * d_uncongest).
+[[nodiscard]] double arrival_rate_from_queue_length(double q, double nc,
+                                                    double d_uncongest_us);
+
+/// Average waiting (service) time for q queued qubits (paper Eq. 11):
+///   W_avg = (1 + q) * d_uncongest / Nc.
+[[nodiscard]] double average_wait_from_queue_length(double q, double nc,
+                                                    double d_uncongest_us);
+
+/// Piecewise congestion-aware routing delay d_q (paper Eq. 8):
+///   d_q = d_uncongest                     if q <= Nc
+///       = (1 + q) * d_uncongest / Nc      otherwise.
+[[nodiscard]] double congested_delay(double q, double nc, double d_uncongest_us);
+
+} // namespace leqa::mathx

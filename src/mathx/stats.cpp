@@ -1,0 +1,99 @@
+#include "mathx/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace leqa::mathx {
+
+double mean(std::span<const double> values) {
+    LEQA_REQUIRE(!values.empty(), "mean: empty input");
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+    LEQA_REQUIRE(!values.empty(), "variance: empty input");
+    const double mu = mean(values);
+    double sum = 0.0;
+    for (const double v : values) sum += (v - mu) * (v - mu);
+    return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double min_value(std::span<const double> values) {
+    LEQA_REQUIRE(!values.empty(), "min_value: empty input");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+    LEQA_REQUIRE(!values.empty(), "max_value: empty input");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+    LEQA_REQUIRE(!values.empty(), "percentile: empty input");
+    LEQA_REQUIRE(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1) return values[0];
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+    LEQA_REQUIRE(x.size() == y.size(), "linear_fit: size mismatch");
+    LEQA_REQUIRE(x.size() >= 2, "linear_fit: need at least two points");
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LEQA_REQUIRE(std::abs(denom) > 0.0, "linear_fit: degenerate x values");
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+        ss_res += r * r;
+    }
+    fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+PowerLawFit power_law_fit(std::span<const double> x, std::span<const double> y) {
+    LEQA_REQUIRE(x.size() == y.size(), "power_law_fit: size mismatch");
+    std::vector<double> lx(x.size());
+    std::vector<double> ly(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        LEQA_REQUIRE(x[i] > 0.0 && y[i] > 0.0,
+                     "power_law_fit: all values must be strictly positive");
+        lx[i] = std::log(x[i]);
+        ly[i] = std::log(y[i]);
+    }
+    const LinearFit linear = linear_fit(lx, ly);
+    PowerLawFit fit;
+    fit.exponent = linear.slope;
+    fit.coefficient = std::exp(linear.intercept);
+    fit.r_squared = linear.r_squared;
+    return fit;
+}
+
+double power_law_eval(const PowerLawFit& fit, double x) {
+    LEQA_REQUIRE(x > 0.0, "power_law_eval: x must be positive");
+    return fit.coefficient * std::pow(x, fit.exponent);
+}
+
+} // namespace leqa::mathx

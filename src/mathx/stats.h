@@ -1,0 +1,41 @@
+/// \file stats.h
+/// \brief Descriptive statistics and least-squares fits used by the bench
+///        harnesses (error summaries, runtime scaling exponents).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace leqa::mathx {
+
+[[nodiscard]] double mean(std::span<const double> values);
+[[nodiscard]] double variance(std::span<const double> values); ///< population variance
+[[nodiscard]] double stddev(std::span<const double> values);
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+/// Linear interpolated percentile; p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Ordinary least squares fit  y = slope * x + intercept.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Power-law fit  y = c * x^alpha  via least squares in log-log space.
+/// Requires all x and y strictly positive.  The scaling study uses this to
+/// recover the paper's "QSPR ~ N^1.5, LEQA ~ N^1.0" exponents.
+struct PowerLawFit {
+    double exponent = 0.0;    ///< alpha
+    double coefficient = 0.0; ///< c
+    double r_squared = 0.0;
+};
+[[nodiscard]] PowerLawFit power_law_fit(std::span<const double> x, std::span<const double> y);
+
+/// Evaluate a power-law fit at x.
+[[nodiscard]] double power_law_eval(const PowerLawFit& fit, double x);
+
+} // namespace leqa::mathx

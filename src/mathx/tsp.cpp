@@ -1,0 +1,43 @@
+#include "mathx/tsp.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace leqa::mathx {
+
+namespace {
+// Beardwood-Halton-Hammersley style experimental constants used verbatim by
+// the paper (which cites the Held-Karp experimental analysis literature).
+constexpr double kLowerSlope = 0.708;
+constexpr double kLowerIntercept = 0.551;
+constexpr double kUpperSlope = 0.718;
+constexpr double kUpperIntercept = 0.731;
+constexpr double kMidSlope = 0.713;   // (0.708 + 0.718) / 2
+constexpr double kMidIntercept = 0.641; // (0.551 + 0.731) / 2
+} // namespace
+
+double tsp_tour_lower_bound(double n_points) {
+    LEQA_REQUIRE(n_points >= 0.0, "point count must be non-negative");
+    return kLowerSlope * std::sqrt(n_points) + kLowerIntercept;
+}
+
+double tsp_tour_upper_bound(double n_points) {
+    LEQA_REQUIRE(n_points >= 0.0, "point count must be non-negative");
+    return kUpperSlope * std::sqrt(n_points) + kUpperIntercept;
+}
+
+double tsp_tour_estimate(double n_points) {
+    LEQA_REQUIRE(n_points >= 0.0, "point count must be non-negative");
+    return kMidSlope * std::sqrt(n_points) + kMidIntercept;
+}
+
+double expected_hamiltonian_path(double zone_area, double m_neighbors) {
+    LEQA_REQUIRE(zone_area >= 0.0, "zone area must be non-negative");
+    LEQA_REQUIRE(m_neighbors >= 1.0, "expected_hamiltonian_path: M_i must be >= 1");
+    const double tour = tsp_tour_estimate(m_neighbors + 1.0);
+    const double path_over_tour = (m_neighbors - 1.0) / m_neighbors;
+    return std::sqrt(zone_area) * tour * path_over_tour;
+}
+
+} // namespace leqa::mathx

@@ -1,0 +1,33 @@
+/// \file tsp.h
+/// \brief Expected random-TSP tour length bounds and the expected shortest
+///        Hamiltonian path estimate of LEQA (paper Eqs. 13-15).
+///
+/// For n points uniform in the unit square, the expected optimal TSP tour
+/// length is bracketed (for n >> 1) by
+///   lower: 0.708 sqrt(n) + 0.551      (Eq. 13)
+///   upper: 0.718 sqrt(n) + 0.731      (Eq. 14)
+/// The paper averages the two (0.713 sqrt(n) + 0.641), scales by the zone
+/// side length sqrt(B_i), and converts tour -> Hamiltonian path with the
+/// factor (M_i - 1) / M_i  (one fewer edge than the tour), giving Eq. 15.
+#pragma once
+
+namespace leqa::mathx {
+
+/// Expected-TSP-tour lower bound for n uniform points in the unit square.
+[[nodiscard]] double tsp_tour_lower_bound(double n_points);
+
+/// Expected-TSP-tour upper bound for n uniform points in the unit square.
+[[nodiscard]] double tsp_tour_upper_bound(double n_points);
+
+/// Midpoint of the two bounds: 0.713 sqrt(n) + 0.641.
+[[nodiscard]] double tsp_tour_estimate(double n_points);
+
+/// LEQA Eq. 15: expected shortest Hamiltonian path through (M_i + 1) points
+/// in a presence zone of area B_i (side sqrt(B_i)):
+///   E[l_ham,i] = sqrt(B_i) * (0.713 sqrt(M_i + 1) + 0.641) * (M_i - 1)/M_i.
+/// Requires M_i >= 1 (qubits with no interactions carry no weight in the
+/// caller's weighted average).  Note the formula vanishes for M_i == 1,
+/// a documented artifact of the asymptotic bound the paper adopts.
+[[nodiscard]] double expected_hamiltonian_path(double zone_area, double m_neighbors);
+
+} // namespace leqa::mathx

@@ -1,0 +1,46 @@
+/// \file tsp_solver.h
+/// \brief Exact and heuristic TSP / shortest-Hamiltonian-path solvers.
+///
+/// LEQA's Eq. 15 rests on closed-form bounds for the expected length of the
+/// optimal tour through random points (the BHH-style constants of Eqs.
+/// 13-14).  These solvers let the test suite and the Monte Carlo validation
+/// bench check those constants *empirically*:
+///   - Held-Karp dynamic programming gives exact optima up to ~15 points;
+///   - nearest-neighbor + 2-opt gives tight upper bounds at any size.
+#pragma once
+
+#include <vector>
+
+namespace leqa::mathx {
+
+/// A point in the unit square (or any plane).
+struct Point2D {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+[[nodiscard]] double euclidean(const Point2D& a, const Point2D& b);
+
+/// Length of a path visiting the points in the given order (no return leg).
+[[nodiscard]] double path_length(const std::vector<Point2D>& points,
+                                 const std::vector<int>& order);
+
+/// Length of the closed tour in the given order.
+[[nodiscard]] double tour_length(const std::vector<Point2D>& points,
+                                 const std::vector<int>& order);
+
+/// Exact shortest Hamiltonian *path* (free endpoints) via Held-Karp DP.
+/// Requires 1 <= n <= 15.  Returns the optimal length.
+[[nodiscard]] double shortest_hamiltonian_path_exact(const std::vector<Point2D>& points);
+
+/// Exact shortest closed *tour* via Held-Karp DP.  Requires 1 <= n <= 15.
+[[nodiscard]] double shortest_tour_exact(const std::vector<Point2D>& points);
+
+/// Heuristic tour: nearest-neighbor construction + 2-opt improvement.
+/// Deterministic for a given input order.  Returns the tour length.
+[[nodiscard]] double tour_heuristic(const std::vector<Point2D>& points);
+
+/// Heuristic open path: heuristic tour with the longest edge removed.
+[[nodiscard]] double hamiltonian_path_heuristic(const std::vector<Point2D>& points);
+
+} // namespace leqa::mathx

@@ -1,0 +1,51 @@
+#include "mc/path_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include "mathx/tsp_solver.h"
+#include "util/error.h"
+
+namespace leqa::mc {
+
+PathModelResult empirical_path_model(const PathModelConfig& config, util::Rng& rng) {
+    LEQA_REQUIRE(config.zone_area > 0.0, "zone area must be positive");
+    LEQA_REQUIRE(config.num_points >= 1, "need at least one point");
+    LEQA_REQUIRE(config.trials >= 1, "need at least one trial");
+
+    const double side = std::sqrt(config.zone_area);
+    const bool exact = config.num_points <= 12;
+
+    PathModelResult result;
+    result.exact = exact;
+    std::vector<double> path_lengths;
+    path_lengths.reserve(static_cast<std::size_t>(config.trials));
+    double tour_sum = 0.0;
+
+    std::vector<mathx::Point2D> points(static_cast<std::size_t>(config.num_points));
+    for (int trial = 0; trial < config.trials; ++trial) {
+        for (auto& p : points) {
+            p.x = rng.uniform(0.0, side);
+            p.y = rng.uniform(0.0, side);
+        }
+        const double path = exact ? mathx::shortest_hamiltonian_path_exact(points)
+                                  : mathx::hamiltonian_path_heuristic(points);
+        const double tour = exact ? mathx::shortest_tour_exact(points)
+                                  : mathx::tour_heuristic(points);
+        path_lengths.push_back(path);
+        tour_sum += tour;
+    }
+
+    double path_sum = 0.0;
+    for (const double v : path_lengths) path_sum += v;
+    result.mean_path = path_sum / static_cast<double>(config.trials);
+    result.mean_tour = tour_sum / static_cast<double>(config.trials);
+    double var = 0.0;
+    for (const double v : path_lengths) {
+        var += (v - result.mean_path) * (v - result.mean_path);
+    }
+    result.stddev_path = std::sqrt(var / static_cast<double>(config.trials));
+    return result;
+}
+
+} // namespace leqa::mc

@@ -1,0 +1,32 @@
+/// \file path_model.h
+/// \brief Monte Carlo validation of the Hamiltonian-path length model.
+///
+/// LEQA's Eq. 15 estimates the expected shortest Hamiltonian path through
+/// M+1 uniform points in a presence zone from averaged TSP tour bounds
+/// (Eqs. 13-14).  This module samples actual point sets and solves them
+/// (exactly up to 15 points, 2-opt heuristic above), yielding empirical
+/// expectations to compare against the closed form.
+#pragma once
+
+#include "util/rng.h"
+
+namespace leqa::mc {
+
+struct PathModelConfig {
+    double zone_area = 16.0; ///< B_i; points live in a sqrt(B) x sqrt(B) square
+    int num_points = 8;      ///< M_i + 1
+    int trials = 400;
+};
+
+struct PathModelResult {
+    double mean_path = 0.0;   ///< empirical E[shortest Hamiltonian path]
+    double mean_tour = 0.0;   ///< empirical E[shortest tour]
+    double stddev_path = 0.0;
+    bool exact = false;       ///< true when the DP solver was used
+};
+
+/// Sample and solve; deterministic for a given rng state.
+[[nodiscard]] PathModelResult empirical_path_model(const PathModelConfig& config,
+                                                   util::Rng& rng);
+
+} // namespace leqa::mc

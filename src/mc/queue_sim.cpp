@@ -1,0 +1,50 @@
+#include "mc/queue_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace leqa::mc {
+
+QueueSimResult simulate_mm1(const QueueSimConfig& config, util::Rng& rng) {
+    LEQA_REQUIRE(config.arrival_rate > 0.0, "arrival rate must be positive");
+    LEQA_REQUIRE(config.service_rate > config.arrival_rate,
+                 "queue must be stable (mu > lambda)");
+    LEQA_REQUIRE(config.num_customers > config.warmup, "too few customers");
+
+    // Lindley recursion: departure_i = max(arrival_i, departure_{i-1}) + s_i.
+    double arrival = 0.0;
+    double last_departure = 0.0;
+    double measured_time = 0.0;        // measurement-window span
+    double busy_time = 0.0;            // server busy within window
+    double system_time_sum = 0.0;      // sum of (departure - arrival)
+    double area_in_system = 0.0;       // integral of N(t) via per-customer time
+    double window_start = 0.0;
+    long long measured = 0;
+
+    for (int i = 0; i < config.num_customers; ++i) {
+        arrival += rng.exponential(config.arrival_rate);
+        const double service = rng.exponential(config.service_rate);
+        const double start = std::max(arrival, last_departure);
+        const double departure = start + service;
+        if (i == config.warmup) window_start = arrival;
+        if (i >= config.warmup) {
+            ++measured;
+            system_time_sum += departure - arrival;
+            busy_time += service;
+            area_in_system += departure - arrival; // per-customer contribution
+            measured_time = departure - window_start;
+        }
+        last_departure = departure;
+    }
+
+    QueueSimResult result;
+    result.mean_system_time = system_time_sum / static_cast<double>(measured);
+    // L = lambda_effective * W (Little); area/T gives the same estimate.
+    result.mean_queue_length = area_in_system / measured_time;
+    result.utilization = busy_time / measured_time;
+    return result;
+}
+
+} // namespace leqa::mc

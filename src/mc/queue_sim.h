@@ -1,0 +1,31 @@
+/// \file queue_sim.h
+/// \brief Discrete-event M/M/1 queue simulation (the paper's Figure 5).
+///
+/// LEQA models a congested routing channel as an M/M/1 queue and backs the
+/// congested-delay expression of Eq. 8 out of Little's formula (Eqs.
+/// 9-11).  This simulator generates Poisson arrivals and exponential
+/// service times and measures the empirical queue length and waiting time,
+/// validating the closed forms.
+#pragma once
+
+#include "util/rng.h"
+
+namespace leqa::mc {
+
+struct QueueSimConfig {
+    double arrival_rate = 0.004;  ///< lambda (per us)
+    double service_rate = 0.005;  ///< mu (per us); must exceed lambda
+    int num_customers = 200000;   ///< arrivals simulated
+    int warmup = 5000;            ///< arrivals discarded before measuring
+};
+
+struct QueueSimResult {
+    double mean_system_time = 0.0;   ///< E[time in system] (wait + service)
+    double mean_queue_length = 0.0;  ///< time-averaged customers in system
+    double utilization = 0.0;        ///< fraction of time server busy
+};
+
+/// Run the simulation; deterministic for a given rng state.
+[[nodiscard]] QueueSimResult simulate_mm1(const QueueSimConfig& config, util::Rng& rng);
+
+} // namespace leqa::mc

@@ -1,0 +1,79 @@
+#include "mc/zone_coverage.h"
+
+#include "util/error.h"
+
+namespace leqa::mc {
+
+namespace {
+
+void validate(const ZoneCoverageConfig& config) {
+    LEQA_REQUIRE(config.width >= 1 && config.height >= 1, "bad fabric dimensions");
+    LEQA_REQUIRE(config.zone_side >= 1 &&
+                     config.zone_side <= std::min(config.width, config.height),
+                 "zone side must fit the fabric");
+    LEQA_REQUIRE(config.num_zones >= 0, "zone count must be non-negative");
+    LEQA_REQUIRE(config.trials >= 1, "need at least one trial");
+}
+
+/// Sample the top-left corner of a uniformly placed s x s zone.
+struct Corner {
+    int x;
+    int y;
+};
+Corner sample_corner(const ZoneCoverageConfig& config, util::Rng& rng) {
+    const int max_x = config.width - config.zone_side;   // inclusive
+    const int max_y = config.height - config.zone_side;
+    return Corner{static_cast<int>(rng.uniform_int(0, max_x)),
+                  static_cast<int>(rng.uniform_int(0, max_y))};
+}
+
+} // namespace
+
+double empirical_coverage_probability(const ZoneCoverageConfig& config, int x, int y,
+                                      util::Rng& rng) {
+    validate(config);
+    LEQA_REQUIRE(x >= 1 && x <= config.width && y >= 1 && y <= config.height,
+                 "cell out of range");
+    const int cx = x - 1;
+    const int cy = y - 1;
+    long long covered = 0;
+    for (int trial = 0; trial < config.trials; ++trial) {
+        const Corner corner = sample_corner(config, rng);
+        const bool hit = cx >= corner.x && cx < corner.x + config.zone_side &&
+                         cy >= corner.y && cy < corner.y + config.zone_side;
+        if (hit) ++covered;
+    }
+    return static_cast<double>(covered) / static_cast<double>(config.trials);
+}
+
+std::vector<double> empirical_expected_surfaces(const ZoneCoverageConfig& config,
+                                                long long max_q, util::Rng& rng) {
+    validate(config);
+    LEQA_REQUIRE(max_q >= 0 && max_q <= config.num_zones, "max_q must be in [0, Q]");
+    const std::size_t cells =
+        static_cast<std::size_t>(config.width) * static_cast<std::size_t>(config.height);
+    std::vector<int> overlap(cells);
+    std::vector<double> surfaces(static_cast<std::size_t>(max_q) + 1, 0.0);
+
+    for (int trial = 0; trial < config.trials; ++trial) {
+        std::fill(overlap.begin(), overlap.end(), 0);
+        for (long long z = 0; z < config.num_zones; ++z) {
+            const Corner corner = sample_corner(config, rng);
+            for (int dy = 0; dy < config.zone_side; ++dy) {
+                const std::size_t row =
+                    static_cast<std::size_t>(corner.y + dy) *
+                    static_cast<std::size_t>(config.width);
+                for (int dx = 0; dx < config.zone_side; ++dx) {
+                    ++overlap[row + static_cast<std::size_t>(corner.x + dx)];
+                }
+            }
+        }
+        for (const int count : overlap) {
+            if (count <= max_q) ++surfaces[static_cast<std::size_t>(count)];
+        }
+    }
+    for (double& s : surfaces) s /= static_cast<double>(config.trials);
+    return surfaces;
+}
+
+} // namespace leqa::mc

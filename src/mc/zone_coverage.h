@@ -1,0 +1,39 @@
+/// \file zone_coverage.h
+/// \brief Monte Carlo validation of the presence-zone coverage model.
+///
+/// LEQA's Eqs. 4-5 derive, in closed form, the probability that a ULB is
+/// covered by a randomly placed s x s presence zone and the expected fabric
+/// surface covered by exactly q of Q zones (the geometry of the paper's
+/// Figures 3-4).  This module measures both quantities by direct
+/// simulation -- placing zones uniformly at random and counting -- so the
+/// analytic forms can be validated empirically (tests and the
+/// model_validation bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leqa::mc {
+
+struct ZoneCoverageConfig {
+    int width = 60;      ///< fabric width a
+    int height = 60;     ///< fabric height b
+    int zone_side = 6;   ///< presence-zone side s
+    long long num_zones = 48;  ///< Q
+    int trials = 2000;   ///< random placements averaged
+};
+
+/// Empirical probability that the ULB at 1-based (x, y) is covered by one
+/// uniformly placed zone (the Monte Carlo analogue of Eq. 5).
+[[nodiscard]] double empirical_coverage_probability(const ZoneCoverageConfig& config,
+                                                    int x, int y, util::Rng& rng);
+
+/// Empirical E[S_q] for q = 0..max_q: the expected number of ULBs covered
+/// by exactly q zones (the Monte Carlo analogue of Eq. 4).  Element i of
+/// the result is E[S_i].
+[[nodiscard]] std::vector<double> empirical_expected_surfaces(
+    const ZoneCoverageConfig& config, long long max_q, util::Rng& rng);
+
+} // namespace leqa::mc

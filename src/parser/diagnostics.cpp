@@ -1,0 +1,12 @@
+#include "parser/diagnostics.h"
+
+namespace leqa::parser {
+
+std::string SourceLoc::to_string() const {
+    return file + ":" + std::to_string(line);
+}
+
+ParseError::ParseError(const SourceLoc& loc, const std::string& message)
+    : util::InputError(loc.to_string() + ": " + message), loc_(loc) {}
+
+} // namespace leqa::parser

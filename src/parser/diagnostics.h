@@ -1,0 +1,30 @@
+/// \file diagnostics.h
+/// \brief Parse errors with source locations.
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+
+namespace leqa::parser {
+
+/// Location within a netlist source (1-based line).
+struct SourceLoc {
+    std::string file = "<string>";
+    std::size_t line = 0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Error raised by the netlist parsers; message carries "<file>:<line>".
+class ParseError : public util::InputError {
+public:
+    ParseError(const SourceLoc& loc, const std::string& message);
+
+    [[nodiscard]] const SourceLoc& location() const { return loc_; }
+
+private:
+    SourceLoc loc_;
+};
+
+} // namespace leqa::parser

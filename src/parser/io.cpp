@@ -1,0 +1,48 @@
+#include "parser/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "parser/openqasm.h"
+#include "parser/qasm.h"
+#include "parser/real.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::parser {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw util::InputError("cannot open file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw util::InputError("cannot open file for writing: " + path);
+    out << text;
+    if (!out) throw util::InputError("failed writing file: " + path);
+}
+
+circuit::Circuit load_netlist(const std::string& path) {
+    const std::string text = read_file(path);
+    if (util::ends_with(util::to_lower(path), ".real")) {
+        return parse_real(text, path);
+    }
+    if (looks_like_openqasm(text)) {
+        return parse_openqasm(text, path);
+    }
+    return parse_qasm(text, path);
+}
+
+void save_netlist(const circuit::Circuit& circ, const std::string& path) {
+    if (util::ends_with(util::to_lower(path), ".real")) {
+        write_file(path, write_real(circ));
+    } else {
+        write_file(path, write_qasm(circ));
+    }
+}
+
+} // namespace leqa::parser

@@ -1,0 +1,24 @@
+/// \file io.h
+/// \brief File-level helpers: load a netlist by extension, save text.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace leqa::parser {
+
+/// Read an entire file; throws InputError if it cannot be opened.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Write text to a file; throws InputError on failure.
+void write_file(const std::string& path, const std::string& text);
+
+/// Load a netlist choosing the parser from the extension:
+/// ".real" -> RevLib parser, anything else -> QASM-subset parser.
+[[nodiscard]] circuit::Circuit load_netlist(const std::string& path);
+
+/// Save a circuit choosing the writer from the extension (as above).
+void save_netlist(const circuit::Circuit& circ, const std::string& path);
+
+} // namespace leqa::parser

@@ -1,0 +1,245 @@
+#include "parser/openqasm.h"
+
+#include <map>
+#include <sstream>
+
+#include "parser/diagnostics.h"
+#include "util/strings.h"
+
+namespace leqa::parser {
+
+namespace {
+
+/// A ';'-terminated statement with the line it started on.
+struct Statement {
+    std::string text;
+    std::size_t line = 0;
+};
+
+std::vector<Statement> split_statements(const std::string& text,
+                                        const std::string& source_name) {
+    std::vector<Statement> statements;
+    std::string current;
+    std::size_t line = 1;
+    std::size_t statement_line = 1;
+    bool in_comment = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            in_comment = false;
+            current += ' ';
+            continue;
+        }
+        if (in_comment) continue;
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            in_comment = true;
+            ++i;
+            continue;
+        }
+        if (c == ';') {
+            const std::string trimmed = util::trim(current);
+            if (!trimmed.empty()) statements.push_back({trimmed, statement_line});
+            current.clear();
+            statement_line = line;
+            continue;
+        }
+        if (util::trim(current).empty()) statement_line = line;
+        current += c;
+    }
+    const std::string trailing = util::trim(current);
+    if (!trailing.empty()) {
+        throw ParseError({source_name, statement_line},
+                         "statement not terminated by ';': '" + trailing + "'");
+    }
+    return statements;
+}
+
+/// Operand: reg[index].
+struct Operand {
+    std::string reg;
+    long long index = 0;
+};
+
+Operand parse_operand(const std::string& token, const SourceLoc& loc) {
+    const auto open = token.find('[');
+    const auto close = token.find(']');
+    if (open == std::string::npos || close == std::string::npos || close < open ||
+        close + 1 != token.size()) {
+        throw ParseError(loc, "expected operand of the form reg[i], got '" + token + "'");
+    }
+    Operand operand;
+    operand.reg = util::trim(token.substr(0, open));
+    const auto index = util::parse_int(token.substr(open + 1, close - open - 1));
+    if (operand.reg.empty() || !index || *index < 0) {
+        throw ParseError(loc, "malformed operand '" + token + "'");
+    }
+    operand.index = *index;
+    return operand;
+}
+
+std::vector<std::string> split_operand_list(const std::string& text) {
+    std::vector<std::string> out;
+    for (const auto& part : util::split(text, ',')) {
+        const std::string trimmed = util::trim(part);
+        if (!trimmed.empty()) out.push_back(trimmed);
+    }
+    return out;
+}
+
+} // namespace
+
+bool looks_like_openqasm(const std::string& text) {
+    for (const auto& raw_line : util::split(text, '\n')) {
+        std::string line = util::trim(raw_line);
+        const auto comment = line.find("//");
+        if (comment != std::string::npos) line = util::trim(line.substr(0, comment));
+        if (line.empty()) continue;
+        return util::starts_with(util::to_lower(line), "openqasm");
+    }
+    return false;
+}
+
+circuit::Circuit parse_openqasm(const std::string& text, const std::string& source_name) {
+    circuit::Circuit circ;
+    std::map<std::string, std::pair<circuit::Qubit, long long>> registers; // base, size
+    bool saw_header = false;
+
+    const auto resolve = [&](const std::string& token,
+                             const SourceLoc& loc) -> circuit::Qubit {
+        const Operand operand = parse_operand(token, loc);
+        const auto it = registers.find(operand.reg);
+        if (it == registers.end()) {
+            throw ParseError(loc, "unknown qreg '" + operand.reg + "'");
+        }
+        if (operand.index >= it->second.second) {
+            throw ParseError(loc, "index out of range for qreg '" + operand.reg + "'");
+        }
+        return it->second.first + static_cast<circuit::Qubit>(operand.index);
+    };
+
+    for (const Statement& statement : split_statements(text, source_name)) {
+        const SourceLoc loc{source_name, statement.line};
+        const auto fields = util::split_whitespace(statement.text);
+        const std::string head = util::to_lower(fields[0]);
+
+        if (head == "openqasm") {
+            saw_header = true;
+            continue;
+        }
+        if (!saw_header) throw ParseError(loc, "missing OPENQASM 2.0 declaration");
+        if (head == "include" || head == "creg" || head == "barrier" || head == "id") {
+            continue; // accepted, irrelevant to the latency model
+        }
+        if (head == "measure" || head == "reset" || head == "if" || head == "gate" ||
+            head == "u" || head == "u1" || head == "u2" || head == "u3" ||
+            head == "rx" || head == "ry" || head == "rz" || head == "cu1") {
+            throw ParseError(loc, "unsupported OpenQASM construct '" + fields[0] +
+                                      "' (LEQA consumes FT Clifford+T netlists)");
+        }
+        if (head == "qreg") {
+            if (fields.size() != 2) throw ParseError(loc, "qreg expects one declaration");
+            const Operand decl = parse_operand(fields[1], loc);
+            if (registers.count(decl.reg)) {
+                throw ParseError(loc, "duplicate qreg '" + decl.reg + "'");
+            }
+            if (decl.index <= 0) {
+                throw ParseError(loc, "qreg size must be positive");
+            }
+            const auto base = static_cast<circuit::Qubit>(circ.num_qubits());
+            for (long long i = 0; i < decl.index; ++i) {
+                circ.add_qubit(decl.reg + "[" + std::to_string(i) + "]");
+            }
+            registers[decl.reg] = {base, decl.index};
+            continue;
+        }
+
+        // Gate application: mnemonic operand-list.
+        static const std::map<std::string, circuit::GateKind> kGateMap = {
+            {"x", circuit::GateKind::X},       {"y", circuit::GateKind::Y},
+            {"z", circuit::GateKind::Z},       {"h", circuit::GateKind::H},
+            {"s", circuit::GateKind::S},       {"sdg", circuit::GateKind::Sdg},
+            {"t", circuit::GateKind::T},       {"tdg", circuit::GateKind::Tdg},
+            {"cx", circuit::GateKind::Cnot},   {"cnot", circuit::GateKind::Cnot},
+            {"ccx", circuit::GateKind::Toffoli},
+            {"swap", circuit::GateKind::Swap}, {"cswap", circuit::GateKind::Fredkin},
+        };
+        const auto gate_it = kGateMap.find(head);
+        if (gate_it == kGateMap.end()) {
+            throw ParseError(loc, "unknown gate '" + fields[0] + "'");
+        }
+        const std::string operand_text =
+            util::trim(statement.text.substr(fields[0].size()));
+        const auto tokens = split_operand_list(operand_text);
+        std::vector<circuit::Qubit> qubits;
+        qubits.reserve(tokens.size());
+        for (const auto& token : tokens) qubits.push_back(resolve(token, loc));
+
+        const circuit::GateInfo& info = circuit::gate_info(gate_it->second);
+        const std::size_t expected =
+            static_cast<std::size_t>(info.targets) +
+            static_cast<std::size_t>(std::max(info.min_controls, 0));
+        // ccx: 2 controls; cswap: 1 control; others: min_controls.
+        const std::size_t needed = head == "ccx" ? 3 : expected;
+        if (qubits.size() != needed) {
+            throw ParseError(loc, "'" + head + "' expects " + std::to_string(needed) +
+                                      " operands, got " + std::to_string(qubits.size()));
+        }
+        try {
+            switch (gate_it->second) {
+                case circuit::GateKind::Cnot:
+                    circ.cnot(qubits[0], qubits[1]);
+                    break;
+                case circuit::GateKind::Toffoli:
+                    circ.toffoli(qubits[0], qubits[1], qubits[2]);
+                    break;
+                case circuit::GateKind::Swap:
+                    circ.swap(qubits[0], qubits[1]);
+                    break;
+                case circuit::GateKind::Fredkin:
+                    circ.fredkin(qubits[0], qubits[1], qubits[2]);
+                    break;
+                default:
+                    circ.add_gate(circuit::Gate(gate_it->second, {}, {qubits[0]}));
+                    break;
+            }
+        } catch (const util::InputError& e) {
+            throw ParseError(loc, e.what());
+        }
+    }
+    return circ;
+}
+
+std::string write_openqasm(const circuit::Circuit& circ) {
+    std::ostringstream out;
+    out << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    for (const auto& comment : circ.comments()) out << "// " << comment << '\n';
+    out << "qreg q[" << circ.num_qubits() << "];\n";
+    for (const circuit::Gate& gate : circ.gates()) {
+        std::string mnemonic;
+        switch (gate.kind) {
+            case circuit::GateKind::Cnot: mnemonic = "cx"; break;
+            case circuit::GateKind::Toffoli:
+                LEQA_REQUIRE(gate.controls.size() == 2,
+                             "write_openqasm: lower multi-controlled Toffolis first");
+                mnemonic = "ccx";
+                break;
+            case circuit::GateKind::Fredkin:
+                LEQA_REQUIRE(gate.controls.size() == 1,
+                             "write_openqasm: lower multi-controlled Fredkins first");
+                mnemonic = "cswap";
+                break;
+            default: mnemonic = circuit::gate_name(gate.kind); break;
+        }
+        out << mnemonic;
+        bool first = true;
+        for (const circuit::Qubit q : gate.qubits()) {
+            out << (first ? " q[" : ", q[") << q << ']';
+            first = false;
+        }
+        out << ";\n";
+    }
+    return out.str();
+}
+
+} // namespace leqa::parser

@@ -1,0 +1,40 @@
+/// \file qasm.h
+/// \brief Parser and writer for the LEQA QASM-subset netlist format.
+///
+/// The format is line-oriented:
+///
+///     # comment (also "//")
+///     .name gf2^16mult          # optional circuit name
+///     .qubits 48                # declare 48 qubits named q0..q47, or
+///     qubit a0                  # declare one named qubit (repeatable)
+///
+///     h q0
+///     cnot q0, q1               # commas between operands are optional
+///     toffoli a0 b0 c0          # any number of controls; last is target
+///     fredkin c, x, y           # controls..., then the two swapped qubits
+///
+/// Gate mnemonics are those of circuit::parse_gate_name (x/not, y, z, h, s,
+/// sdg, t, tdg, cnot/cx, toffoli/ccx, fredkin/cswap, swap).  For Toffoli all
+/// operands but the last are controls; for Fredkin all but the last two.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace leqa::parser {
+
+/// Parse QASM-subset text.  \p source_name is used in error messages.
+[[nodiscard]] circuit::Circuit parse_qasm(const std::string& text,
+                                          const std::string& source_name = "<string>");
+
+/// Parse from a stream (reads to EOF).
+[[nodiscard]] circuit::Circuit parse_qasm_stream(std::istream& in,
+                                                 const std::string& source_name);
+
+/// Serialize a circuit to the QASM-subset format (round-trips through
+/// parse_qasm up to comments and auto-generated qubit names).
+[[nodiscard]] std::string write_qasm(const circuit::Circuit& circ);
+
+} // namespace leqa::parser

@@ -1,0 +1,176 @@
+#include "qodg/qodg.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace leqa::qodg {
+
+Qodg::Qodg(const circuit::Circuit& circ) {
+    const std::size_t n_gates = circ.size();
+    nodes_.reserve(n_gates + 2);
+    out_edges_.resize(n_gates + 2);
+
+    nodes_.push_back(Node{NodeKind::Start, 0, circuit::GateKind::X});
+    for (std::size_t i = 0; i < n_gates; ++i) {
+        nodes_.push_back(Node{NodeKind::Op, i, circ.gate(i).kind});
+    }
+    nodes_.push_back(Node{NodeKind::End, 0, circuit::GateKind::X});
+    const NodeId end_id = end();
+
+    // Last QODG node that touched each qubit (start initially).
+    std::vector<NodeId> last(circ.num_qubits(), start());
+
+    std::vector<NodeId> preds; // scratch, deduplicated per gate
+    for (std::size_t i = 0; i < n_gates; ++i) {
+        const NodeId me = static_cast<NodeId>(i + 1);
+        const circuit::Gate& gate = circ.gate(i);
+        preds.clear();
+        for (const circuit::Qubit q : gate.controls) preds.push_back(last[q]);
+        for (const circuit::Qubit q : gate.targets) preds.push_back(last[q]);
+        std::sort(preds.begin(), preds.end());
+        preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+        for (const NodeId p : preds) {
+            out_edges_[p].push_back(me); // merged: one edge per (p, me) pair
+            ++edge_count_;
+        }
+        for (const circuit::Qubit q : gate.controls) last[q] = me;
+        for (const circuit::Qubit q : gate.targets) last[q] = me;
+    }
+
+    // Connect all last-level nodes (and untouched qubits' start) to end,
+    // merging duplicates.
+    std::vector<NodeId> tails(last.begin(), last.end());
+    if (circ.num_qubits() == 0) tails.push_back(start());
+    std::sort(tails.begin(), tails.end());
+    tails.erase(std::unique(tails.begin(), tails.end()), tails.end());
+    for (const NodeId t : tails) {
+        out_edges_[t].push_back(end_id);
+        ++edge_count_;
+    }
+}
+
+NodeId Qodg::node_of_gate(std::size_t gate_index) const {
+    LEQA_REQUIRE(gate_index < nodes_.size() - 2, "gate index out of range");
+    return static_cast<NodeId>(gate_index + 1);
+}
+
+std::vector<double> Qodg::node_delays(
+    const std::function<double(circuit::GateKind)>& delay_of) const {
+    std::vector<double> delays(nodes_.size(), 0.0);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].kind == NodeKind::Op) {
+            delays[id] = delay_of(nodes_[id].gate_kind);
+        }
+    }
+    return delays;
+}
+
+LongestPath Qodg::longest_path(const std::vector<double>& delays) const {
+    LEQA_REQUIRE(delays.size() == nodes_.size(),
+                 "delay vector size must equal node count");
+    LongestPath lp;
+    lp.distance.assign(nodes_.size(), -1.0);
+    lp.predecessor.assign(nodes_.size(), start());
+    lp.distance[start()] = delays[start()];
+
+    // Node ids are already a topological order (edges go low -> high).
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+        if (lp.distance[u] < 0.0) continue; // unreachable (cannot happen)
+        for (const NodeId v : out_edges_[u]) {
+            const double candidate = lp.distance[u] + delays[v];
+            if (candidate > lp.distance[v]) {
+                lp.distance[v] = candidate;
+                lp.predecessor[v] = u;
+            }
+        }
+    }
+    lp.length = lp.distance[end()];
+    return lp;
+}
+
+std::vector<NodeId> Qodg::critical_path(const LongestPath& lp) const {
+    LEQA_REQUIRE(lp.distance.size() == nodes_.size(),
+                 "longest-path result does not match this graph");
+    std::vector<NodeId> path;
+    NodeId cursor = end();
+    path.push_back(cursor);
+    while (cursor != start()) {
+        cursor = lp.predecessor[cursor];
+        path.push_back(cursor);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+PathCensus Qodg::census(const std::vector<NodeId>& path) const {
+    PathCensus census;
+    for (const NodeId id : path) {
+        const Node& node = nodes_.at(id);
+        if (node.kind != NodeKind::Op) continue;
+        ++census.by_kind[static_cast<std::size_t>(node.gate_kind)];
+        ++census.total_ops;
+    }
+    return census;
+}
+
+std::vector<double> Qodg::downstream_delay(const std::vector<double>& delays) const {
+    LEQA_REQUIRE(delays.size() == nodes_.size(),
+                 "delay vector size must equal node count");
+    std::vector<double> downstream(nodes_.size(), 0.0);
+    // Reverse topological order: node ids descend.
+    for (NodeId u = static_cast<NodeId>(nodes_.size()); u-- > 0;) {
+        double best_successor = 0.0;
+        for (const NodeId v : out_edges_[u]) {
+            best_successor = std::max(best_successor, downstream[v]);
+        }
+        downstream[u] = delays[u] + best_successor;
+    }
+    return downstream;
+}
+
+Qodg::SlackAnalysis Qodg::slack_analysis(const std::vector<double>& delays) const {
+    const LongestPath forward = longest_path(delays);
+    const std::vector<double> backward = downstream_delay(delays);
+    SlackAnalysis analysis;
+    analysis.critical_length = forward.length;
+    analysis.slack.resize(nodes_.size());
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+        // Longest start->end path through u = (longest to u, inclusive) +
+        // (longest from u, inclusive) - delay(u) counted twice.
+        const double through = forward.distance[u] + backward[u] - delays[u];
+        analysis.slack[u] = std::max(0.0, forward.length - through);
+        if (analysis.slack[u] <= 1e-9) ++analysis.zero_slack_nodes;
+    }
+    return analysis;
+}
+
+std::string Qodg::to_dot(const circuit::Circuit& circ) const {
+    std::ostringstream out;
+    out << "digraph qodg {\n  rankdir=LR;\n";
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const Node& node = nodes_[id];
+        out << "  n" << id << " [label=\"";
+        switch (node.kind) {
+            case NodeKind::Start: out << "start"; break;
+            case NodeKind::End: out << "end"; break;
+            case NodeKind::Op:
+                out << node.gate_index + 1 << ": "
+                    << circuit::gate_name(circ.gate(node.gate_index).kind);
+                break;
+        }
+        out << "\"";
+        if (node.kind != NodeKind::Op) out << ", shape=box";
+        out << "];\n";
+    }
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+        for (const NodeId v : out_edges_[u]) {
+            out << "  n" << u << " -> n" << v << ";\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace leqa::qodg

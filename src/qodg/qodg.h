@@ -1,0 +1,119 @@
+/// \file qodg.h
+/// \brief The Quantum Operation Dependency Graph (QODG) of the paper (§2).
+///
+/// Nodes are FT operations; edges capture data dependencies through logical
+/// qubits.  Following the paper:
+///   - a dedicated `start` node precedes all first-level operations and an
+///     `end` node succeeds all last-level operations;
+///   - if two edges connect the same ordered node pair (a CNOT feeding both
+///     operands of another CNOT) they are merged into one edge;
+///   - node ids are a topological order by construction (gates are appended
+///     in program order).
+///
+/// The class also provides the weighted-longest-path machinery LEQA's
+/// Algorithm 1 (lines 19-20) and the QSPR scheduler both build on: given a
+/// per-node delay vector, compute the critical path, its length, and the
+/// per-gate-kind operation census along it (N^critical of Eq. 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace leqa::qodg {
+
+using NodeId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t { Start, Op, End };
+
+/// One QODG node.  For `Op` nodes, `gate_index` refers into the source
+/// circuit's gate list.
+struct Node {
+    NodeKind kind = NodeKind::Op;
+    std::size_t gate_index = 0;
+    circuit::GateKind gate_kind = circuit::GateKind::X; ///< valid for Op nodes
+};
+
+/// Result of a longest-path computation.
+struct LongestPath {
+    std::vector<double> distance;  ///< per node: longest path length ending at node
+    std::vector<NodeId> predecessor; ///< per node: predecessor on that path
+    double length = 0.0;           ///< distance at the end node
+};
+
+/// Per-kind census of operations on a path (plus the total).
+struct PathCensus {
+    std::array<std::size_t, circuit::kGateKindCount> by_kind{};
+    std::size_t total_ops = 0;
+
+    [[nodiscard]] std::size_t of(circuit::GateKind kind) const {
+        return by_kind[static_cast<std::size_t>(kind)];
+    }
+};
+
+class Qodg {
+public:
+    /// Build from a circuit.  Every gate becomes one node; edges follow the
+    /// last-writer chain per qubit; parallel edges are merged.
+    explicit Qodg(const circuit::Circuit& circ);
+
+    [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+    [[nodiscard]] std::size_t num_edges() const { return edge_count_; }
+    [[nodiscard]] std::size_t num_ops() const { return nodes_.size() - 2; }
+    [[nodiscard]] NodeId start() const { return 0; }
+    [[nodiscard]] NodeId end() const { return static_cast<NodeId>(nodes_.size() - 1); }
+    [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+    [[nodiscard]] const std::vector<NodeId>& successors(NodeId id) const {
+        return out_edges_.at(id);
+    }
+    /// Node id of the i-th gate (gates map to ids 1..N in program order).
+    [[nodiscard]] NodeId node_of_gate(std::size_t gate_index) const;
+
+    /// Build a per-node delay vector from a per-gate-kind delay functor;
+    /// start/end get zero delay.
+    [[nodiscard]] std::vector<double> node_delays(
+        const std::function<double(circuit::GateKind)>& delay_of) const;
+
+    /// Longest path from start to every node where path length is the sum
+    /// of node delays along the path.  `delays.size()` must equal
+    /// num_nodes().
+    [[nodiscard]] LongestPath longest_path(const std::vector<double>& delays) const;
+
+    /// Extract the start->end critical path node sequence from a
+    /// longest-path result.
+    [[nodiscard]] std::vector<NodeId> critical_path(const LongestPath& lp) const;
+
+    /// Count operations per gate kind along a node path (Op nodes only).
+    [[nodiscard]] PathCensus census(const std::vector<NodeId>& path) const;
+
+    /// Longest path from each node to the end (inclusive of the node's own
+    /// delay).  Used as the priority function of list scheduling and for
+    /// slack analysis.
+    [[nodiscard]] std::vector<double> downstream_delay(
+        const std::vector<double>& delays) const;
+
+    /// Per-node scheduling slack: how much a node's delay could grow
+    /// without lengthening the critical path.  Zero-slack nodes lie on a
+    /// critical path.
+    struct SlackAnalysis {
+        std::vector<double> slack;
+        double critical_length = 0.0;
+        std::size_t zero_slack_nodes = 0; ///< includes start/end
+    };
+    [[nodiscard]] SlackAnalysis slack_analysis(const std::vector<double>& delays) const;
+
+    /// Graphviz DOT rendering (regenerates the paper's Figure 2(b) for
+    /// ham3-sized inputs; feasible for small graphs only).
+    [[nodiscard]] std::string to_dot(const circuit::Circuit& circ) const;
+
+private:
+    std::vector<Node> nodes_;
+    std::vector<std::vector<NodeId>> out_edges_;
+    std::size_t edge_count_ = 0;
+};
+
+} // namespace leqa::qodg

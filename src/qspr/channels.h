@@ -1,0 +1,64 @@
+/// \file channels.h
+/// \brief Time-slotted channel reservation table with capacity Nc.
+///
+/// Time is quantized into slots of one hop time (Tmove).  Each channel
+/// segment admits at most Nc qubits per slot; a qubit that finds its next
+/// segment full waits for the first slot with spare capacity -- this is the
+/// pipelining behaviour LEQA's M/M/1 congestion model (Eq. 8) abstracts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fabric/geometry.h"
+
+namespace leqa::qspr {
+
+struct ChannelStats {
+    std::uint64_t reservations = 0;   ///< total hops reserved
+    std::uint64_t delayed_hops = 0;   ///< hops that had to wait for a slot
+    double total_wait_us = 0.0;       ///< accumulated waiting time
+    int max_occupancy = 0;            ///< densest slot ever seen
+};
+
+class ChannelReservations {
+public:
+    /// \param num_segments  total channel segments on the fabric
+    /// \param capacity      Nc, qubits admitted per segment per slot
+    /// \param slot_us       slot duration (= Tmove)
+    ChannelReservations(std::size_t num_segments, int capacity, double slot_us);
+
+    /// Reserve the earliest slot of \p segment starting at or after
+    /// \p earliest_us; returns the slot's start time.
+    double reserve(fabric::SegmentId segment, double earliest_us);
+
+    /// Route along consecutive segments departing at \p depart_us; each hop
+    /// takes one slot.  Returns arrival time at the final ULB.
+    double route(const std::vector<fabric::SegmentId>& path, double depart_us);
+
+    /// Drop bookkeeping for slots that end before \p time_us (no future
+    /// reservation can land there).  Keeps memory bounded on long runs.
+    void prune_before(double time_us);
+
+    /// Current reservation count of a segment at the slot containing
+    /// \p time_us (0 if none).  Used by the maze router as congestion
+    /// pressure.
+    [[nodiscard]] int occupancy_at(fabric::SegmentId segment, double time_us) const;
+
+    /// Slot duration (= Tmove).
+    [[nodiscard]] double slot_us() const { return slot_us_; }
+
+    [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+
+    /// Currently retained slot entries (post-prune), for memory tests.
+    [[nodiscard]] std::size_t live_entries() const;
+
+private:
+    std::vector<std::map<std::int64_t, int>> occupancy_; // slot -> count
+    int capacity_;
+    double slot_us_;
+    ChannelStats stats_;
+};
+
+} // namespace leqa::qspr

@@ -1,0 +1,32 @@
+/// \file placement.h
+/// \brief Initial placement of logical qubits onto ULBs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/geometry.h"
+
+namespace leqa::qspr {
+
+enum class PlacementStrategy {
+    /// Pack qubits into a near-square block centered on the fabric,
+    /// row-major within the block (deterministic; the default).
+    CenteredBlock,
+    /// Row-major from the fabric origin.
+    RowMajor,
+    /// Uniform random distinct ULBs (seeded).
+    Random,
+};
+
+[[nodiscard]] PlacementStrategy parse_placement_strategy(const std::string& name);
+[[nodiscard]] std::string placement_strategy_name(PlacementStrategy strategy);
+
+/// Compute one home ULB per qubit (distinct).  Throws InputError when the
+/// fabric has fewer ULBs than qubits.
+[[nodiscard]] std::vector<fabric::UlbId> initial_placement(
+    const fabric::FabricGeometry& geometry, std::size_t num_qubits,
+    PlacementStrategy strategy, std::uint64_t seed = 1);
+
+} // namespace leqa::qspr

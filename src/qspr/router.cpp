@@ -1,0 +1,107 @@
+#include "qspr/router.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::qspr {
+
+RoutingAlgorithm parse_routing_algorithm(const std::string& name) {
+    const std::string lowered = util::to_lower(name);
+    if (lowered == "xy") return RoutingAlgorithm::Xy;
+    if (lowered == "maze") return RoutingAlgorithm::Maze;
+    throw util::InputError("unknown routing algorithm: " + name);
+}
+
+std::string routing_algorithm_name(RoutingAlgorithm algorithm) {
+    switch (algorithm) {
+        case RoutingAlgorithm::Xy: return "xy";
+        case RoutingAlgorithm::Maze: return "maze";
+    }
+    return "?";
+}
+
+MazeRouter::MazeRouter(const fabric::FabricGeometry& geometry, int margin)
+    : geometry_(geometry), margin_(margin) {
+    LEQA_REQUIRE(margin >= 0, "router margin must be non-negative");
+    cost_.resize(geometry.num_ulbs());
+    via_segment_.resize(geometry.num_ulbs());
+    via_node_.resize(geometry.num_ulbs());
+    stamp_.assign(geometry.num_ulbs(), 0);
+}
+
+std::vector<fabric::SegmentId> MazeRouter::route(fabric::UlbCoord from,
+                                                 fabric::UlbCoord to, double depart_us,
+                                                 const ChannelReservations& channels,
+                                                 int nc, double t_move_us) const {
+    if (from == to) return {};
+    LEQA_REQUIRE(nc >= 1, "channel capacity must be >= 1");
+    LEQA_REQUIRE(t_move_us > 0.0, "hop time must be positive");
+
+    // Search window: bounding box of the endpoints plus a detour margin.
+    const int min_x = std::max(0, std::min(from.x, to.x) - margin_);
+    const int max_x = std::min(geometry_.width() - 1, std::max(from.x, to.x) + margin_);
+    const int min_y = std::max(0, std::min(from.y, to.y) - margin_);
+    const int max_y = std::min(geometry_.height() - 1, std::max(from.y, to.y) + margin_);
+
+    ++current_stamp_;
+    if (current_stamp_ == 0) { // stamp wrap: reset
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        current_stamp_ = 1;
+    }
+
+    using Entry = std::pair<double, fabric::UlbId>; // (cost, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+
+    const fabric::UlbId source = geometry_.ulb_id(from);
+    const fabric::UlbId target = geometry_.ulb_id(to);
+    cost_[static_cast<std::size_t>(source)] = 0.0;
+    via_node_[static_cast<std::size_t>(source)] = source;
+    stamp_[static_cast<std::size_t>(source)] = current_stamp_;
+    frontier.push({0.0, source});
+
+    while (!frontier.empty()) {
+        const auto [node_cost, node] = frontier.top();
+        frontier.pop();
+        if (node == target) break;
+        if (node_cost > cost_[static_cast<std::size_t>(node)] + 1e-12) continue; // stale
+        const fabric::UlbCoord here = geometry_.ulb_coord(node);
+        for (const fabric::UlbCoord next : geometry_.neighbors(here)) {
+            if (next.x < min_x || next.x > max_x || next.y < min_y || next.y > max_y) {
+                continue;
+            }
+            const fabric::SegmentId segment = geometry_.segment_between(here, next);
+            // Congestion pressure: occupancy of the segment around the
+            // estimated arrival time inflates the hop cost.
+            const double eta = depart_us + node_cost;
+            const int load = channels.occupancy_at(segment, eta);
+            const double hop_cost =
+                t_move_us * (1.0 + static_cast<double>(load) / static_cast<double>(nc));
+            const double next_cost = node_cost + hop_cost;
+            const auto next_id = geometry_.ulb_id(next);
+            const auto idx = static_cast<std::size_t>(next_id);
+            if (stamp_[idx] == current_stamp_ && cost_[idx] <= next_cost + 1e-12) {
+                continue;
+            }
+            stamp_[idx] = current_stamp_;
+            cost_[idx] = next_cost;
+            via_node_[idx] = node;
+            via_segment_[idx] = segment;
+            frontier.push({next_cost, next_id});
+        }
+    }
+
+    LEQA_CHECK(stamp_[static_cast<std::size_t>(target)] == current_stamp_,
+               "maze router failed to reach the target");
+    std::vector<fabric::SegmentId> path;
+    for (fabric::UlbId cursor = target; cursor != source;
+         cursor = via_node_[static_cast<std::size_t>(cursor)]) {
+        path.push_back(via_segment_[static_cast<std::size_t>(cursor)]);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace leqa::qspr

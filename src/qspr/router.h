@@ -1,0 +1,52 @@
+/// \file router.h
+/// \brief Congestion-aware maze routing on the TQA grid.
+///
+/// The original QSPR performs detailed routing rather than fixed
+/// dimension-ordered paths.  This router runs Dijkstra over a bounding-box
+/// region around source and destination; each segment's edge cost is the
+/// hop time inflated by the segment's current reservation pressure around
+/// the estimated arrival slot, so traffic spreads around congested
+/// channels exactly the way a detailed mapper's router would.
+#pragma once
+
+#include <vector>
+
+#include "fabric/geometry.h"
+#include "qspr/channels.h"
+
+namespace leqa::qspr {
+
+enum class RoutingAlgorithm {
+    Xy,    ///< fixed dimension-ordered routing (fast, congestion-oblivious)
+    Maze,  ///< congestion-aware Dijkstra (the detailed-mapper default)
+};
+
+[[nodiscard]] RoutingAlgorithm parse_routing_algorithm(const std::string& name);
+[[nodiscard]] std::string routing_algorithm_name(RoutingAlgorithm algorithm);
+
+class MazeRouter {
+public:
+    /// \param margin  extra ULBs around the src/dst bounding box that the
+    ///                search may use for detours.
+    MazeRouter(const fabric::FabricGeometry& geometry, int margin = 4);
+
+    /// Find a route from \p from to \p to departing at \p depart_us, using
+    /// \p channels reservation counts as congestion pressure.  Returns the
+    /// segment sequence (empty when from == to).
+    [[nodiscard]] std::vector<fabric::SegmentId> route(
+        fabric::UlbCoord from, fabric::UlbCoord to, double depart_us,
+        const ChannelReservations& channels, int nc, double t_move_us) const;
+
+private:
+    const fabric::FabricGeometry& geometry_;
+    int margin_;
+    // Scratch buffers sized to the fabric, reused across calls to avoid
+    // per-route allocation (mutable: route() is logically const).
+    mutable std::vector<double> cost_;
+    mutable std::vector<fabric::SegmentId> via_segment_;
+    mutable std::vector<fabric::UlbId> via_node_;
+    mutable std::vector<std::uint32_t> stamp_;
+    mutable std::uint32_t current_stamp_ = 0;
+};
+
+} // namespace leqa::qspr

@@ -1,0 +1,124 @@
+#include "report/report.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace leqa::report {
+
+namespace {
+
+void write_params(util::JsonWriter& json, const fabric::PhysicalParams& params) {
+    json.key("fabric").begin_object();
+    json.kv("width", static_cast<long long>(params.width));
+    json.kv("height", static_cast<long long>(params.height));
+    json.kv("nc", static_cast<long long>(params.nc));
+    json.kv("v", params.v);
+    json.kv("t_move_us", params.t_move_us);
+    json.key("gate_delays_us").begin_object();
+    json.kv("h", params.d_h_us);
+    json.kv("t", params.d_t_us);
+    json.kv("pauli", params.d_pauli_us);
+    json.kv("s", params.d_s_us);
+    json.kv("cnot", params.d_cnot_us);
+    json.end_object();
+    json.end_object();
+}
+
+void write_census(util::JsonWriter& json, const qodg::PathCensus& census) {
+    json.begin_object();
+    for (std::size_t k = 0; k < circuit::kGateKindCount; ++k) {
+        if (census.by_kind[k] == 0) continue;
+        json.kv(circuit::gate_name(static_cast<circuit::GateKind>(k)),
+                census.by_kind[k]);
+    }
+    json.kv("total", census.total_ops);
+    json.end_object();
+}
+
+} // namespace
+
+std::string estimate_to_json(const core::LeqaEstimate& estimate,
+                             const fabric::PhysicalParams& params,
+                             const std::string& circuit_name) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("tool", "leqa");
+    json.kv("circuit", circuit_name);
+    json.kv("num_qubits", estimate.num_qubits);
+    json.kv("num_ops", estimate.num_ops);
+    write_params(json, params);
+
+    json.key("model").begin_object();
+    json.kv("zone_area_b", estimate.zone_area_b);
+    json.kv("d_uncongest_us", estimate.d_uncongest_us);
+    json.kv("l_cnot_avg_us", estimate.l_cnot_avg_us);
+    json.kv("l_one_qubit_avg_us", estimate.l_one_qubit_avg_us);
+    json.kv("covered_area", estimate.covered_area);
+    json.key("e_sq").begin_array();
+    for (const double value : estimate.e_sq) json.value(value);
+    json.end_array();
+    json.key("d_q_us").begin_array();
+    for (const double value : estimate.d_q) json.value(value);
+    json.end_array();
+    json.end_object();
+
+    json.key("critical_path").begin_object();
+    json.kv("cnots", estimate.critical_cnots);
+    json.kv("one_qubit_ops", estimate.critical_one_qubit);
+    json.kv("gate_delay_us", estimate.critical_gate_delay_us);
+    json.key("census");
+    write_census(json, estimate.critical_census);
+    json.end_object();
+
+    json.kv("latency_us", estimate.latency_us);
+    json.kv("latency_s", estimate.latency_seconds());
+    json.end_object();
+    return json.str();
+}
+
+std::string qspr_result_to_json(const qspr::QsprResult& result,
+                                const fabric::PhysicalParams& params,
+                                const std::string& circuit_name) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("tool", "qspr");
+    json.kv("circuit", circuit_name);
+    write_params(json, params);
+    json.kv("latency_us", result.latency_us);
+    json.kv("latency_s", result.latency_us * 1e-6);
+    json.key("stats").begin_object();
+    json.kv("one_qubit_ops", result.stats.one_qubit_ops);
+    json.kv("cnot_ops", result.stats.cnot_ops);
+    json.kv("total_hops", result.stats.total_hops);
+    json.kv("evictions", result.stats.evictions);
+    json.kv("relocations", result.stats.relocations);
+    json.kv("total_route_us", result.stats.total_route_us);
+    json.key("channels").begin_object();
+    json.kv("reservations", result.stats.channels.reservations);
+    json.kv("delayed_hops", result.stats.channels.delayed_hops);
+    json.kv("total_wait_us", result.stats.channels.total_wait_us);
+    json.kv("max_occupancy", static_cast<long long>(result.stats.channels.max_occupancy));
+    json.end_object();
+    json.end_object();
+    json.kv("scheduled_ops", result.schedule.size());
+    json.end_object();
+    return json.str();
+}
+
+std::string schedule_to_csv(const qspr::QsprResult& result, const circuit::Circuit& circ) {
+    LEQA_REQUIRE(!result.schedule.empty(),
+                 "schedule_to_csv: run the mapper with collect_schedule = true");
+    std::ostringstream out;
+    out << "gate_index,gate,start_us,finish_us,ulb\n";
+    for (const qspr::ScheduledOp& op : result.schedule) {
+        LEQA_REQUIRE(op.gate_index < circ.size(), "schedule references unknown gate");
+        out << op.gate_index << ','
+            << circuit::gate_name(circ.gate(op.gate_index).kind) << ','
+            << op.start_us << ',' << op.finish_us << ',' << op.ulb << '\n';
+    }
+    return out.str();
+}
+
+} // namespace leqa::report

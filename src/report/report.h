@@ -1,0 +1,36 @@
+/// \file report.h
+/// \brief Machine-readable reports: JSON for estimates and mapping results,
+///        CSV for detailed schedules.
+///
+/// Downstream tooling (plotting scripts, regression dashboards, the QECC
+/// exploration loop of the paper's introduction) consumes these rather
+/// than scraping console tables.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "qspr/qspr.h"
+
+namespace leqa::report {
+
+/// Full LEQA estimate as a JSON document: inputs (fabric parameters,
+/// circuit identity), the model intermediates (B, d_uncongest, L_CNOT,
+/// E[S_q]/d_q series), the critical-path census, and the final latency.
+[[nodiscard]] std::string estimate_to_json(const core::LeqaEstimate& estimate,
+                                           const fabric::PhysicalParams& params,
+                                           const std::string& circuit_name);
+
+/// QSPR mapping result as JSON (latency + mapper statistics).
+[[nodiscard]] std::string qspr_result_to_json(const qspr::QsprResult& result,
+                                              const fabric::PhysicalParams& params,
+                                              const std::string& circuit_name);
+
+/// Detailed schedule as CSV: gate_index, mnemonic, start_us, finish_us, ulb.
+/// Requires the result to have been produced with collect_schedule = true.
+[[nodiscard]] std::string schedule_to_csv(const qspr::QsprResult& result,
+                                          const circuit::Circuit& circ);
+
+} // namespace leqa::report

@@ -1,0 +1,64 @@
+/// \file classical.h
+/// \brief Classical reversible simulation of basis states.
+///
+/// Circuits made only of X, CNOT, Toffoli, Fredkin, and SWAP permute
+/// computational basis states, so they can be simulated on plain bit
+/// vectors.  The benchmark generators (GF(2^n) multipliers, adders) are
+/// verified functionally with this simulator -- something a statevector
+/// simulator could never do at 768 qubits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace leqa::sim {
+
+/// A computational basis state over n qubits (bit i = qubit i).
+class BasisState {
+public:
+    explicit BasisState(std::size_t num_qubits);
+
+    /// Build from an unsigned integer, qubit 0 = least significant bit.
+    static BasisState from_integer(std::size_t num_qubits, std::uint64_t value);
+
+    [[nodiscard]] std::size_t num_qubits() const { return bits_.size(); }
+    [[nodiscard]] bool get(circuit::Qubit q) const;
+    void set(circuit::Qubit q, bool value);
+    void flip(circuit::Qubit q);
+
+    /// Value of the whole register as an integer (requires <= 64 qubits).
+    [[nodiscard]] std::uint64_t to_integer() const;
+
+    /// Value of a sub-register [first, first+width), bit 0 = `first`.
+    [[nodiscard]] std::uint64_t slice(circuit::Qubit first, std::size_t width) const;
+
+    /// Store an integer into a sub-register.
+    void set_slice(circuit::Qubit first, std::size_t width, std::uint64_t value);
+
+    [[nodiscard]] bool operator==(const BasisState& other) const = default;
+
+    /// Bit string, qubit 0 leftmost, e.g. "0110".
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<bool> bits_;
+};
+
+/// Apply one classical gate in place.  Throws InputError on non-classical
+/// gates (H, T, ...) or out-of-range qubits.
+void apply_classical_gate(const circuit::Gate& gate, BasisState& state);
+
+/// Run a whole classical circuit on a state (in place).
+void run_classical(const circuit::Circuit& circ, BasisState& state);
+
+/// Convenience: run on an integer input, return integer output
+/// (requires <= 64 qubits).
+[[nodiscard]] std::uint64_t run_classical(const circuit::Circuit& circ, std::uint64_t input);
+
+/// Exhaustively compute the permutation implemented by a classical circuit
+/// (requires num_qubits <= 20; 2^n entries).
+[[nodiscard]] std::vector<std::uint64_t> truth_table(const circuit::Circuit& circ);
+
+} // namespace leqa::sim

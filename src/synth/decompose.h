@@ -1,0 +1,70 @@
+/// \file decompose.h
+/// \brief Elementary decomposition building blocks used by FT synthesis.
+///
+/// These are the per-gate rewrites of the paper's benchmark preparation
+/// (§4.1):
+///   - n-input Toffoli (n > 3) -> 3-input Toffolis via the "simple method"
+///     of Nielsen & Chuang: an AND-chain over fresh ancilla qubits, followed
+///     by uncomputation (2(k-1) Toffolis + 1 CNOT, k-1 ancillas for k
+///     controls);
+///   - n-input Fredkin -> AND-chain + 3-input Fredkin;
+///   - 3-input Fredkin -> three 3-input Toffolis (controlled-SWAP expanded
+///     like the three-CNOT SWAP);
+///   - SWAP -> three CNOTs;
+///   - 3-input Toffoli -> the 15-gate {H, T, T-dagger, CNOT} network shown
+///     in the paper's Figure 2 (Shende & Markov's CNOT-optimal realization).
+#pragma once
+
+#include <functional>
+
+#include "circuit/circuit.h"
+
+namespace leqa::synth {
+
+/// Sink receiving rewritten gates in program order.
+using GateSink = std::function<void(const circuit::Gate&)>;
+
+/// Allocator returning a fresh |0> ancilla qubit index on each call.
+using AncillaAllocator = std::function<circuit::Qubit()>;
+
+/// Emit the 15-gate FT realization of Toffoli(c0, c1 -> t).
+void emit_toffoli_ft(circuit::Qubit c0, circuit::Qubit c1, circuit::Qubit t,
+                     const GateSink& sink);
+
+/// Emit Fredkin(c; a, b) as three Toffolis:
+/// Tof(c,a->b) Tof(c,b->a) Tof(c,a->b).
+void emit_fredkin_as_toffoli(circuit::Qubit c, circuit::Qubit a, circuit::Qubit b,
+                             const GateSink& sink);
+
+/// Emit SWAP(a, b) as three CNOTs.
+void emit_swap_as_cnot(circuit::Qubit a, circuit::Qubit b, const GateSink& sink);
+
+/// Emit a k-controlled X (k >= 3) as an AND-chain with k-1 fresh ancillas:
+/// 2(k-1) Toffolis + 1 CNOT.  Ancillas are uncomputed back to |0>.
+void emit_mcx_chain(const std::vector<circuit::Qubit>& controls, circuit::Qubit target,
+                    const AncillaAllocator& alloc, const GateSink& sink);
+
+/// Emit a k-controlled SWAP (k >= 2) as an AND-chain plus one 3-input
+/// Fredkin on the chain output.  k-1 fresh ancillas, uncomputed.
+void emit_mcswap_chain(const std::vector<circuit::Qubit>& controls, circuit::Qubit a,
+                       circuit::Qubit b, const AncillaAllocator& alloc,
+                       const GateSink& sink);
+
+/// Gate-count bookkeeping for the closed-form count checks in the tests:
+/// FT op count of one k-controlled X after full synthesis (fresh ancillas):
+///   k = 0 -> 1 (X),  k = 1 -> 1 (CNOT),  k = 2 -> 15,
+///   k >= 3 -> 2(k-1)*15 + 1.
+[[nodiscard]] std::size_t ft_ops_for_mcx(std::size_t num_controls);
+
+/// Ancillas consumed by one k-controlled X:  k >= 3 -> k-1, else 0.
+[[nodiscard]] std::size_t ancillas_for_mcx(std::size_t num_controls);
+
+/// FT op count of one k-controlled SWAP after full synthesis:
+///   k = 0 (plain SWAP) -> 3,  k = 1 -> 45 (three Toffolis),
+///   k >= 2 -> 2(k-1)*15 + 45.
+[[nodiscard]] std::size_t ft_ops_for_mcswap(std::size_t num_controls);
+
+/// Ancillas consumed by one k-controlled SWAP:  k >= 2 -> k-1, else 0.
+[[nodiscard]] std::size_t ancillas_for_mcswap(std::size_t num_controls);
+
+} // namespace leqa::synth

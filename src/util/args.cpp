@@ -1,0 +1,143 @@
+#include "util/args.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+    LEQA_REQUIRE(!flags_.count(name) && !options_.count(name),
+                 "duplicate argument name: " + name);
+    flags_[name] = Flag{help, false};
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           std::string default_value) {
+    LEQA_REQUIRE(!flags_.count(name) && !options_.count(name),
+                 "duplicate argument name: " + name);
+    options_[name] = Option{help, std::move(default_value), false};
+}
+
+void ArgParser::add_positional(const std::string& name, const std::string& help,
+                               bool required) {
+    positionals_.push_back(Positional{name, help, required, std::nullopt});
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+    std::size_t next_positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(help_text(argv[0]).c_str(), stdout);
+            return false;
+        }
+        if (starts_with(arg, "--")) {
+            std::string name = arg.substr(2);
+            std::string inline_value;
+            bool has_inline = false;
+            const auto eq = name.find('=');
+            if (eq != std::string::npos) {
+                inline_value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+                has_inline = true;
+            }
+            if (auto fit = flags_.find(name); fit != flags_.end()) {
+                LEQA_REQUIRE(!has_inline, "flag --" + name + " does not take a value");
+                fit->second.value = true;
+                continue;
+            }
+            auto oit = options_.find(name);
+            LEQA_REQUIRE(oit != options_.end(), "unknown option: --" + name);
+            if (has_inline) {
+                oit->second.value = inline_value;
+            } else {
+                LEQA_REQUIRE(i + 1 < argc, "option --" + name + " expects a value");
+                oit->second.value = argv[++i];
+            }
+            oit->second.given = true;
+            continue;
+        }
+        LEQA_REQUIRE(next_positional < positionals_.size(),
+                     "unexpected positional argument: " + arg);
+        positionals_[next_positional++].value = std::move(arg);
+    }
+    for (const auto& pos : positionals_) {
+        LEQA_REQUIRE(!pos.required || pos.value.has_value(),
+                     "missing required argument: " + pos.name);
+    }
+    return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+    const auto it = flags_.find(name);
+    LEQA_REQUIRE(it != flags_.end(), "flag not declared: " + name);
+    return it->second.value;
+}
+
+std::string ArgParser::option(const std::string& name) const {
+    const auto it = options_.find(name);
+    LEQA_REQUIRE(it != options_.end(), "option not declared: " + name);
+    return it->second.value;
+}
+
+bool ArgParser::option_given(const std::string& name) const {
+    const auto it = options_.find(name);
+    LEQA_REQUIRE(it != options_.end(), "option not declared: " + name);
+    return it->second.given;
+}
+
+std::optional<std::string> ArgParser::positional(const std::string& name) const {
+    for (const auto& pos : positionals_) {
+        if (pos.name == name) return pos.value;
+    }
+    throw InputError("positional not declared: " + name);
+}
+
+long long ArgParser::option_int(const std::string& name) const {
+    const auto text = option(name);
+    const auto value = parse_int(text);
+    LEQA_REQUIRE(value.has_value(), "option --" + name + " expects an integer, got '" + text + "'");
+    return *value;
+}
+
+double ArgParser::option_double(const std::string& name) const {
+    const auto text = option(name);
+    const auto value = parse_double(text);
+    LEQA_REQUIRE(value.has_value(), "option --" + name + " expects a number, got '" + text + "'");
+    return *value;
+}
+
+std::string ArgParser::help_text(const std::string& program_name) const {
+    std::ostringstream out;
+    out << description_ << "\n\nUsage: " << program_name;
+    for (const auto& pos : positionals_) {
+        out << ' ' << (pos.required ? "<" : "[") << pos.name << (pos.required ? ">" : "]");
+    }
+    out << " [options]\n\n";
+    if (!positionals_.empty()) {
+        out << "Arguments:\n";
+        for (const auto& pos : positionals_) {
+            out << "  " << pos.name << "  " << pos.help << '\n';
+        }
+        out << '\n';
+    }
+    out << "Options:\n";
+    for (const auto& [name, flag] : flags_) {
+        out << "  --" << name << "  " << flag.help << '\n';
+    }
+    for (const auto& [name, option] : options_) {
+        out << "  --" << name << " <value>  " << option.help;
+        if (!option.value.empty()) out << " (default: " << option.value << ")";
+        out << '\n';
+    }
+    out << "  --help  Show this help\n";
+    return out.str();
+}
+
+} // namespace leqa::util

@@ -1,0 +1,55 @@
+/// \file args.h
+/// \brief Tiny declarative command-line argument parser for the CLI tools.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace leqa::util {
+
+/// Declarative CLI parser supporting "--flag", "--option value",
+/// "--option=value", and positional arguments.
+class ArgParser {
+public:
+    explicit ArgParser(std::string program_description);
+
+    /// Register a boolean flag (default false).
+    void add_flag(const std::string& name, const std::string& help);
+
+    /// Register an option taking one value; \p default_value may be empty.
+    void add_option(const std::string& name, const std::string& help,
+                    std::string default_value = "");
+
+    /// Register a positional argument.  Required unless \p required is false.
+    void add_positional(const std::string& name, const std::string& help,
+                        bool required = true);
+
+    /// Parse argv; throws InputError on unknown/malformed arguments.
+    /// Returns false if "--help" was requested (help text printed to stdout).
+    bool parse(int argc, const char* const* argv);
+
+    [[nodiscard]] bool flag(const std::string& name) const;
+    [[nodiscard]] std::string option(const std::string& name) const;
+    [[nodiscard]] bool option_given(const std::string& name) const;
+    [[nodiscard]] std::optional<std::string> positional(const std::string& name) const;
+
+    /// Option parsed as long long / double, with validation.
+    [[nodiscard]] long long option_int(const std::string& name) const;
+    [[nodiscard]] double option_double(const std::string& name) const;
+
+    [[nodiscard]] std::string help_text(const std::string& program_name) const;
+
+private:
+    struct Flag { std::string help; bool value = false; };
+    struct Option { std::string help; std::string value; bool given = false; };
+    struct Positional { std::string name; std::string help; bool required; std::optional<std::string> value; };
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::map<std::string, Option> options_;
+    std::vector<Positional> positionals_;
+};
+
+} // namespace leqa::util

@@ -1,0 +1,34 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace leqa::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr) return std::nullopt;
+    return std::string(raw);
+}
+
+bool env_flag(const std::string& name) {
+    const auto value = env_string(name);
+    if (!value) return false;
+    const std::string lowered = to_lower(trim(*value));
+    return lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on";
+}
+
+long long env_int(const std::string& name, long long fallback) {
+    const auto value = env_string(name);
+    if (!value) return fallback;
+    const auto parsed = parse_int(*value);
+    if (!parsed) {
+        LEQA_LOG_WARN << "ignoring malformed integer in $" << name << "='" << *value << "'";
+        return fallback;
+    }
+    return *parsed;
+}
+
+} // namespace leqa::util

@@ -1,0 +1,20 @@
+/// \file env.h
+/// \brief Environment-variable helpers (bench harness sizing knobs).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace leqa::util {
+
+/// Raw environment lookup; nullopt when unset.
+[[nodiscard]] std::optional<std::string> env_string(const std::string& name);
+
+/// True when the variable is set to a truthy value ("1", "true", "yes", "on").
+[[nodiscard]] bool env_flag(const std::string& name);
+
+/// Integer environment variable with a default; malformed values fall back
+/// to the default (with a warning) rather than aborting a bench run.
+[[nodiscard]] long long env_int(const std::string& name, long long fallback);
+
+} // namespace leqa::util

@@ -1,0 +1,10 @@
+#include "util/error.h"
+
+namespace leqa::util {
+
+std::string prefixed(const std::string& prefix, const std::string& detail) {
+    if (prefix.empty()) return detail;
+    return prefix + ": " + detail;
+}
+
+} // namespace leqa::util

@@ -1,0 +1,53 @@
+/// \file error.h
+/// \brief Exception types and error-checking helpers used across the library.
+///
+/// All recoverable failures in this library are reported by throwing
+/// leqa::util::Error (or a subclass).  The LEQA_REQUIRE / LEQA_CHECK macros
+/// provide printf-style formatted precondition checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace leqa::util {
+
+/// Base exception for all errors raised by the leqa libraries.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Raised when a user-supplied input (netlist, config file, CLI argument)
+/// fails validation.  Carries an optional source location string.
+class InputError : public Error {
+public:
+    explicit InputError(std::string message) : Error(std::move(message)) {}
+};
+
+/// Raised when an internal invariant is violated.  Indicates a bug in this
+/// library rather than bad input.
+class InternalError : public Error {
+public:
+    explicit InternalError(std::string message) : Error(std::move(message)) {}
+};
+
+/// Build a message of the form "<prefix>: <detail>".
+[[nodiscard]] std::string prefixed(const std::string& prefix, const std::string& detail);
+
+} // namespace leqa::util
+
+/// Throw InputError with a formatted message when \p cond is false.
+#define LEQA_REQUIRE(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            throw ::leqa::util::InputError(std::string("requirement failed: ") + (msg)); \
+        }                                                                    \
+    } while (false)
+
+/// Throw InternalError when \p cond is false.  Use for invariants.
+#define LEQA_CHECK(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            throw ::leqa::util::InternalError(std::string("internal check failed: ") + (msg)); \
+        }                                                                    \
+    } while (false)

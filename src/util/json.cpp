@@ -1,0 +1,138 @@
+#include "util/json.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::util {
+
+std::string JsonWriter::escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::before_value() {
+    LEQA_CHECK(!done_, "JsonWriter: document already complete");
+    if (stack_.empty()) return; // root value
+    if (stack_.back() == Frame::Object) {
+        LEQA_CHECK(expecting_value_, "JsonWriter: value in object requires a key");
+    } else {
+        if (has_items_.back()) out_ += ',';
+        has_items_.back() = true;
+    }
+    expecting_value_ = false;
+}
+
+void JsonWriter::raw(const std::string& text) {
+    before_value();
+    out_ += text;
+    if (stack_.empty()) done_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    LEQA_CHECK(!stack_.empty() && stack_.back() == Frame::Object,
+               "JsonWriter: end_object without open object");
+    LEQA_CHECK(!expecting_value_, "JsonWriter: dangling key");
+    out_ += '}';
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (stack_.empty()) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    LEQA_CHECK(!stack_.empty() && stack_.back() == Frame::Array,
+               "JsonWriter: end_array without open array");
+    out_ += ']';
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (stack_.empty()) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+    LEQA_CHECK(!stack_.empty() && stack_.back() == Frame::Object,
+               "JsonWriter: key outside object");
+    LEQA_CHECK(!expecting_value_, "JsonWriter: two keys in a row");
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    expecting_value_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+    raw('"' + escape(text) + '"');
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) { return value(std::string(text)); }
+
+JsonWriter& JsonWriter::value(double number) {
+    raw(format_double(number, 12));
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(long long number) {
+    raw(std::to_string(number));
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t number) {
+    raw(std::to_string(number));
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+    raw(flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    raw("null");
+    return *this;
+}
+
+std::string JsonWriter::str() const {
+    LEQA_CHECK(stack_.empty() && done_, "JsonWriter: document incomplete");
+    return out_;
+}
+
+} // namespace leqa::util

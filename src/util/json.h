@@ -1,0 +1,61 @@
+/// \file json.h
+/// \brief Minimal JSON emitter (no external dependencies).
+///
+/// Supports the subset the report module needs: nested objects and arrays,
+/// string/number/bool/null scalars, correct escaping, stable formatting.
+/// The writer enforces well-formedness (keys only inside objects, values
+/// only where expected) via a small state machine and throws InternalError
+/// on misuse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace leqa::util {
+
+class JsonWriter {
+public:
+    JsonWriter() = default;
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Key for the next value (must be inside an object).
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& text);
+    JsonWriter& value(const char* text);
+    JsonWriter& value(double number);
+    JsonWriter& value(long long number);
+    JsonWriter& value(std::size_t number);
+    JsonWriter& value(bool flag);
+    JsonWriter& null();
+
+    /// Convenience: key + value.
+    template <typename T>
+    JsonWriter& kv(const std::string& name, const T& v) {
+        key(name);
+        return value(v);
+    }
+
+    /// Finish and return the document; throws if containers remain open.
+    [[nodiscard]] std::string str() const;
+
+    /// Escape a string for JSON (exposed for tests).
+    [[nodiscard]] static std::string escape(const std::string& text);
+
+private:
+    enum class Frame { Object, Array };
+    void before_value();
+    void raw(const std::string& text);
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    std::vector<bool> has_items_;
+    bool expecting_value_ = false; ///< a key was just written
+    bool done_ = false;
+};
+
+} // namespace leqa::util

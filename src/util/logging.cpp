@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::mutex g_output_mutex;
+
+const char* level_tag(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO ";
+        case LogLevel::Warn: return "WARN ";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF  ";
+    }
+    return "?????";
+}
+} // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel parse_log_level(const std::string& name) {
+    const std::string lowered = to_lower(name);
+    if (lowered == "debug") return LogLevel::Debug;
+    if (lowered == "info") return LogLevel::Info;
+    if (lowered == "warn" || lowered == "warning") return LogLevel::Warn;
+    if (lowered == "error") return LogLevel::Error;
+    if (lowered == "off" || lowered == "none") return LogLevel::Off;
+    throw InputError("unknown log level: " + name);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+    if (level < log_level()) return;
+    const std::lock_guard<std::mutex> lock(g_output_mutex);
+    std::fprintf(stderr, "[leqa %s] %s\n", level_tag(level), message.c_str());
+}
+
+} // namespace leqa::util

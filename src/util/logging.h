@@ -1,0 +1,66 @@
+/// \file logging.h
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The logger is intentionally tiny: a global level, a stream-style macro
+/// interface, and thread-safe line-at-a-time output.  Benchmarks and tests
+/// set the level to Warn to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace leqa::util {
+
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+/// Emit one log line (appends '\n').  Prefer the LEQA_LOG_* macros.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Accumulates a message and emits it on destruction.
+class LogMessage {
+public:
+    explicit LogMessage(LogLevel level) : level_(level) {}
+    LogMessage(const LogMessage&) = delete;
+    LogMessage& operator=(const LogMessage&) = delete;
+    ~LogMessage() { log_line(level_, stream_.str()); }
+
+    template <typename T>
+    LogMessage& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+} // namespace detail
+
+} // namespace leqa::util
+
+#define LEQA_LOG_DEBUG                                                        \
+    if (::leqa::util::log_level() <= ::leqa::util::LogLevel::Debug)           \
+    ::leqa::util::detail::LogMessage(::leqa::util::LogLevel::Debug)
+#define LEQA_LOG_INFO                                                         \
+    if (::leqa::util::log_level() <= ::leqa::util::LogLevel::Info)            \
+    ::leqa::util::detail::LogMessage(::leqa::util::LogLevel::Info)
+#define LEQA_LOG_WARN                                                         \
+    if (::leqa::util::log_level() <= ::leqa::util::LogLevel::Warn)            \
+    ::leqa::util::detail::LogMessage(::leqa::util::LogLevel::Warn)
+#define LEQA_LOG_ERROR                                                        \
+    if (::leqa::util::log_level() <= ::leqa::util::LogLevel::Error)           \
+    ::leqa::util::detail::LogMessage(::leqa::util::LogLevel::Error)

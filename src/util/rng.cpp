@@ -1,0 +1,91 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace leqa::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    // A state of all zeros is the one invalid xoshiro state; SplitMix64
+    // cannot produce four zero outputs in a row, but guard regardless.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    LEQA_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) { // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~0ULL) - ((~0ULL) % span);
+    std::uint64_t draw = next();
+    while (draw > limit) draw = next();
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+std::size_t Rng::index(std::size_t n) {
+    LEQA_REQUIRE(n > 0, "index: n must be positive");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::uniform() {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    LEQA_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double rate) {
+    LEQA_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+    // Inverse CDF; 1 - uniform() is in (0, 1] so the log argument is safe.
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+    LEQA_REQUIRE(k <= n, "sample_without_replacement: k must be <= n");
+    // Partial Fisher-Yates over an index vector.
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + index(n - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+} // namespace leqa::util

@@ -1,0 +1,30 @@
+/// \file stopwatch.h
+/// \brief Wall-clock stopwatch used by the runtime-comparison benches.
+#pragma once
+
+#include <chrono>
+
+namespace leqa::util {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction / last reset.
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds.
+    [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace leqa::util

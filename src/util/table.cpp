@@ -1,0 +1,110 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace leqa::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+    LEQA_REQUIRE(!headers_.empty(), "table must have at least one column");
+    if (alignments_.empty()) {
+        // Default: first column left, the rest right (typical numeric table).
+        alignments_.assign(headers_.size(), Align::Right);
+        alignments_[0] = Align::Left;
+    }
+    LEQA_REQUIRE(alignments_.size() == headers_.size(),
+                 "alignment count must match header count");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    LEQA_REQUIRE(cells.size() == headers_.size(),
+                 "row width must match header count");
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto render_cell = [&](const std::string& text, std::size_t c) {
+        std::string out;
+        const std::size_t pad = widths[c] - text.size();
+        if (alignments_[c] == Align::Right) out.append(pad, ' ');
+        out += text;
+        if (alignments_[c] == Align::Left) out.append(pad, ' ');
+        return out;
+    };
+
+    const auto rule = [&] {
+        std::string line = "+";
+        for (const std::size_t w : widths) {
+            line.append(w + 2, '-');
+            line += '+';
+        }
+        line += '\n';
+        return line;
+    }();
+
+    std::ostringstream out;
+    out << rule << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out << ' ' << render_cell(headers_[c], c) << " |";
+    }
+    out << '\n' << rule;
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            out << rule;
+            continue;
+        }
+        out << '|';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << ' ' << render_cell(row[c], c) << " |";
+        }
+        out << '\n';
+    }
+    out << rule;
+    return out.str();
+}
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string Table::to_csv() const {
+    std::ostringstream out;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c > 0) out << ',';
+        out << csv_escape(headers_[c]);
+    }
+    out << '\n';
+    for (const auto& row : rows_) {
+        if (row.empty()) continue;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) out << ',';
+            out << csv_escape(row[c]);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace leqa::util

@@ -1,0 +1,47 @@
+/// \file table.h
+/// \brief Console table / CSV formatting used by the bench harnesses to
+///        print paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace leqa::util {
+
+enum class Align { Left, Right };
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"Benchmark", "Actual (s)", "Estimated (s)", "Error (%)"});
+///   t.add_row({"8bitadder", "1.617E+00", "1.667E+00", "3.10"});
+///   std::cout << t.to_string();
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers,
+                   std::vector<Align> alignments = {});
+
+    /// Append one row; must have the same number of cells as headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Append a horizontal separator row.
+    void add_separator();
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with ASCII separators.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Render as CSV (RFC-4180-ish quoting).
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<Align> alignments_;
+    std::vector<std::vector<std::string>> rows_; // empty vector => separator
+};
+
+/// Quote a CSV field if needed.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+} // namespace leqa::util

@@ -1,0 +1,200 @@
+// Tests for the analysis extensions: QODG slack / downstream-delay and the
+// QSPR critical-path priority scheduler.
+#include <gtest/gtest.h>
+
+#include "benchgen/suite.h"
+#include "fabric/params.h"
+#include "qodg/qodg.h"
+#include "qspr/qspr.h"
+#include "synth/ft_synth.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lc = leqa::circuit;
+namespace lq = leqa::qodg;
+namespace lqs = leqa::qspr;
+
+// ------------------------------------------------------- downstream delay --
+
+TEST(DownstreamDelay, ChainAccumulates) {
+    lc::Circuit circ(1);
+    circ.h(0).t(0).h(0);
+    const lq::Qodg graph(circ);
+    const auto delays = graph.node_delays([](lc::GateKind) { return 2.0; });
+    const auto downstream = graph.downstream_delay(delays);
+    EXPECT_DOUBLE_EQ(downstream[graph.end()], 0.0);
+    EXPECT_DOUBLE_EQ(downstream[graph.node_of_gate(2)], 2.0);
+    EXPECT_DOUBLE_EQ(downstream[graph.node_of_gate(0)], 6.0);
+    EXPECT_DOUBLE_EQ(downstream[graph.start()], 6.0);
+}
+
+TEST(DownstreamDelay, ConsistentWithForwardLongestPath) {
+    leqa::util::Rng rng(5);
+    lc::Circuit circ(5);
+    for (int g = 0; g < 60; ++g) {
+        const auto picks = rng.sample_without_replacement(5, 2);
+        if (rng.chance(0.5)) {
+            circ.cnot(static_cast<lc::Qubit>(picks[0]), static_cast<lc::Qubit>(picks[1]));
+        } else {
+            circ.h(static_cast<lc::Qubit>(picks[0]));
+        }
+    }
+    const lq::Qodg graph(circ);
+    const auto delays = graph.node_delays([](lc::GateKind) { return 3.0; });
+    const auto lp = graph.longest_path(delays);
+    const auto downstream = graph.downstream_delay(delays);
+    // downstream(start) equals the full critical length (start delay is 0).
+    EXPECT_NEAR(downstream[graph.start()], lp.length, 1e-9);
+}
+
+// ------------------------------------------------------------------ slack --
+
+TEST(Slack, DiamondHasSlackOnLightBranch) {
+    lc::Circuit circ(2);
+    circ.cnot(0, 1).h(0).h(1).cnot(0, 1);
+    const lq::Qodg graph(circ);
+    auto delays = graph.node_delays([](lc::GateKind) { return 1.0; });
+    delays[graph.node_of_gate(1)] = 10.0; // heavy h(0) branch
+    const auto analysis = graph.slack_analysis(delays);
+    EXPECT_DOUBLE_EQ(analysis.critical_length, 1.0 + 10.0 + 1.0);
+    EXPECT_DOUBLE_EQ(analysis.slack[graph.node_of_gate(1)], 0.0); // critical
+    EXPECT_DOUBLE_EQ(analysis.slack[graph.node_of_gate(2)], 9.0); // light branch
+    EXPECT_DOUBLE_EQ(analysis.slack[graph.start()], 0.0);
+    EXPECT_DOUBLE_EQ(analysis.slack[graph.end()], 0.0);
+}
+
+TEST(Slack, CriticalPathNodesHaveZeroSlack) {
+    leqa::util::Rng rng(9);
+    lc::Circuit circ(6);
+    for (int g = 0; g < 80; ++g) {
+        const auto picks = rng.sample_without_replacement(6, 2);
+        circ.cnot(static_cast<lc::Qubit>(picks[0]), static_cast<lc::Qubit>(picks[1]));
+    }
+    const lq::Qodg graph(circ);
+    auto delays = graph.node_delays([](lc::GateKind) { return 1.0; });
+    for (auto& d : delays) d = 1.0 + rng.uniform() * 5.0;
+    delays[graph.start()] = 0.0;
+    delays[graph.end()] = 0.0;
+    const auto lp = graph.longest_path(delays);
+    const auto analysis = graph.slack_analysis(delays);
+    EXPECT_DOUBLE_EQ(analysis.critical_length, lp.length);
+    for (const auto node : graph.critical_path(lp)) {
+        EXPECT_NEAR(analysis.slack[node], 0.0, 1e-9);
+    }
+    // Slack is bounded by the critical length.
+    for (const double s : analysis.slack) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, lp.length + 1e-9);
+    }
+    EXPECT_GE(analysis.zero_slack_nodes, graph.critical_path(lp).size());
+}
+
+// ------------------------------------------------------ priority schedule --
+
+TEST(PrioritySchedule, PolicyNamesRoundTrip) {
+    for (const auto policy : {lqs::SchedulePolicy::ProgramOrder,
+                              lqs::SchedulePolicy::CriticalPathPriority}) {
+        EXPECT_EQ(lqs::parse_schedule_policy(lqs::schedule_policy_name(policy)), policy);
+    }
+    EXPECT_THROW((void)lqs::parse_schedule_policy("bogus"), leqa::util::InputError);
+}
+
+namespace {
+leqa::fabric::PhysicalParams small_params() {
+    leqa::fabric::PhysicalParams params;
+    params.width = 10;
+    params.height = 10;
+    return params;
+}
+
+lc::Circuit random_ft(std::size_t qubits, int gates, std::uint64_t seed) {
+    leqa::util::Rng rng(seed);
+    lc::Circuit circ(qubits);
+    for (int g = 0; g < gates; ++g) {
+        const auto picks = rng.sample_without_replacement(qubits, 2);
+        if (rng.chance(0.6)) {
+            circ.cnot(static_cast<lc::Qubit>(picks[0]), static_cast<lc::Qubit>(picks[1]));
+        } else {
+            circ.t(static_cast<lc::Qubit>(picks[0]));
+        }
+    }
+    return circ;
+}
+} // namespace
+
+TEST(PrioritySchedule, ExecutesEveryGateExactlyOnce) {
+    const auto circ = random_ft(8, 120, 3);
+    lqs::QsprOptions options;
+    options.schedule = lqs::SchedulePolicy::CriticalPathPriority;
+    options.collect_schedule = true;
+    const lqs::QsprMapper mapper(small_params(), options);
+    const auto result = mapper.map(circ);
+    ASSERT_EQ(result.schedule.size(), circ.size());
+    std::vector<bool> seen(circ.size(), false);
+    for (const auto& op : result.schedule) {
+        ASSERT_LT(op.gate_index, circ.size());
+        EXPECT_FALSE(seen[op.gate_index]) << "gate executed twice";
+        seen[op.gate_index] = true;
+    }
+}
+
+TEST(PrioritySchedule, RespectsDependencies) {
+    const auto circ = random_ft(6, 100, 7);
+    lqs::QsprOptions options;
+    options.schedule = lqs::SchedulePolicy::CriticalPathPriority;
+    options.collect_schedule = true;
+    const lqs::QsprMapper mapper(small_params(), options);
+    const auto result = mapper.map(circ);
+
+    // Reconstruct per-qubit op order from the schedule and compare with
+    // program order (the dependency order along each qubit's chain).
+    std::vector<double> last_finish(6, 0.0);
+    std::vector<std::size_t> issue_of_gate(circ.size());
+    for (std::size_t i = 0; i < result.schedule.size(); ++i) {
+        issue_of_gate[result.schedule[i].gate_index] = i;
+    }
+    // For each pair of gates sharing a qubit, program order must imply
+    // schedule-time order.
+    for (std::size_t a = 0; a < circ.size(); ++a) {
+        for (std::size_t b = a + 1; b < circ.size(); ++b) {
+            const auto qa = circ.gate(a).qubits();
+            const auto qb = circ.gate(b).qubits();
+            bool shares = false;
+            for (const auto q : qa) {
+                for (const auto p : qb) {
+                    if (q == p) shares = true;
+                }
+            }
+            if (!shares) continue;
+            const auto& op_a = result.schedule[issue_of_gate[a]];
+            const auto& op_b = result.schedule[issue_of_gate[b]];
+            EXPECT_LE(op_a.finish_us, op_b.start_us + 1e-6)
+                << "dependent gates " << a << " -> " << b << " overlap";
+        }
+    }
+}
+
+TEST(PrioritySchedule, MatchesProgramOrderLatencyOnSerialCircuit) {
+    // A fully serial circuit has a unique schedule; both policies agree.
+    lc::Circuit circ(1);
+    for (int i = 0; i < 20; ++i) circ.t(0);
+    lqs::QsprOptions priority;
+    priority.schedule = lqs::SchedulePolicy::CriticalPathPriority;
+    const auto a = lqs::QsprMapper(small_params()).map(circ);
+    const auto b = lqs::QsprMapper(small_params(), priority).map(circ);
+    EXPECT_DOUBLE_EQ(a.latency_us, b.latency_us);
+}
+
+TEST(PrioritySchedule, DeterministicAndComparableToProgramOrder) {
+    const auto ft = leqa::synth::ft_synthesize(leqa::benchgen::ham3()).circuit;
+    lqs::QsprOptions priority;
+    priority.schedule = lqs::SchedulePolicy::CriticalPathPriority;
+    const leqa::fabric::PhysicalParams params; // 60x60
+    const auto a = lqs::QsprMapper(params, priority).map(ft);
+    const auto b = lqs::QsprMapper(params, priority).map(ft);
+    EXPECT_DOUBLE_EQ(a.latency_us, b.latency_us);
+    const auto program = lqs::QsprMapper(params).map(ft);
+    // Same circuit, same fabric: latencies must be within a small factor
+    // (the policies reorder congestion, not the dependency structure).
+    EXPECT_NEAR(a.latency_us / program.latency_us, 1.0, 0.25);
+}

@@ -1,0 +1,187 @@
+// Unit tests for the circuit module: gates, metadata, container.
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "util/error.h"
+
+namespace lc = leqa::circuit;
+using leqa::util::InputError;
+
+// ------------------------------------------------------------------- gate --
+
+TEST(GateInfo, NamesRoundTrip) {
+    for (std::size_t i = 0; i < lc::kGateKindCount; ++i) {
+        const auto kind = static_cast<lc::GateKind>(i);
+        EXPECT_EQ(lc::parse_gate_name(lc::gate_name(kind)), kind);
+    }
+}
+
+TEST(GateInfo, Aliases) {
+    EXPECT_EQ(lc::parse_gate_name("NOT"), lc::GateKind::X);
+    EXPECT_EQ(lc::parse_gate_name("cx"), lc::GateKind::Cnot);
+    EXPECT_EQ(lc::parse_gate_name("CCX"), lc::GateKind::Toffoli);
+    EXPECT_EQ(lc::parse_gate_name("cswap"), lc::GateKind::Fredkin);
+    EXPECT_THROW((void)lc::parse_gate_name("bogus"), InputError);
+    EXPECT_TRUE(lc::is_gate_name("tdg"));
+    EXPECT_FALSE(lc::is_gate_name("qubit"));
+}
+
+TEST(GateInfo, FtMembership) {
+    EXPECT_TRUE(lc::gate_info(lc::GateKind::Cnot).is_ft);
+    EXPECT_TRUE(lc::gate_info(lc::GateKind::T).is_ft);
+    EXPECT_FALSE(lc::gate_info(lc::GateKind::Toffoli).is_ft);
+    EXPECT_FALSE(lc::gate_info(lc::GateKind::Swap).is_ft);
+}
+
+TEST(GateInfo, ClassicalMembership) {
+    EXPECT_TRUE(lc::gate_info(lc::GateKind::X).is_classical);
+    EXPECT_TRUE(lc::gate_info(lc::GateKind::Toffoli).is_classical);
+    EXPECT_TRUE(lc::gate_info(lc::GateKind::Fredkin).is_classical);
+    EXPECT_FALSE(lc::gate_info(lc::GateKind::H).is_classical);
+    EXPECT_FALSE(lc::gate_info(lc::GateKind::T).is_classical);
+}
+
+TEST(Gate, ValidationCatchesDuplicates) {
+    EXPECT_THROW(lc::make_cnot(1, 1).validate(), InputError);
+    EXPECT_THROW(lc::make_toffoli(0, 0, 2).validate(), InputError);
+    EXPECT_THROW(lc::make_fredkin(2, 2, 1).validate(), InputError);
+    EXPECT_NO_THROW(lc::make_toffoli(0, 1, 2).validate());
+}
+
+TEST(Gate, ValidationCatchesArity) {
+    lc::Gate bad(lc::GateKind::Cnot, {0, 1}, {2}); // two controls on CNOT
+    EXPECT_THROW(bad.validate(), InputError);
+    lc::Gate no_target(lc::GateKind::H, {}, {});
+    EXPECT_THROW(no_target.validate(), InputError);
+    lc::Gate no_controls(lc::GateKind::Toffoli, {}, {0});
+    EXPECT_THROW(no_controls.validate(), InputError);
+}
+
+TEST(Gate, RangeValidation) {
+    EXPECT_THROW(lc::make_cnot(0, 5).validate_against(3), InputError);
+    EXPECT_NO_THROW(lc::make_cnot(0, 2).validate_against(3));
+}
+
+TEST(Gate, QubitsAndArity) {
+    const auto gate = lc::make_mcx({0, 1, 2}, 3);
+    EXPECT_EQ(gate.arity(), 4u);
+    EXPECT_EQ(gate.qubits(), (std::vector<lc::Qubit>{0, 1, 2, 3}));
+    EXPECT_FALSE(gate.is_two_qubit());
+    EXPECT_TRUE(lc::make_cnot(0, 1).is_two_qubit());
+}
+
+TEST(Gate, McxWithSingleControlIsCnot) {
+    const auto gate = lc::make_mcx({4}, 2);
+    EXPECT_EQ(gate.kind, lc::GateKind::Cnot);
+}
+
+TEST(Gate, ToStringIsReadable) {
+    EXPECT_EQ(lc::make_toffoli(0, 1, 2).to_string(), "toffoli q0, q1 -> q2");
+    EXPECT_EQ(lc::make_h(3).to_string(), "h q3");
+}
+
+// ---------------------------------------------------------------- circuit --
+
+TEST(Circuit, QubitManagement) {
+    lc::Circuit circ;
+    EXPECT_EQ(circ.add_qubit("a"), 0u);
+    EXPECT_EQ(circ.add_qubit(), 1u); // auto-named q1
+    EXPECT_EQ(circ.qubit_name(0), "a");
+    EXPECT_EQ(circ.qubit_name(1), "q1");
+    EXPECT_EQ(circ.qubit_index("a"), 0u);
+    EXPECT_TRUE(circ.has_qubit("q1"));
+    EXPECT_FALSE(circ.has_qubit("b"));
+    EXPECT_THROW((void)circ.qubit_index("b"), InputError);
+    EXPECT_THROW((void)circ.add_qubit("a"), InputError);
+}
+
+TEST(Circuit, FluentBuildersAndCounts) {
+    lc::Circuit circ(4, "demo");
+    circ.h(0).t(1).tdg(2).cnot(0, 1).toffoli(0, 1, 2).x(3).cnot(2, 3);
+    EXPECT_EQ(circ.size(), 7u);
+    const auto counts = circ.counts();
+    EXPECT_EQ(counts.of(lc::GateKind::H), 1u);
+    EXPECT_EQ(counts.of(lc::GateKind::Cnot), 2u);
+    EXPECT_EQ(counts.of(lc::GateKind::Toffoli), 1u);
+    EXPECT_EQ(counts.total(), 7u);
+    EXPECT_EQ(counts.one_qubit_ft(), 4u); // h, t, tdg, x
+}
+
+TEST(Circuit, OneQubitFtCountIncludesX) {
+    lc::Circuit circ(1);
+    circ.x(0).h(0).t(0);
+    EXPECT_EQ(circ.counts().one_qubit_ft(), 3u);
+}
+
+TEST(Circuit, RejectsOutOfRangeGate) {
+    lc::Circuit circ(2);
+    EXPECT_THROW(circ.cnot(0, 2), InputError);
+    EXPECT_THROW(circ.add_gate(lc::make_toffoli(0, 1, 5)), InputError);
+}
+
+TEST(Circuit, FtAndClassicalPredicates) {
+    lc::Circuit ft(2);
+    ft.h(0).cnot(0, 1).t(1);
+    EXPECT_TRUE(ft.is_ft());
+    EXPECT_FALSE(ft.is_classical());
+
+    lc::Circuit classical(3);
+    classical.x(0).cnot(0, 1).toffoli(0, 1, 2);
+    EXPECT_TRUE(classical.is_classical());
+    EXPECT_FALSE(classical.is_ft()); // toffoli is not FT
+
+    lc::Circuit both(2);
+    both.x(0).cnot(0, 1);
+    EXPECT_TRUE(both.is_ft());
+    EXPECT_TRUE(both.is_classical());
+}
+
+TEST(Circuit, UnusedQubits) {
+    lc::Circuit circ(4);
+    circ.cnot(0, 2);
+    const auto unused = circ.unused_qubits();
+    EXPECT_EQ(unused, (std::vector<lc::Qubit>{1, 3}));
+}
+
+TEST(Circuit, TwoQubitGateCountCountsArityNotKind) {
+    lc::Circuit circ(3);
+    circ.h(0).cnot(0, 1).toffoli(0, 1, 2).swap(1, 2);
+    EXPECT_EQ(circ.two_qubit_gate_count(), 3u); // cnot, toffoli, swap
+}
+
+TEST(Circuit, AppendAndStructuralEquality) {
+    lc::Circuit a(2);
+    a.h(0).cnot(0, 1);
+    lc::Circuit b(2);
+    b.h(0);
+    lc::Circuit tail(2);
+    tail.cnot(0, 1);
+    b.append(tail);
+    EXPECT_TRUE(a.same_structure(b));
+
+    lc::Circuit c(3);
+    c.h(0).cnot(0, 1);
+    EXPECT_FALSE(a.same_structure(c)); // differing qubit count
+
+    lc::Circuit big(1);
+    lc::Circuit wide(2);
+    EXPECT_THROW(big.append(wide), InputError);
+}
+
+TEST(Circuit, MetadataSurvives) {
+    lc::Circuit circ(1, "named");
+    circ.add_comment("generator: test");
+    EXPECT_EQ(circ.name(), "named");
+    ASSERT_EQ(circ.comments().size(), 1u);
+    EXPECT_EQ(circ.comments()[0], "generator: test");
+}
+
+TEST(GateCounts, ToStringListsNonZero) {
+    lc::Circuit circ(2);
+    circ.h(0).h(1).cnot(0, 1);
+    const std::string text = circ.counts().to_string();
+    EXPECT_NE(text.find("h=2"), std::string::npos);
+    EXPECT_NE(text.find("cnot=1"), std::string::npos);
+    EXPECT_EQ(text.find("tdg="), std::string::npos);
+    EXPECT_EQ(text.find("toffoli="), std::string::npos);
+}

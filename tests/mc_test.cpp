@@ -1,0 +1,196 @@
+// Tests for the Monte Carlo validation module: the empirical estimators
+// must converge to the analytic forms they are designed to check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/leqa.h"
+#include "mathx/queueing.h"
+#include "mathx/tsp.h"
+#include "mc/path_model.h"
+#include "mc/queue_sim.h"
+#include "mc/zone_coverage.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lmc = leqa::mc;
+namespace lm = leqa::mathx;
+using leqa::util::InputError;
+using leqa::util::Rng;
+
+// ---------------------------------------------------------- zone coverage --
+
+TEST(ZoneCoverageMc, MatchesAnalyticCenterAndCorner) {
+    Rng rng(11);
+    lmc::ZoneCoverageConfig config;
+    config.width = 12;
+    config.height = 12;
+    config.zone_side = 4;
+    config.trials = 40000;
+    for (const auto& [x, y] : {std::pair{1, 1}, {6, 6}, {12, 12}, {4, 9}}) {
+        const double analytic = leqa::core::LeqaEstimator::coverage_probability(
+            x, y, config.width, config.height, config.zone_side);
+        const double empirical = lmc::empirical_coverage_probability(config, x, y, rng);
+        EXPECT_NEAR(empirical, analytic, 0.01) << "(" << x << "," << y << ")";
+    }
+}
+
+TEST(ZoneCoverageMc, SurfacesSumToFabricArea) {
+    Rng rng(13);
+    lmc::ZoneCoverageConfig config;
+    config.width = 10;
+    config.height = 8;
+    config.zone_side = 3;
+    config.num_zones = 6;
+    config.trials = 200;
+    const auto surfaces = lmc::empirical_expected_surfaces(config, config.num_zones, rng);
+    double sum = 0.0;
+    for (const double s : surfaces) sum += s;
+    // Counting every cell exactly once per trial: the sum is exact.
+    EXPECT_NEAR(sum, 80.0, 1e-9);
+}
+
+TEST(ZoneCoverageMc, SurfacesTrackAnalyticForm) {
+    Rng rng(17);
+    lmc::ZoneCoverageConfig config;
+    config.width = 16;
+    config.height = 16;
+    config.zone_side = 4;
+    config.num_zones = 10;
+    config.trials = 3000;
+    std::vector<double> coverage;
+    for (int x = 1; x <= config.width; ++x) {
+        for (int y = 1; y <= config.height; ++y) {
+            coverage.push_back(leqa::core::LeqaEstimator::coverage_probability(
+                x, y, config.width, config.height, config.zone_side));
+        }
+    }
+    const auto empirical = lmc::empirical_expected_surfaces(config, 4, rng);
+    for (long long q = 0; q <= 4; ++q) {
+        const double analytic = leqa::core::LeqaEstimator::expected_surface(
+            coverage, config.num_zones, q);
+        // Within a few percent for the bulk of the distribution.
+        EXPECT_NEAR(empirical[static_cast<std::size_t>(q)], analytic,
+                    std::max(0.6, analytic * 0.06))
+            << "q=" << q;
+    }
+}
+
+TEST(ZoneCoverageMc, ValidatesConfig) {
+    Rng rng(1);
+    lmc::ZoneCoverageConfig config;
+    config.zone_side = 99; // larger than fabric
+    EXPECT_THROW((void)lmc::empirical_coverage_probability(config, 1, 1, rng),
+                 InputError);
+    config = {};
+    EXPECT_THROW((void)lmc::empirical_coverage_probability(config, 0, 1, rng),
+                 InputError);
+    config = {};
+    EXPECT_THROW((void)lmc::empirical_expected_surfaces(config, config.num_zones + 1, rng),
+                 InputError);
+}
+
+// ------------------------------------------------------------- path model --
+
+TEST(PathModelMc, ExactSolverBelowThreshold) {
+    Rng rng(19);
+    lmc::PathModelConfig config;
+    config.num_points = 8;
+    config.trials = 50;
+    const auto result = lmc::empirical_path_model(config, rng);
+    EXPECT_TRUE(result.exact);
+    EXPECT_GT(result.mean_path, 0.0);
+    EXPECT_GE(result.mean_tour, result.mean_path);
+}
+
+TEST(PathModelMc, HeuristicAboveThreshold) {
+    Rng rng(23);
+    lmc::PathModelConfig config;
+    config.num_points = 20;
+    config.trials = 30;
+    const auto result = lmc::empirical_path_model(config, rng);
+    EXPECT_FALSE(result.exact);
+    EXPECT_GT(result.mean_path, 0.0);
+}
+
+TEST(PathModelMc, ScalesWithZoneArea) {
+    Rng rng(29);
+    lmc::PathModelConfig small;
+    small.zone_area = 4.0;
+    small.num_points = 6;
+    small.trials = 80;
+    lmc::PathModelConfig large = small;
+    large.zone_area = 36.0;
+    const double small_mean = lmc::empirical_path_model(small, rng).mean_path;
+    const double large_mean = lmc::empirical_path_model(large, rng).mean_path;
+    // Lengths scale with the zone side (factor 3 here).
+    EXPECT_NEAR(large_mean / small_mean, 3.0, 0.5);
+}
+
+TEST(PathModelMc, Eq15TracksEmpiricalAtLargeM) {
+    // At M >> 1 the BHH asymptotic should be close (the model_validation
+    // bench plots the small-M bias; here we lock in the large-M agreement).
+    Rng rng(31);
+    lmc::PathModelConfig config;
+    config.num_points = 40;              // M = 39
+    config.zone_area = 40.0;             // B = M + 1
+    config.trials = 120;
+    const auto result = lmc::empirical_path_model(config, rng);
+    const double analytic = lm::expected_hamiltonian_path(40.0, 39.0);
+    EXPECT_NEAR(analytic / result.mean_path, 1.0, 0.12);
+}
+
+// -------------------------------------------------------------- queue sim --
+
+TEST(QueueSimMc, MatchesMm1ClosedForms) {
+    Rng rng(37);
+    lmc::QueueSimConfig config;
+    config.arrival_rate = 0.003;
+    config.service_rate = 0.005;
+    config.num_customers = 120000;
+    const auto result = lmc::simulate_mm1(config, rng);
+    const lm::Mm1Queue analytic{config.arrival_rate, config.service_rate};
+    EXPECT_NEAR(result.mean_system_time, analytic.average_wait(),
+                analytic.average_wait() * 0.05);
+    EXPECT_NEAR(result.mean_queue_length, analytic.average_queue_length(),
+                analytic.average_queue_length() * 0.08);
+    EXPECT_NEAR(result.utilization, analytic.utilization(), 0.03);
+}
+
+TEST(QueueSimMc, LittleLawClosesEmpirically) {
+    Rng rng(41);
+    lmc::QueueSimConfig config;
+    config.arrival_rate = 0.004;
+    config.service_rate = 0.005;
+    config.num_customers = 150000;
+    const auto result = lmc::simulate_mm1(config, rng);
+    // L = lambda W within simulation noise.
+    EXPECT_NEAR(result.mean_queue_length,
+                config.arrival_rate * result.mean_system_time,
+                result.mean_queue_length * 0.05);
+}
+
+TEST(QueueSimMc, Equation11RoundTrip) {
+    // Derive lambda from a target queue length q (Eq. 10), simulate, and
+    // check the simulated wait against Eq. 11 -- the full loop the paper's
+    // congestion model takes.
+    Rng rng(43);
+    const double nc = 5.0;
+    const double d_uncongest = 1000.0;
+    const double q = 3.0;
+    lmc::QueueSimConfig config;
+    config.arrival_rate = lm::arrival_rate_from_queue_length(q, nc, d_uncongest);
+    config.service_rate = lm::channel_service_rate(nc, d_uncongest);
+    config.num_customers = 150000;
+    const auto result = lmc::simulate_mm1(config, rng);
+    const double w_analytic = lm::average_wait_from_queue_length(q, nc, d_uncongest);
+    EXPECT_NEAR(result.mean_system_time, w_analytic, w_analytic * 0.06);
+}
+
+TEST(QueueSimMc, RejectsUnstableQueue) {
+    Rng rng(47);
+    lmc::QueueSimConfig config;
+    config.arrival_rate = 0.01;
+    config.service_rate = 0.005;
+    EXPECT_THROW((void)lmc::simulate_mm1(config, rng), InputError);
+}

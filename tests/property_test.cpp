@@ -1,0 +1,252 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P) over
+// fabric geometries, channel capacities, circuit shapes and random seeds:
+// the invariants every configuration must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/leqa.h"
+#include "fabric/geometry.h"
+#include "fabric/params.h"
+#include "iig/iig.h"
+#include "mathx/queueing.h"
+#include "qodg/qodg.h"
+#include "qspr/qspr.h"
+#include "util/rng.h"
+
+namespace lc = leqa::circuit;
+namespace lcore = leqa::core;
+namespace lf = leqa::fabric;
+namespace lm = leqa::mathx;
+namespace lq = leqa::qspr;
+
+namespace {
+
+lc::Circuit random_ft_circuit(std::size_t qubits, std::size_t gates, std::uint64_t seed) {
+    leqa::util::Rng rng(seed);
+    lc::Circuit circ(qubits);
+    for (std::size_t g = 0; g < gates; ++g) {
+        const auto picks = rng.sample_without_replacement(qubits, 2);
+        switch (rng.index(5)) {
+            case 0: circ.h(static_cast<lc::Qubit>(picks[0])); break;
+            case 1: circ.t(static_cast<lc::Qubit>(picks[0])); break;
+            case 2: circ.x(static_cast<lc::Qubit>(picks[0])); break;
+            default:
+                circ.cnot(static_cast<lc::Qubit>(picks[0]),
+                          static_cast<lc::Qubit>(picks[1]));
+                break;
+        }
+    }
+    return circ;
+}
+
+} // namespace
+
+// --------------------------------------------------- coverage properties --
+
+class CoverageSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CoverageSweep, ProbabilitiesAreValidAndSumToZoneArea) {
+    const auto [a, b, s] = GetParam();
+    if (s > std::min(a, b)) GTEST_SKIP() << "zone larger than fabric";
+    double sum = 0.0;
+    for (int x = 1; x <= a; ++x) {
+        for (int y = 1; y <= b; ++y) {
+            const double p = lcore::LeqaEstimator::coverage_probability(x, y, a, b, s);
+            ASSERT_GE(p, 0.0);
+            ASSERT_LE(p, 1.0);
+            sum += p;
+        }
+    }
+    // Expected covered cells per placement = s^2 (Eq. 5 integrates to the
+    // zone area).
+    EXPECT_NEAR(sum, static_cast<double>(s) * s, 1e-6);
+}
+
+TEST_P(CoverageSweep, SurfacesSatisfyEquation3) {
+    const auto [a, b, s] = GetParam();
+    if (s > std::min(a, b)) GTEST_SKIP() << "zone larger than fabric";
+    std::vector<double> coverage;
+    for (int x = 1; x <= a; ++x) {
+        for (int y = 1; y <= b; ++y) {
+            coverage.push_back(lcore::LeqaEstimator::coverage_probability(x, y, a, b, s));
+        }
+    }
+    const long long q_total = 9;
+    double total = 0.0;
+    for (long long q = 0; q <= q_total; ++q) {
+        const double surface =
+            lcore::LeqaEstimator::expected_surface(coverage, q_total, q);
+        ASSERT_GE(surface, 0.0);
+        total += surface;
+    }
+    EXPECT_NEAR(total, static_cast<double>(a) * b, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, CoverageSweep,
+    ::testing::Values(std::tuple{4, 4, 1}, std::tuple{4, 4, 2}, std::tuple{8, 5, 3},
+                      std::tuple{12, 12, 5}, std::tuple{20, 7, 7},
+                      std::tuple{30, 30, 6}, std::tuple{60, 60, 6},
+                      std::tuple{1, 9, 1}, std::tuple{16, 16, 16}));
+
+// ----------------------------------------------------- queueing properties --
+
+class QueueSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(QueueSweep, Equation8And11AreConsistent) {
+    const auto [nc, d] = GetParam();
+    double previous = 0.0;
+    for (double q = 0.0; q <= 30.0; q += 0.5) {
+        const double delay = lm::congested_delay(q, nc, d);
+        // Monotone non-decreasing in q.
+        ASSERT_GE(delay, previous - 1e-12);
+        previous = delay;
+        // Never below the uncongested floor.
+        ASSERT_GE(delay, d - 1e-12);
+        if (q > nc) {
+            // Congested branch equals Little's-law wait (Eq. 11).
+            ASSERT_NEAR(delay, lm::average_wait_from_queue_length(q, nc, d), 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, QueueSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 10),
+                                            ::testing::Values(100.0, 820.0, 5000.0)));
+
+// ------------------------------------------------------- LEQA estimator --
+
+class EstimatorSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EstimatorSweep, EstimateIsFinitepositiveAndScalesWithFabric) {
+    const auto [side, nc] = GetParam();
+    const auto circ = random_ft_circuit(20, 400, 77);
+    lf::PhysicalParams params;
+    params.width = side;
+    params.height = side;
+    params.nc = nc;
+    const auto estimate = lcore::LeqaEstimator(params).estimate(circ);
+    ASSERT_TRUE(std::isfinite(estimate.latency_us));
+    ASSERT_GT(estimate.latency_us, 0.0);
+    // Estimate is bounded below by the pure gate-delay critical path.
+    ASSERT_GE(estimate.latency_us, estimate.critical_gate_delay_us - 1e-6);
+    // Covered area cannot exceed the fabric.
+    ASSERT_LE(estimate.covered_area,
+              static_cast<double>(params.area()) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(FabricsAndChannels, EstimatorSweep,
+                         ::testing::Combine(::testing::Values(10, 25, 60, 90),
+                                            ::testing::Values(1, 5, 10)));
+
+class EstimatorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimatorSeedSweep, CriticalCensusConsistentAcrossRandomCircuits) {
+    const auto circ = random_ft_circuit(14, 250, GetParam());
+    const lf::PhysicalParams params;
+    const auto estimate = lcore::LeqaEstimator(params).estimate(circ);
+    // Reconstruct Eq. 1 from the census and the model terms.
+    double reconstructed = 0.0;
+    for (std::size_t k = 0; k < lc::kGateKindCount; ++k) {
+        const auto kind = static_cast<lc::GateKind>(k);
+        const auto count = estimate.critical_census.by_kind[k];
+        if (count == 0) continue;
+        const double routing = kind == lc::GateKind::Cnot ? estimate.l_cnot_avg_us
+                                                          : estimate.l_one_qubit_avg_us;
+        reconstructed += static_cast<double>(count) * (params.delay_us(kind) + routing);
+    }
+    EXPECT_NEAR(reconstructed, estimate.latency_us, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ------------------------------------------------------------- QSPR sweep --
+
+class QsprSweep
+    : public ::testing::TestWithParam<
+          std::tuple<lq::PlacementStrategy, lq::RoutingAlgorithm, lq::SchedulePolicy>> {};
+
+TEST_P(QsprSweep, ScheduleValidUnderAllConfigurations) {
+    const auto [placement, routing, schedule] = GetParam();
+    const auto circ = random_ft_circuit(10, 150, 31);
+    lf::PhysicalParams params;
+    params.width = 12;
+    params.height = 12;
+    lq::QsprOptions options;
+    options.placement = placement;
+    options.routing = routing;
+    options.schedule = schedule;
+    options.collect_schedule = true;
+    options.seed = 5;
+    const auto result = lq::QsprMapper(params, options).map(circ);
+    ASSERT_EQ(result.schedule.size(), circ.size());
+
+    // Dependency validity: per-qubit intervals must not overlap.
+    std::vector<double> qubit_busy_until(circ.num_qubits(), 0.0);
+    std::vector<std::size_t> issue_of_gate(circ.size());
+    for (std::size_t i = 0; i < result.schedule.size(); ++i) {
+        issue_of_gate[result.schedule[i].gate_index] = i;
+    }
+    for (std::size_t g = 0; g < circ.size(); ++g) {
+        const auto& op = result.schedule[issue_of_gate[g]];
+        for (const auto q : circ.gate(g).qubits()) {
+            ASSERT_GE(op.start_us + 1e-6, qubit_busy_until[q])
+                << "config " << static_cast<int>(placement) << "/"
+                << static_cast<int>(routing) << "/" << static_cast<int>(schedule);
+            qubit_busy_until[q] = op.finish_us;
+        }
+    }
+    // Makespan consistency.
+    double makespan = 0.0;
+    for (const auto& op : result.schedule) makespan = std::max(makespan, op.finish_us);
+    EXPECT_DOUBLE_EQ(result.latency_us, makespan);
+    // Determinism.
+    const auto again = lq::QsprMapper(params, options).map(circ);
+    EXPECT_DOUBLE_EQ(again.latency_us, result.latency_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, QsprSweep,
+    ::testing::Combine(::testing::Values(lq::PlacementStrategy::CenteredBlock,
+                                         lq::PlacementStrategy::RowMajor,
+                                         lq::PlacementStrategy::Random),
+                       ::testing::Values(lq::RoutingAlgorithm::Xy,
+                                         lq::RoutingAlgorithm::Maze),
+                       ::testing::Values(lq::SchedulePolicy::ProgramOrder,
+                                         lq::SchedulePolicy::CriticalPathPriority)));
+
+// ------------------------------------------------------ geometry property --
+
+class GeometrySweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GeometrySweep, RoutesConnectAndRingsPartition) {
+    const auto [w, h] = GetParam();
+    const lf::FabricGeometry geo(w, h);
+    leqa::util::Rng rng(71);
+    for (int trial = 0; trial < 20; ++trial) {
+        const lf::UlbCoord a{static_cast<int>(rng.index(static_cast<std::size_t>(w))),
+                             static_cast<int>(rng.index(static_cast<std::size_t>(h)))};
+        const lf::UlbCoord b{static_cast<int>(rng.index(static_cast<std::size_t>(w))),
+                             static_cast<int>(rng.index(static_cast<std::size_t>(h)))};
+        const auto route = geo.xy_route(a, b);
+        ASSERT_EQ(route.size(), static_cast<std::size_t>(geo.manhattan(a, b)));
+        for (const auto segment : route) {
+            ASSERT_GE(segment, 0);
+            ASSERT_LT(static_cast<std::size_t>(segment), geo.num_segments());
+        }
+    }
+    std::size_t counted = 0;
+    for (int r = 0; r <= std::max(w, h); ++r) {
+        counted += geo.ring({w / 2, h / 2}, r).size();
+    }
+    EXPECT_EQ(counted, geo.num_ulbs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeometrySweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 12},
+                                           std::pair{12, 1}, std::pair{3, 17},
+                                           std::pair{17, 3}, std::pair{16, 16},
+                                           std::pair{60, 60}));

@@ -1,0 +1,199 @@
+// Tests for the quantum operation dependency graph: construction (start/end
+// sentinels, merged parallel edges), longest path, critical-path census.
+#include <gtest/gtest.h>
+
+#include "qodg/qodg.h"
+#include "synth/decompose.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lc = leqa::circuit;
+namespace lq = leqa::qodg;
+
+namespace {
+
+/// ham3-style toy circuit used across tests (paper Figure 2 flavor):
+/// a Toffoli decomposition followed by a few FT gates.
+lc::Circuit ham3_ft() {
+    lc::Circuit circ(3, "ham3");
+    leqa::synth::emit_toffoli_ft(0, 1, 2, [&](const lc::Gate& g) { circ.add_gate(g); });
+    circ.cnot(1, 2).cnot(0, 1).t(0).cnot(2, 0); // 4 trailing FT ops -> 19 total
+    return circ;
+}
+
+std::vector<double> unit_delays(const lq::Qodg& graph) {
+    return graph.node_delays([](lc::GateKind) { return 1.0; });
+}
+
+} // namespace
+
+TEST(Qodg, EmptyCircuit) {
+    const lc::Circuit circ(0);
+    const lq::Qodg graph(circ);
+    EXPECT_EQ(graph.num_nodes(), 2u); // start + end
+    EXPECT_EQ(graph.num_ops(), 0u);
+    EXPECT_EQ(graph.num_edges(), 1u); // start -> end
+    const auto lp = graph.longest_path(unit_delays(graph));
+    EXPECT_DOUBLE_EQ(lp.length, 0.0);
+}
+
+TEST(Qodg, UnusedQubitsDoNotDuplicateStartEndEdge) {
+    lc::Circuit circ(4); // 4 idle qubits
+    const lq::Qodg graph(circ);
+    // All four qubit chains collapse into a single merged start->end edge.
+    EXPECT_EQ(graph.num_edges(), 1u);
+}
+
+TEST(Qodg, LinearChain) {
+    lc::Circuit circ(1);
+    circ.h(0).t(0).h(0);
+    const lq::Qodg graph(circ);
+    EXPECT_EQ(graph.num_nodes(), 5u);
+    EXPECT_EQ(graph.num_edges(), 4u); // start-1-2-3-end
+    const auto lp = graph.longest_path(unit_delays(graph));
+    EXPECT_DOUBLE_EQ(lp.length, 3.0);
+    const auto path = graph.critical_path(lp);
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path.front(), graph.start());
+    EXPECT_EQ(path.back(), graph.end());
+}
+
+TEST(Qodg, ParallelEdgesAreMerged) {
+    // Two CNOTs on the same qubit pair: the second depends on the first
+    // through BOTH qubits, but only one edge must exist.
+    lc::Circuit circ(2);
+    circ.cnot(0, 1).cnot(0, 1);
+    const lq::Qodg graph(circ);
+    // Edges: start->1 (merged from two operands), 1->2 (merged), 2->end
+    // (merged) = 3.
+    EXPECT_EQ(graph.num_edges(), 3u);
+    EXPECT_EQ(graph.successors(graph.node_of_gate(0)).size(), 1u);
+}
+
+TEST(Qodg, IndependentGatesRunInParallel) {
+    lc::Circuit circ(4);
+    circ.h(0).h(1).h(2).h(3);
+    const lq::Qodg graph(circ);
+    const auto lp = graph.longest_path(unit_delays(graph));
+    EXPECT_DOUBLE_EQ(lp.length, 1.0); // all in one level
+    EXPECT_EQ(graph.num_edges(), 8u); // start->each, each->end
+}
+
+TEST(Qodg, DiamondDependency) {
+    // cnot(0,1); h(0) and h(1) in parallel; cnot(0,1) again.
+    lc::Circuit circ(2);
+    circ.cnot(0, 1).h(0).h(1).cnot(0, 1);
+    const lq::Qodg graph(circ);
+    const auto lp = graph.longest_path(unit_delays(graph));
+    EXPECT_DOUBLE_EQ(lp.length, 3.0);
+
+    // Weighted: making one branch heavy must route the critical path
+    // through it.
+    auto delays = graph.node_delays(
+        [](lc::GateKind kind) { return kind == lc::GateKind::H ? 1.0 : 2.0; });
+    delays[graph.node_of_gate(2)] = 50.0; // h(1) branch
+    const auto weighted = graph.longest_path(delays);
+    EXPECT_DOUBLE_EQ(weighted.length, 2.0 + 50.0 + 2.0);
+    const auto path = graph.critical_path(weighted);
+    ASSERT_EQ(path.size(), 5u); // start, cnot, h(1), cnot, end
+    EXPECT_EQ(path[2], graph.node_of_gate(2));
+}
+
+TEST(Qodg, Ham3StructureMatchesFigure2) {
+    const auto circ = ham3_ft();
+    const lq::Qodg graph(circ);
+    EXPECT_EQ(graph.num_ops(), 19u);        // 15 (Toffoli) + 4 trailing
+    EXPECT_EQ(graph.num_nodes(), 21u);      // + start/end
+    // Every op node lies between start and end.
+    const auto lp = graph.longest_path(unit_delays(graph));
+    EXPECT_GT(lp.length, 0.0);
+    for (lq::NodeId id = 1; id + 1 < graph.num_nodes(); ++id) {
+        EXPECT_EQ(graph.node(id).kind, lq::NodeKind::Op);
+        EXPECT_FALSE(graph.successors(id).empty()) << "dangling op node " << id;
+    }
+}
+
+TEST(Qodg, CensusCountsPerKind) {
+    const auto circ = ham3_ft();
+    const lq::Qodg graph(circ);
+    const auto lp = graph.longest_path(unit_delays(graph));
+    const auto path = graph.critical_path(lp);
+    const auto census = graph.census(path);
+    EXPECT_EQ(census.total_ops, path.size() - 2); // minus start/end
+    std::size_t sum = 0;
+    for (const auto n : census.by_kind) sum += n;
+    EXPECT_EQ(sum, census.total_ops);
+    // The toffoli-network target line is the longest chain; it is made of
+    // CNOT/T/H ops only.
+    EXPECT_GT(census.of(lc::GateKind::Cnot), 0u);
+}
+
+TEST(Qodg, CriticalPathDominatesEveryNodeDistance) {
+    leqa::util::Rng rng(42);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 3 + rng.index(5);
+        lc::Circuit circ(n);
+        for (int g = 0; g < 60; ++g) {
+            const auto picks = rng.sample_without_replacement(n, 2);
+            if (rng.chance(0.5)) {
+                circ.cnot(static_cast<lc::Qubit>(picks[0]), static_cast<lc::Qubit>(picks[1]));
+            } else {
+                circ.t(static_cast<lc::Qubit>(picks[0]));
+            }
+        }
+        const lq::Qodg graph(circ);
+        auto delays = graph.node_delays([&](lc::GateKind) { return 1.0; });
+        // Randomize delays for a stronger property.
+        for (auto& d : delays) d = 1.0 + rng.uniform() * 9.0;
+        delays[graph.start()] = 0.0;
+        delays[graph.end()] = 0.0;
+        const auto lp = graph.longest_path(delays);
+        for (lq::NodeId id = 0; id < graph.num_nodes(); ++id) {
+            EXPECT_LE(lp.distance[id], lp.length + 1e-9);
+        }
+        // Path length equals the sum of delays along the extracted path.
+        const auto path = graph.critical_path(lp);
+        double sum = 0.0;
+        for (const auto id : path) sum += delays[id];
+        EXPECT_NEAR(sum, lp.length, 1e-9);
+        // Successive path nodes are actual edges.
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const auto& succ = graph.successors(path[i]);
+            EXPECT_NE(std::find(succ.begin(), succ.end(), path[i + 1]), succ.end());
+        }
+    }
+}
+
+TEST(Qodg, NodeDelayVectorShape) {
+    const auto circ = ham3_ft();
+    const lq::Qodg graph(circ);
+    const auto delays = graph.node_delays([](lc::GateKind kind) {
+        return kind == lc::GateKind::Cnot ? 2.0 : 1.0;
+    });
+    ASSERT_EQ(delays.size(), graph.num_nodes());
+    EXPECT_DOUBLE_EQ(delays[graph.start()], 0.0);
+    EXPECT_DOUBLE_EQ(delays[graph.end()], 0.0);
+    EXPECT_DOUBLE_EQ(delays[graph.node_of_gate(1)], 2.0); // first CNOT of the network
+}
+
+TEST(Qodg, DotExportMentionsNodes) {
+    lc::Circuit circ(2);
+    circ.h(0).cnot(0, 1);
+    const lq::Qodg graph(circ);
+    const std::string dot = graph.to_dot(circ);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("start"), std::string::npos);
+    EXPECT_NE(dot.find("end"), std::string::npos);
+    EXPECT_NE(dot.find("cnot"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Qodg, GateIndexMapping) {
+    lc::Circuit circ(2);
+    circ.h(0).cnot(0, 1).t(1);
+    const lq::Qodg graph(circ);
+    EXPECT_EQ(graph.node_of_gate(0), 1u);
+    EXPECT_EQ(graph.node_of_gate(2), 3u);
+    EXPECT_EQ(graph.node(graph.node_of_gate(1)).gate_kind, lc::GateKind::Cnot);
+    EXPECT_THROW((void)graph.node_of_gate(3), leqa::util::Error);
+}

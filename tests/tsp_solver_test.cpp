@@ -1,0 +1,115 @@
+// Tests for the exact / heuristic TSP solvers and their agreement with the
+// closed-form bounds LEQA uses (Eqs. 13-15).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/tsp.h"
+#include "mathx/tsp_solver.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lm = leqa::mathx;
+
+namespace {
+std::vector<lm::Point2D> random_points(std::size_t n, leqa::util::Rng& rng,
+                                       double side = 1.0) {
+    std::vector<lm::Point2D> points(n);
+    for (auto& p : points) {
+        p.x = rng.uniform(0.0, side);
+        p.y = rng.uniform(0.0, side);
+    }
+    return points;
+}
+} // namespace
+
+TEST(TspSolver, Distances) {
+    EXPECT_DOUBLE_EQ(lm::euclidean({0, 0}, {3, 4}), 5.0);
+    const std::vector<lm::Point2D> pts{{0, 0}, {1, 0}, {1, 1}};
+    EXPECT_DOUBLE_EQ(lm::path_length(pts, {0, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(lm::tour_length(pts, {0, 1, 2}), 2.0 + std::sqrt(2.0));
+}
+
+TEST(TspSolver, ExactTrivialCases) {
+    EXPECT_DOUBLE_EQ(lm::shortest_hamiltonian_path_exact({}), 0.0);
+    EXPECT_DOUBLE_EQ(lm::shortest_hamiltonian_path_exact({{0.5, 0.5}}), 0.0);
+    EXPECT_DOUBLE_EQ(lm::shortest_hamiltonian_path_exact({{0, 0}, {0, 2}}), 2.0);
+    EXPECT_DOUBLE_EQ(lm::shortest_tour_exact({{0, 0}, {0, 2}}), 4.0);
+}
+
+TEST(TspSolver, ExactUnitSquareCorners) {
+    const std::vector<lm::Point2D> corners{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    EXPECT_NEAR(lm::shortest_tour_exact(corners), 4.0, 1e-12);
+    EXPECT_NEAR(lm::shortest_hamiltonian_path_exact(corners), 3.0, 1e-12);
+}
+
+TEST(TspSolver, ExactCollinear) {
+    const std::vector<lm::Point2D> line{{0, 0}, {5, 0}, {2, 0}, {9, 0}, {4, 0}};
+    EXPECT_NEAR(lm::shortest_hamiltonian_path_exact(line), 9.0, 1e-12);
+    EXPECT_NEAR(lm::shortest_tour_exact(line), 18.0, 1e-12);
+}
+
+TEST(TspSolver, PathNeverExceedsTour) {
+    leqa::util::Rng rng(55);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto pts = random_points(3 + rng.index(8), rng);
+        const double path = lm::shortest_hamiltonian_path_exact(pts);
+        const double tour = lm::shortest_tour_exact(pts);
+        EXPECT_LE(path, tour + 1e-12);
+    }
+}
+
+TEST(TspSolver, HeuristicMatchesExactOnSmallInstances) {
+    leqa::util::Rng rng(77);
+    int exact_hits = 0;
+    const int trials = 25;
+    for (int trial = 0; trial < trials; ++trial) {
+        const auto pts = random_points(3 + rng.index(7), rng);
+        const double exact = lm::shortest_tour_exact(pts);
+        const double heuristic = lm::tour_heuristic(pts);
+        EXPECT_GE(heuristic, exact - 1e-9); // never better than optimal
+        EXPECT_LE(heuristic, exact * 1.15 + 1e-9); // 2-opt is near-optimal here
+        if (heuristic <= exact * 1.001) ++exact_hits;
+    }
+    EXPECT_GE(exact_hits, trials * 2 / 3); // usually finds the optimum
+}
+
+TEST(TspSolver, HeuristicPathUpperBoundsExactPath) {
+    leqa::util::Rng rng(99);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto pts = random_points(4 + rng.index(7), rng);
+        const double exact = lm::shortest_hamiltonian_path_exact(pts);
+        const double heuristic = lm::hamiltonian_path_heuristic(pts);
+        EXPECT_GE(heuristic, exact - 1e-9);
+    }
+}
+
+TEST(TspSolver, BhhBoundsBracketEmpiricalTours) {
+    // The constants of Eqs. 13-14 should bracket the mean optimal tour for
+    // moderately many uniform points (they are asymptotic bounds; at n=12
+    // the empirical mean sits between them or slightly below the lower
+    // bound's asymptote, so we allow a small tolerance).
+    leqa::util::Rng rng(2025);
+    const std::size_t n = 12;
+    double sum = 0.0;
+    const int trials = 200;
+    for (int trial = 0; trial < trials; ++trial) {
+        sum += lm::shortest_tour_exact(random_points(n, rng));
+    }
+    const double mean = sum / trials;
+    const double lower = lm::tsp_tour_lower_bound(static_cast<double>(n));
+    const double upper = lm::tsp_tour_upper_bound(static_cast<double>(n));
+    EXPECT_GT(mean, lower * 0.85);
+    EXPECT_LT(mean, upper * 1.05);
+}
+
+TEST(TspSolver, RejectsOversizedExactInstance) {
+    leqa::util::Rng rng(1);
+    const auto pts = random_points(16, rng);
+    EXPECT_THROW((void)lm::shortest_hamiltonian_path_exact(pts), leqa::util::InputError);
+}
+
+TEST(TspSolver, OrderSizeMismatchThrows) {
+    const std::vector<lm::Point2D> pts{{0, 0}, {1, 1}};
+    EXPECT_THROW((void)lm::path_length(pts, {0}), leqa::util::InputError);
+}

@@ -7,13 +7,12 @@
 /// congestion branch of Eq. 8.  For the estimator to be useful in design-
 /// space exploration its *trends* must agree with the detailed mapper:
 /// both should relax with a larger fabric and tighten with a smaller Nc.
+/// Every parameter point is one pipeline request with a parameter override;
+/// the session synthesizes the workload and builds its graphs exactly once.
+#include <cmath>
 #include <cstdio>
 
-#include "benchgen/suite.h"
-#include "core/leqa.h"
-#include "fabric/params.h"
-#include "qspr/qspr.h"
-#include "synth/ft_synth.h"
+#include "harness.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -22,7 +21,16 @@ int main() {
 
     std::printf("=== Ablation: fabric size and channel capacity sensitivity ===\n");
     std::printf("workload: gf2^16mult (48 qubits, 3885 FT ops)\n\n");
-    const auto ft = benchgen::make_ft_benchmark("gf2^16mult").circuit;
+
+    auto pipe = bench::make_suite_pipeline(fabric::PhysicalParams{}); // Table 1
+    const pipeline::CircuitSource workload =
+        pipeline::CircuitSource::from_bench("gf2^16mult");
+
+    const auto run_point = [&](const fabric::PhysicalParams& params) {
+        pipeline::EstimationRequest request(workload, pipeline::RunMode::Both);
+        request.params = params;
+        return pipe.run(request);
+    };
 
     {
         std::printf("-- fabric size sweep (Nc = 5) --\n");
@@ -35,10 +43,9 @@ int main() {
             fabric::PhysicalParams params;
             params.width = side;
             params.height = side;
-            const auto actual = qspr::QsprMapper(params).map(ft);
-            const auto estimate = core::LeqaEstimator(params).estimate(ft);
-            const double actual_s = actual.latency_us * 1e-6;
-            const double estimate_s = estimate.latency_seconds();
+            const pipeline::EstimationResult result = run_point(params);
+            const double actual_s = result.mapping->latency_us * 1e-6;
+            const double estimate_s = result.estimate->latency_seconds();
             table.add_row({std::to_string(side) + "x" + std::to_string(side),
                            util::format_scientific(actual_s, 3),
                            util::format_scientific(estimate_s, 3),
@@ -65,10 +72,9 @@ int main() {
         for (const int nc : {1, 2, 3, 5, 8, 12}) {
             fabric::PhysicalParams params;
             params.nc = nc;
-            const auto actual = qspr::QsprMapper(params).map(ft);
-            const auto estimate = core::LeqaEstimator(params).estimate(ft);
-            const double actual_s = actual.latency_us * 1e-6;
-            const double estimate_s = estimate.latency_seconds();
+            const pipeline::EstimationResult result = run_point(params);
+            const double actual_s = result.mapping->latency_us * 1e-6;
+            const double estimate_s = result.estimate->latency_seconds();
             table.add_row({std::to_string(nc), util::format_scientific(actual_s, 3),
                            util::format_scientific(estimate_s, 3),
                            util::format_double(100.0 * std::abs(estimate_s - actual_s) /
@@ -76,6 +82,8 @@ int main() {
                                                3)});
         }
         std::printf("%s", table.to_string().c_str());
+        std::printf("pipeline cache over both sweeps: %s\n",
+                    pipe.cache_stats().to_string().c_str());
         std::printf("note: at the Table 1 operating point (Nc = 5) the channels are\n"
                     "mostly uncongested, so both tools flatten above small Nc -- the\n"
                     "M/M/1 branch of Eq. 8 only engages when zones overlap heavily.\n");

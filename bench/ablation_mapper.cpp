@@ -6,7 +6,9 @@
 /// Two questions: how much do the detailed mapper's choices move the
 /// "actual" latency, and does LEQA (calibrated once, against the default
 /// configuration) stay accurate when the mapper underneath it changes --
-/// the paper's claim that v is the only knob needed per mapper.
+/// the paper's claim that v is the only knob needed per mapper.  One
+/// pipeline session serves every variant: swapping mapper options keeps the
+/// cached FT circuits and graphs, so only the detailed mapping re-runs.
 #include <cmath>
 #include <cstdio>
 
@@ -20,8 +22,9 @@ int main() {
     std::printf("=== Ablation: QSPR mapper design choices ===\n");
     std::printf("workload: gf2^16mult; LEQA calibrated once per mapper variant\n\n");
 
-    const auto ft = benchgen::make_ft_benchmark("gf2^16mult").circuit;
-    const fabric::PhysicalParams base; // Table 1
+    auto pipe = bench::make_suite_pipeline(fabric::PhysicalParams{}); // Table 1
+    const pipeline::CircuitSource workload =
+        pipeline::CircuitSource::from_bench("gf2^16mult");
 
     struct Variant {
         const char* label;
@@ -52,29 +55,31 @@ int main() {
     util::Table table({"mapper variant", "actual (s)", "calibrated v",
                        "LEQA estimate (s)", "|error| (%)", "qspr time (s)"});
     for (const Variant& variant : variants) {
-        const qspr::QsprMapper mapper(base, variant.options);
-        util::Stopwatch clock;
-        const double actual_s = mapper.map(ft).latency_us * 1e-6;
-        const double qspr_s = clock.seconds();
+        // Swap the session's mapper; cached circuits and graphs survive.
+        pipe.set_qspr_options(variant.options);
 
         // Re-calibrate v against this mapper variant (the paper: "this
         // parameter also can be used for tuning the LEQA with different
         // quantum mappers").
-        const auto calibration = bench::calibrate_on_smallest(base, variant.options);
-        fabric::PhysicalParams tuned = base;
-        tuned.v = calibration.v;
-        const double estimate_s =
-            core::LeqaEstimator(tuned).estimate(ft).latency_seconds();
+        const auto calibration = bench::calibrate_on_smallest(pipe);
+        pipe.apply_calibration(calibration);
+
+        pipeline::EstimationRequest request(workload, pipeline::RunMode::Both);
+        const pipeline::EstimationResult result = pipe.run(request);
+        const double actual_s = result.mapping->latency_us * 1e-6;
+        const double estimate_s = result.estimate->latency_seconds();
 
         table.add_row({variant.label, util::format_scientific(actual_s, 3),
                        util::format_double(calibration.v, 4),
                        util::format_scientific(estimate_s, 3),
                        util::format_double(
                            100.0 * std::abs(estimate_s - actual_s) / actual_s, 3),
-                       util::format_double(qspr_s, 3)});
+                       util::format_double(result.times.map_s, 3)});
     }
     std::printf("%s", table.to_string().c_str());
-    std::printf("\nreading: the mapper's own latency moves with its design choices,\n"
+    std::printf("\npipeline cache across all variants: %s\n",
+                pipe.cache_stats().to_string().c_str());
+    std::printf("reading: the mapper's own latency moves with its design choices,\n"
                 "and a single re-fitted v keeps LEQA within a few percent of each\n"
                 "variant -- the paper's per-mapper tuning story.\n");
     return 0;

@@ -6,17 +6,13 @@
 ///
 /// Sweeps the truncation point on two benchmarks with very different qubit
 /// counts and reports the estimate drift vs the exact (all Q terms)
-/// reference, plus the estimator runtime.
+/// reference, plus the estimator runtime.  One pipeline session per
+/// benchmark: swapping the estimator options keeps the cached graphs, so
+/// the sweep isolates exactly the E[S_q] evaluation cost.
 #include <cmath>
 #include <cstdio>
 
-#include "benchgen/suite.h"
-#include "core/leqa.h"
-#include "fabric/params.h"
-#include "iig/iig.h"
-#include "qodg/qodg.h"
-#include "synth/ft_synth.h"
-#include "util/stopwatch.h"
+#include "harness.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -25,39 +21,39 @@ namespace {
 using namespace leqa;
 
 void sweep(const std::string& name) {
-    const auto ft = benchgen::make_ft_benchmark(name).circuit;
-    const qodg::Qodg graph(ft);
-    const iig::Iig iig(ft);
-    const fabric::PhysicalParams params; // Table 1
+    auto pipe = bench::make_suite_pipeline(fabric::PhysicalParams{}); // Table 1
+    const pipeline::CircuitSource source = pipeline::CircuitSource::from_bench(name);
+    const pipeline::EstimationRequest request(source);
 
     core::LeqaOptions exact_options;
     exact_options.exact_sq = true;
-    util::Stopwatch exact_clock;
-    const auto exact =
-        core::LeqaEstimator(params, exact_options).estimate(graph, iig);
-    const double exact_s = exact_clock.seconds();
+    pipe.set_leqa_options(exact_options);
+    const pipeline::EstimationResult exact = pipe.run(request);
+    const std::size_t num_qubits = exact.circuit.qubits;
 
     std::printf("--- %s: Q = %zu qubits, exact reference D = %.6E s "
                 "(%.1f ms) ---\n",
-                name.c_str(), iig.num_qubits(), exact.latency_seconds(),
-                exact_s * 1e3);
+                name.c_str(), num_qubits, exact.estimate->latency_seconds(),
+                exact.times.estimate_s * 1e3);
 
     util::Table table({"E[S_q] terms", "D (s)", "drift vs exact (%)", "runtime (ms)"});
     for (const int terms : {1, 2, 3, 5, 10, 20, 50, 100}) {
-        if (static_cast<std::size_t>(terms) > iig.num_qubits()) break;
+        if (static_cast<std::size_t>(terms) > num_qubits) break;
         core::LeqaOptions options;
         options.sq_terms = terms;
-        const core::LeqaEstimator estimator(params, options);
-        util::Stopwatch clock;
-        const auto estimate = estimator.estimate(graph, iig);
-        const double runtime_ms = clock.milliseconds();
-        const double drift =
-            100.0 * std::abs(estimate.latency_us - exact.latency_us) / exact.latency_us;
+        pipe.set_leqa_options(options);
+        const pipeline::EstimationResult result = pipe.run(request);
+        const double drift = 100.0 *
+                             std::abs(result.estimate->latency_us -
+                                      exact.estimate->latency_us) /
+                             exact.estimate->latency_us;
         table.add_row({std::to_string(terms),
-                       util::format_scientific(estimate.latency_seconds(), 3),
-                       util::format_double(drift, 3), util::format_double(runtime_ms, 3)});
+                       util::format_scientific(result.estimate->latency_seconds(), 3),
+                       util::format_double(drift, 3),
+                       util::format_double(result.times.estimate_s * 1e3, 3)});
     }
-    std::printf("%s\n", table.to_string().c_str());
+    std::printf("%s", table.to_string().c_str());
+    std::printf("cache: %s\n\n", pipe.cache_stats().to_string().c_str());
 }
 
 } // namespace

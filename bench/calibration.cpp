@@ -5,7 +5,10 @@
 /// Prints the mean-absolute-relative-error curve of LEQA over the three
 /// training benchmarks as a function of v, then the golden-section optimum
 /// the other benches use, and finally the held-out error on three unseen
-/// benchmarks at that frozen v.
+/// benchmarks at that frozen v.  Everything runs through one pipeline
+/// session: the training circuits are synthesized once, their graphs built
+/// once, and both the curve scan and the calibrator reuse them.
+#include <cmath>
 #include <cstdio>
 
 #include "harness.h"
@@ -17,53 +20,49 @@ int main() {
 
     std::printf("=== Calibration: fitting LEQA's v against the QSPR mapper ===\n\n");
 
-    const fabric::PhysicalParams base; // Table 1 (v = 0.001 default)
-    const qspr::QsprMapper mapper(base);
+    auto pipe = bench::make_suite_pipeline(fabric::PhysicalParams{}); // Table 1
+    const fabric::PhysicalParams base = pipe.config().params;         // v = 0.001
 
-    // Training set: the three smallest suite benchmarks.
-    const std::vector<std::string> training = {"8bitadder", "gf2^16mult", "hwb15ps"};
-    std::vector<circuit::Circuit> train_circuits;
-    for (const auto& name : training) {
-        train_circuits.push_back(benchgen::make_ft_benchmark(name).circuit);
-    }
-    std::vector<core::CalibrationSample> samples;
-    for (const auto& circ : train_circuits) {
-        samples.push_back({&circ, mapper.map(circ).latency_us});
-    }
+    // Training set: the three smallest suite benchmarks, mapped once by the
+    // session's QSPR configuration (cached for the calibrator below).
+    const auto training = pipe.training_samples(bench::training_sources());
 
     std::printf("-- error vs v curve (training set) --\n");
     util::Table curve({"v", "mean |error| (%)"});
     for (const double v : {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 2e-3, 3e-3, 5e-3, 1e-2, 3e-2, 1e-1}) {
         fabric::PhysicalParams params = base;
         params.v = v;
-        const double error =
-            core::mean_abs_relative_error(samples, params, core::LeqaOptions{});
+        const double error = core::mean_abs_relative_error(training.graph_samples,
+                                                           params, core::LeqaOptions{});
         curve.add_row({util::format_double(v, 4), util::format_double(error * 100.0, 4)});
     }
     std::printf("%s\n", curve.to_string().c_str());
 
-    const auto result = core::calibrate_v(samples, base);
+    // Calibrate on the same training set: no re-mapping, no graph rebuilds.
+    const auto result = pipe.calibrate(training);
     std::printf("golden-section optimum: v = %.6f, training error %.2f%% "
                 "(%zu estimator evaluations)\n\n",
                 result.v, result.mean_abs_rel_error * 100.0, result.evaluations);
 
-    // Held-out check on three unseen benchmarks.
+    // Held-out check on three unseen benchmarks at the frozen v.
     std::printf("-- held-out error at the frozen v --\n");
-    fabric::PhysicalParams tuned = base;
-    tuned.v = result.v;
-    const core::LeqaEstimator estimator(tuned);
+    pipe.apply_calibration(result);
     util::Table held({"benchmark", "actual (s)", "estimated (s)", "|error| (%)"});
     for (const std::string name : {"hwb16ps", "gf2^20mult", "ham15"}) {
-        const auto circ = benchgen::make_ft_benchmark(name).circuit;
-        const double actual_s = mapper.map(circ).latency_us * 1e-6;
-        const double estimate_s = estimator.estimate(circ).latency_seconds();
+        pipeline::EstimationRequest request(pipeline::CircuitSource::from_bench(name),
+                                            pipeline::RunMode::Both);
+        const pipeline::EstimationResult held_out = pipe.run(request);
+        const double actual_s = held_out.mapping->latency_us * 1e-6;
+        const double estimate_s = held_out.estimate->latency_seconds();
         held.add_row({name, util::format_scientific(actual_s, 3),
                       util::format_scientific(estimate_s, 3),
                       util::format_double(100.0 * std::abs(estimate_s - actual_s) / actual_s,
                                           3)});
     }
     std::printf("%s", held.to_string().c_str());
-    std::printf("\nThe paper's Table 1 default (v = 0.001) sits on the flat region\n"
+    std::printf("\npipeline cache over the whole run: %s\n",
+                pipe.cache_stats().to_string().c_str());
+    std::printf("The paper's Table 1 default (v = 0.001) sits on the flat region\n"
                 "of the curve for its mapper; ours lands nearby for this mapper.\n");
     return 0;
 }

@@ -7,27 +7,28 @@
 ///   - LEQA's speed parameter v is calibrated once on the three smallest
 ///     benchmarks against that mapper (the paper's stated use of v as the
 ///     mapper-tuning knob) and then frozen;
-///   - both tools run on the identical FT netlist; wall-clock runtimes
-///     cover mapping / estimation only (generation and synthesis excluded,
-///     mirroring the paper's shared-parser setup).
+///   - both tools run on the identical FT netlist through one
+///     leqa::pipeline::Pipeline session; per-stage wall times come from the
+///     pipeline (LEQA runtime = graph build + estimate, QSPR runtime = the
+///     map stage).  run_suite clears the session cache first so every row
+///     pays the full graph-build cost -- the timing methodology must be
+///     uniform across rows for the Table 3 speedup column, even though a
+///     production sweep would happily keep the calibration-warmed entries.
 ///
 /// Environment knobs:
 ///   LEQA_BENCH_FAST=1   skip benchmarks above 80k FT ops (quick CI runs)
 ///   LEQA_BENCH_LIMIT=N  custom op-count cap
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "benchgen/suite.h"
 #include "core/calibrate.h"
-#include "core/leqa.h"
-#include "fabric/params.h"
-#include "qspr/qspr.h"
-#include "synth/ft_synth.h"
+#include "pipeline/pipeline.h"
 #include "util/env.h"
-#include "util/stopwatch.h"
 
 namespace leqa::bench {
 
@@ -50,28 +51,38 @@ inline std::size_t bench_op_limit() {
     return static_cast<std::size_t>(util::env_int("LEQA_BENCH_LIMIT", 0));
 }
 
-/// Calibrate v on the three smallest suite benchmarks against QSPR.
-inline core::CalibrationResult calibrate_on_smallest(
-    const fabric::PhysicalParams& params, const qspr::QsprOptions& qspr_options = {}) {
-    const std::vector<std::string> training = {"8bitadder", "gf2^16mult", "hwb15ps"};
-    std::vector<circuit::Circuit> circuits;
-    circuits.reserve(training.size());
-    for (const auto& name : training) {
-        circuits.push_back(benchgen::make_ft_benchmark(name).circuit);
-    }
-    const qspr::QsprMapper mapper(params, qspr_options);
-    std::vector<core::CalibrationSample> samples;
-    for (const auto& circ : circuits) {
-        samples.push_back({&circ, mapper.map(circ).latency_us});
-    }
-    return core::calibrate_v(samples, params);
+/// A pipeline session for suite evaluation.  The cache bound is kept small:
+/// the suite's large benchmarks are visited once each, and bounding the
+/// cache keeps peak memory near the seed's one-circuit-at-a-time level.
+inline pipeline::Pipeline make_suite_pipeline(const fabric::PhysicalParams& params,
+                                              const qspr::QsprOptions& qspr_options = {},
+                                              const core::LeqaOptions& leqa_options = {}) {
+    pipeline::PipelineConfig config;
+    config.params = params;
+    config.qspr = qspr_options;
+    config.leqa = leqa_options;
+    config.max_cached_circuits = 4;
+    return pipeline::Pipeline(config);
 }
 
-/// Evaluate the full suite: QSPR actual + LEQA estimate + wall times.
-inline std::vector<SuiteRow> run_suite(const fabric::PhysicalParams& params,
-                                       const core::LeqaOptions& leqa_options = {},
-                                       const qspr::QsprOptions& qspr_options = {},
-                                       bool verbose = true) {
+/// The paper's three smallest suite benchmarks (the calibration set).
+inline std::vector<pipeline::CircuitSource> training_sources() {
+    return {pipeline::CircuitSource::from_bench("8bitadder"),
+            pipeline::CircuitSource::from_bench("gf2^16mult"),
+            pipeline::CircuitSource::from_bench("hwb15ps")};
+}
+
+/// Calibrate v on the three smallest suite benchmarks against the session's
+/// mapper (and leave those circuits warm in the session cache).
+inline core::CalibrationResult calibrate_on_smallest(pipeline::Pipeline& pipe) {
+    return pipe.calibrate(training_sources());
+}
+
+/// Evaluate the full suite through the session: QSPR actual + LEQA estimate
+/// + per-stage wall times.  Starts from a cold cache so the runtime columns
+/// are methodologically uniform across rows (see the header comment).
+inline std::vector<SuiteRow> run_suite(pipeline::Pipeline& pipe, bool verbose = true) {
+    pipe.clear_cache();
     const std::size_t limit = bench_op_limit();
     std::vector<SuiteRow> rows;
     for (const auto& spec : benchgen::paper_suite()) {
@@ -82,26 +93,21 @@ inline std::vector<SuiteRow> run_suite(const fabric::PhysicalParams& params,
             }
             continue;
         }
+        pipeline::EstimationRequest request(
+            pipeline::CircuitSource::from_bench(spec.name), pipeline::RunMode::Both);
+        const pipeline::EstimationResult result = pipe.run(request);
+
         SuiteRow row;
         row.spec = spec;
-        const auto ft = benchgen::make_ft_benchmark(spec.name);
-        row.qubits = ft.circuit.num_qubits();
-        row.ops = ft.circuit.size();
-
-        const qspr::QsprMapper mapper(params, qspr_options);
-        util::Stopwatch qspr_clock;
-        const auto actual = mapper.map(ft.circuit);
-        row.qspr_runtime_s = qspr_clock.seconds();
-        row.actual_s = actual.latency_us * 1e-6;
-
-        const core::LeqaEstimator estimator(params, leqa_options);
-        util::Stopwatch leqa_clock;
-        const auto estimate = estimator.estimate(ft.circuit);
-        row.leqa_runtime_s = leqa_clock.seconds();
-        row.estimated_s = estimate.latency_seconds();
-
+        row.qubits = result.circuit.qubits;
+        row.ops = result.circuit.ft_ops;
+        row.actual_s = result.mapping->latency_us * 1e-6;
+        row.estimated_s = result.estimate->latency_seconds();
+        row.qspr_runtime_s = result.times.map_s;
+        row.leqa_runtime_s = result.times.graphs_s + result.times.estimate_s;
         row.error_pct = 100.0 * std::abs(row.estimated_s - row.actual_s) / row.actual_s;
-        row.speedup = row.leqa_runtime_s > 0.0 ? row.qspr_runtime_s / row.leqa_runtime_s : 0.0;
+        row.speedup =
+            row.leqa_runtime_s > 0.0 ? row.qspr_runtime_s / row.leqa_runtime_s : 0.0;
         if (verbose) {
             std::fprintf(stderr, "[bench] %-18s actual %.3E s, estimate %.3E s (%.2f%%), "
                                  "qspr %.3fs, leqa %.4fs\n",

@@ -11,6 +11,7 @@
 #include "fabric/params.h"
 #include "iig/iig.h"
 #include "parser/qasm.h"
+#include "pipeline/pipeline.h"
 #include "qodg/qodg.h"
 #include "qspr/qspr.h"
 #include "synth/ft_synth.h"
@@ -126,6 +127,43 @@ void BM_QasmParse(benchmark::State& state) {
                             static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_QasmParse);
+
+// The pipeline-cache win the facade exists for: a fabric sweep re-estimates
+// the same circuit at many parameter points.  Cold rebuilds the session
+// (synthesis + QODG/IIG per iteration); warm reuses the cached
+// intermediates, which is how sweep/calibrate/batch consumers run.
+const std::vector<int> kSweepSides = {40, 52, 60, 72, 80};
+
+void BM_PipelineSweepCold(benchmark::State& state) {
+    benchgen::Gf2MultSpec spec;
+    spec.n = static_cast<int>(state.range(0));
+    spec.form = benchgen::Gf2PolyForm::Auto;
+    const auto source = pipeline::CircuitSource::from_circuit(benchgen::gf2_mult(spec));
+    for (auto _ : state) {
+        pipeline::Pipeline pipe; // fresh session: synthesis + graphs rebuilt
+        const auto sweep = pipe.sweep_fabric_sides(source, kSweepSides);
+        benchmark::DoNotOptimize(sweep.best_index);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kSweepSides.size()));
+}
+BENCHMARK(BM_PipelineSweepCold)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineSweepWarm(benchmark::State& state) {
+    benchgen::Gf2MultSpec spec;
+    spec.n = static_cast<int>(state.range(0));
+    spec.form = benchgen::Gf2PolyForm::Auto;
+    pipeline::Pipeline pipe;
+    const auto source = pipeline::CircuitSource::from_circuit(benchgen::gf2_mult(spec));
+    (void)pipe.sweep_fabric_sides(source, kSweepSides); // populate the cache
+    for (auto _ : state) {
+        const auto sweep = pipe.sweep_fabric_sides(source, kSweepSides);
+        benchmark::DoNotOptimize(sweep.best_index);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kSweepSides.size()));
+}
+BENCHMARK(BM_PipelineSweepWarm)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_FtSynthesis(benchmark::State& state) {
     benchgen::Gf2MultSpec spec;

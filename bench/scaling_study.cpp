@@ -19,6 +19,7 @@
 #include "mathx/stats.h"
 #include "qspr/qspr.h"
 #include "synth/ft_synth.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
 

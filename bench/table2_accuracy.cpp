@@ -21,14 +21,14 @@ int main() {
 
     std::printf("=== Table 2: actual (QSPR) vs estimated (LEQA) latency ===\n\n");
 
-    fabric::PhysicalParams params; // Table 1
-    const auto calibration = bench::calibrate_on_smallest(params);
-    params.v = calibration.v;
+    auto pipe = bench::make_suite_pipeline(fabric::PhysicalParams{}); // Table 1
+    const auto calibration = bench::calibrate_on_smallest(pipe);
+    pipe.apply_calibration(calibration);
     std::printf("calibrated v = %.6f on {8bitadder, gf2^16mult, hwb15ps} "
                 "(training error %.2f%%)\n\n",
                 calibration.v, calibration.mean_abs_rel_error * 100.0);
 
-    const auto rows = bench::run_suite(params);
+    const auto rows = bench::run_suite(pipe);
 
     util::Table table({"Benchmark", "Actual Delay (sec)", "Estimated Delay (sec)",
                        "Abs Error (%)", "paper err (%)"});

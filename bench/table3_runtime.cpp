@@ -20,11 +20,11 @@ int main() {
 
     std::printf("=== Table 3: benchmark sizes and QSPR vs LEQA runtime ===\n\n");
 
-    fabric::PhysicalParams params; // Table 1
-    const auto calibration = bench::calibrate_on_smallest(params);
-    params.v = calibration.v;
+    auto pipe = bench::make_suite_pipeline(fabric::PhysicalParams{}); // Table 1
+    const auto calibration = bench::calibrate_on_smallest(pipe);
+    pipe.apply_calibration(calibration);
 
-    const auto rows = bench::run_suite(params);
+    const auto rows = bench::run_suite(pipe);
 
     util::Table table({"Benchmark", "Qubit Count", "Operation Count", "QSPR (s)",
                        "LEQA (s)", "Speedup (X)", "paper (X)"});

@@ -5,7 +5,8 @@
 /// designers "learn efficient ways of coding their quantum algorithms by
 /// quickly comparing the latency of different software coding techniques."
 /// This example compares three codings of the same multiply-accumulate
-/// kernel over GF(2^16):
+/// kernel over GF(2^16), each handed to the pipeline as an in-memory
+/// circuit source:
 ///   A. trinomial-style reduction is impossible for n = 16, so: pentanomial
 ///      multiplier (the suite default);
 ///   B. the same multiplier with ancilla-sharing FT synthesis (fewer
@@ -15,28 +16,20 @@
 ///
 ///   $ ./build/examples/coding_advisor
 #include <cstdio>
+#include <vector>
 
 #include "benchgen/gf2_mult.h"
-#include "core/leqa.h"
-#include "fabric/params.h"
-#include "synth/ft_synth.h"
+#include "pipeline/pipeline.h"
 
 namespace {
 
 using namespace leqa;
 
-struct Candidate {
-    const char* label;
-    circuit::Circuit ft_circuit;
-};
-
-void report(const Candidate& candidate, const core::LeqaEstimator& estimator,
-            double baseline_s) {
-    const core::LeqaEstimate estimate = estimator.estimate(candidate.ft_circuit);
-    std::printf("%-38s %8zu %9zu %12.4E %9.2fx\n", candidate.label,
-                candidate.ft_circuit.num_qubits(), candidate.ft_circuit.size(),
-                estimate.latency_seconds(),
-                baseline_s > 0 ? estimate.latency_seconds() / baseline_s : 1.0);
+void report(const pipeline::EstimationResult& result, double baseline_s) {
+    const double latency_s = result.estimate->latency_seconds();
+    std::printf("%-38s %8zu %9zu %12.4E %9.2fx\n", result.label.c_str(),
+                result.circuit.qubits, result.circuit.ft_ops, latency_s,
+                baseline_s > 0 ? latency_s / baseline_s : 1.0);
 }
 
 } // namespace
@@ -46,17 +39,6 @@ int main() {
     spec.n = 16;
     spec.form = benchgen::Gf2PolyForm::Pentanomial;
     const circuit::Circuit mult = benchgen::gf2_mult(spec);
-
-    // Coding A: standard flow (fresh ancillas -- none needed here).
-    Candidate coding_a{"A: pentanomial multiplier", synth::ft_synthesize(mult).circuit};
-
-    // Coding B: identical netlist, ancilla-sharing synthesis.  For this
-    // kernel the netlist has no multi-controlled gates, so B == A; it is
-    // kept to show the knob (and costs nothing).
-    synth::FtSynthOptions sharing;
-    sharing.share_ancillas = true;
-    Candidate coding_b{"B: same, ancilla-sharing synthesis",
-                       synth::ft_synthesize(mult, sharing).circuit};
 
     // Coding C: interleave two independent half-size multiplications that
     // a compiler could extract (a0*b0 and a1*b1 into separate accumulators)
@@ -79,21 +61,40 @@ int main() {
             wide.add_gate(high);
         }
     }
-    Candidate coding_c{"C: two interleaved half-multipliers",
-                       synth::ft_synthesize(wide).circuit};
 
-    const fabric::PhysicalParams params; // Table 1
-    const core::LeqaEstimator estimator(params);
-    const double baseline =
-        estimator.estimate(coding_a.ft_circuit).latency_seconds();
+    pipeline::Pipeline pipe; // Table 1 defaults, fresh-ancilla synthesis
+
+    // Codings A and C go through the default session; coding B re-runs the
+    // identical netlist under ancilla-sharing synthesis (a config change,
+    // hence a distinct cache identity -- the cache key records the synth
+    // toggles).
+    pipeline::EstimationRequest coding_a(pipeline::CircuitSource::from_circuit(mult));
+    coding_a.label = "A: pentanomial multiplier";
+    pipeline::EstimationRequest coding_c(pipeline::CircuitSource::from_circuit(wide));
+    coding_c.label = "C: two interleaved half-multipliers";
+
+    const pipeline::EstimationResult result_a = pipe.run(coding_a);
+    const pipeline::EstimationResult result_c = pipe.run(coding_c);
+
+    synth::FtSynthOptions sharing;
+    sharing.share_ancillas = true;
+    pipeline::PipelineConfig shared_config;
+    shared_config.synth = sharing;
+    pipeline::Pipeline shared_pipe(shared_config);
+    pipeline::EstimationRequest coding_b(pipeline::CircuitSource::from_circuit(mult));
+    coding_b.label = "B: same, ancilla-sharing synthesis";
+    const pipeline::EstimationResult result_b = shared_pipe.run(coding_b);
+
+    const fabric::PhysicalParams& params = pipe.config().params;
+    const double baseline = result_a.estimate->latency_seconds();
 
     std::printf("LEQA as a coding advisor (fabric %dx%d, Table 1 parameters)\n\n",
                 params.width, params.height);
     std::printf("%-38s %8s %9s %12s %9s\n", "coding", "qubits", "FT ops", "D (s)",
                 "vs A");
-    report(coding_a, estimator, baseline);
-    report(coding_b, estimator, baseline);
-    report(coding_c, estimator, baseline);
+    report(result_a, baseline);
+    report(result_b, baseline);
+    report(result_c, baseline);
     std::printf("\nCoding C shows the classic width-vs-depth trade: more qubits,\n"
                 "shorter critical path, lower estimated latency -- evaluated in\n"
                 "milliseconds instead of a full map-and-route run per variant.\n");

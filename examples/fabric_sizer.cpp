@@ -5,58 +5,52 @@
 /// "this value can be changed to find the optimal size for the fabric which
 /// results in the minimum delay".  A bigger fabric spreads presence zones
 /// (fewer overlaps, less congestion) but LEQA's model also captures the
-/// point of diminishing returns.  This example sweeps square fabrics for a
-/// benchmark and reports the knee -- a design-space exploration that would
-/// take hours with a detailed mapper and takes milliseconds with LEQA.
+/// point of diminishing returns.  This example runs the pipeline's fabric
+/// sweep for a benchmark and reports the knee -- a design-space exploration
+/// that would take hours with a detailed mapper and takes milliseconds with
+/// LEQA.  The session cache builds the QODG/IIG exactly once for the whole
+/// sweep.
 ///
 ///   $ ./build/examples/fabric_sizer [benchmark] [v]
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "benchgen/suite.h"
-#include "core/leqa.h"
-#include "iig/iig.h"
-#include "qodg/qodg.h"
-#include "synth/ft_synth.h"
+#include "pipeline/pipeline.h"
 
 int main(int argc, char** argv) {
     using namespace leqa;
 
     const std::string name = argc > 1 ? argv[1] : "gf2^20mult";
-    const circuit::Circuit circ = synth::ft_synthesize(benchgen::make_benchmark(name)).circuit;
+
+    pipeline::PipelineConfig config; // Table 1 defaults
+    if (argc > 2) config.params.v = std::stod(argv[2]);
+    pipeline::Pipeline pipe(config);
+
+    const pipeline::CircuitSource source = pipeline::CircuitSource::from_bench(name);
+    const pipeline::CachedCircuitPtr circuit = pipe.resolve(source);
     std::printf("workload: %s (%zu qubits, %zu FT ops)\n\n", name.c_str(),
-                circ.num_qubits(), circ.size());
+                circuit->info().qubits, circuit->info().ft_ops);
 
-    // Prebuild graphs once; only the fabric parameters change per step.
-    const qodg::Qodg graph(circ);
-    const iig::Iig iig(circ);
+    std::vector<int> sides;
+    for (int side = 8; side <= 120; side += 4) sides.push_back(side);
+    const core::SweepResult sweep = pipe.sweep_fabric_sides(source, sides);
 
-    fabric::PhysicalParams params; // Table 1 defaults
-    if (argc > 2) params.v = std::stod(argv[2]);
-
-    std::printf("%8s %14s %16s %14s\n", "fabric", "D (s)", "L_CNOT^avg (us)", "vs best (%)");
-    double best = -1.0;
-    int best_side = 0;
-    struct Row { int side; double latency; double l_cnot; };
-    std::vector<Row> rows;
-    for (int side = 8; side <= 120; side += 4) {
-        if (static_cast<std::size_t>(side) * side < circ.num_qubits()) continue;
-        params.width = side;
-        params.height = side;
-        const core::LeqaEstimator estimator(params);
-        const core::LeqaEstimate estimate = estimator.estimate(graph, iig);
-        rows.push_back({side, estimate.latency_seconds(), estimate.l_cnot_avg_us});
-        if (best < 0.0 || estimate.latency_seconds() < best) {
-            best = estimate.latency_seconds();
-            best_side = side;
-        }
-    }
-    for (const Row& row : rows) {
-        std::printf("%5dx%-3d %14.4E %16.2f %+13.2f%s\n", row.side, row.side,
-                    row.latency, row.l_cnot, 100.0 * (row.latency - best) / best,
-                    row.side == best_side ? "  <-- minimum" : "");
+    std::printf("%8s %14s %16s %14s\n", "fabric", "D (s)", "L_CNOT^avg (us)",
+                "vs best (%)");
+    const double best = sweep.best().estimate.latency_seconds();
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        const core::SweepPoint& point = sweep.points[i];
+        std::printf("%5dx%-3d %14.4E %16.2f %+13.2f%s\n", point.params.width,
+                    point.params.height, point.estimate.latency_seconds(),
+                    point.estimate.l_cnot_avg_us,
+                    100.0 * (point.estimate.latency_seconds() - best) / best,
+                    i == sweep.best_index ? "  <-- minimum" : "");
     }
     std::printf("\nlatency-optimal square fabric for %s: %dx%d (D = %.4E s)\n",
-                name.c_str(), best_side, best_side, best);
+                name.c_str(), sweep.best().params.width, sweep.best().params.height,
+                best);
+    std::printf("pipeline cache: %s (one QODG/IIG build for %zu fabric sizes)\n",
+                pipe.cache_stats().to_string().c_str(), sweep.points.size());
     return 0;
 }

@@ -1,45 +1,42 @@
 /// \file netlist_inspector.cpp
 /// \brief Parse a netlist (or generate a suite benchmark), print its
-///        structural statistics, and export QODG / IIG Graphviz renderings.
+///        structural statistics, and export QODG / IIG Graphviz renderings
+///        from the pipeline's cached intermediates.
 ///
-///   $ ./build/examples/netlist_inspector                 # uses ham3
+///   $ ./build/examples/netlist_inspector                 # uses bench:ham3
 ///   $ ./build/examples/netlist_inspector my.qasm out_dir
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
-#include "benchgen/suite.h"
-#include "iig/iig.h"
 #include "parser/io.h"
-#include "qodg/qodg.h"
-#include "synth/ft_synth.h"
+#include "pipeline/pipeline.h"
 
 int main(int argc, char** argv) {
     using namespace leqa;
 
-    circuit::Circuit circ;
-    if (argc > 1 && !benchgen::has_benchmark(argv[1])) {
-        circ = parser::load_netlist(argv[1]);
-    } else if (argc > 1) {
-        circ = benchgen::make_benchmark(argv[1]);
-    } else {
-        circ = benchgen::ham3();
-    }
+    const std::string spec = argc > 1 ? argv[1] : "bench:ham3";
+    const pipeline::CircuitSource source = pipeline::parse_source(spec);
 
+    // The pre-FT netlist for the structural report...
+    const circuit::Circuit circ = source.load();
     std::printf("netlist: %s\n", circ.name().empty() ? "(unnamed)" : circ.name().c_str());
     std::printf("  qubits: %zu\n  gates:  %zu (%s)\n", circ.num_qubits(), circ.size(),
                 circ.counts().to_string().c_str());
     std::printf("  classical-reversible: %s, FT: %s\n",
                 circ.is_classical() ? "yes" : "no", circ.is_ft() ? "yes" : "no");
 
-    circuit::Circuit ft = circ;
-    if (!circ.is_ft()) {
-        const auto result = synth::ft_synthesize(circ);
-        std::printf("after FT synthesis: %s\n", result.stats.to_string().c_str());
-        ft = result.circuit;
+    // ...and the pipeline's cached FT circuit + graphs for everything else
+    // (handing over the already-parsed circuit avoids a second parse).
+    pipeline::Pipeline pipe;
+    const pipeline::CachedCircuitPtr entry =
+        pipe.resolve(pipeline::CircuitSource::from_circuit(circ));
+    if (entry->info().synthesized) {
+        std::printf("after FT synthesis: %s\n", entry->synth_stats().to_string().c_str());
     }
 
-    const qodg::Qodg graph(ft);
-    const iig::Iig iig(ft);
+    const qodg::Qodg& graph = entry->qodg();
+    const iig::Iig& iig = entry->iig();
     std::printf("QODG: %zu nodes, %zu merged edges\n", graph.num_nodes(),
                 graph.num_edges());
     std::printf("IIG:  %zu interacting pairs, total weight %llu, B = %.3f\n",
@@ -61,10 +58,10 @@ int main(int argc, char** argv) {
         if (count > 0) std::printf("  M=%2zu: %zu qubit(s)\n", d, count);
     }
 
-    if (ft.size() <= 200) {
+    if (entry->ft().size() <= 200) {
         const std::string dir = argc > 2 ? argv[2] : ".";
-        parser::write_file(dir + "/qodg.dot", graph.to_dot(ft));
-        parser::write_file(dir + "/iig.dot", iig.to_dot(ft));
+        parser::write_file(dir + "/qodg.dot", graph.to_dot(entry->ft()));
+        parser::write_file(dir + "/iig.dot", iig.to_dot(entry->ft()));
         std::printf("wrote %s/qodg.dot and %s/iig.dot (render with graphviz)\n",
                     dir.c_str(), dir.c_str());
     } else {

@@ -1,57 +1,54 @@
 /// \file quickstart.cpp
 /// \brief Five-minute tour of the library on the paper's Figure 2 circuit.
 ///
-/// Builds the ham3 circuit, FT-synthesizes it, inspects the QODG (the graph
-/// of Figure 2(b)), estimates its latency with LEQA, and cross-checks the
-/// estimate against the detailed QSPR baseline.
+/// One Pipeline session runs the whole flow -- parse, FT synthesis, QODG /
+/// IIG construction, the LEQA estimate and the detailed QSPR baseline --
+/// from a single request; the cached intermediates are inspected afterwards.
 ///
 ///   $ ./build/examples/quickstart
 #include <cstdio>
 
-#include "benchgen/suite.h"
-#include "core/leqa.h"
-#include "fabric/params.h"
-#include "iig/iig.h"
-#include "qodg/qodg.h"
-#include "qspr/qspr.h"
-#include "synth/ft_synth.h"
+#include "pipeline/pipeline.h"
 
 int main() {
     using namespace leqa;
 
-    // 1. A reversible circuit: ham3 from the paper's Figure 2 (one Toffoli
-    //    plus four FT gates on three qubits).
-    const circuit::Circuit ham3 = benchgen::ham3();
-    std::printf("== ham3 (Figure 2) ==\n%s\n", ham3.to_string().c_str());
+    // 1. A session with the paper's Table 1 physical parameters.
+    pipeline::Pipeline pipe;
 
-    // 2. Fault-tolerant synthesis: the Toffoli expands into the 15-gate
-    //    {H, T, Tdg, CNOT} network, giving the 19 FT operations the figure
-    //    numbers 1..19.
-    const synth::FtSynthResult ft = synth::ft_synthesize(ham3);
-    std::printf("FT synthesis: %s\n\n", ft.stats.to_string().c_str());
+    // 2. One request: the ham3 circuit of Figure 2, estimate + map.
+    pipeline::EstimationRequest request(pipeline::CircuitSource::from_bench("ham3"),
+                                        pipeline::RunMode::Both);
+    const pipeline::EstimationResult result = pipe.run(request);
 
-    // 3. The QODG: dependency graph with start/end sentinels (Figure 2(b)).
-    const qodg::Qodg graph(ft.circuit);
-    std::printf("QODG: %zu nodes (%zu ops), %zu merged edges\n", graph.num_nodes(),
-                graph.num_ops(), graph.num_edges());
-    const iig::Iig iig(ft.circuit);
+    std::printf("== ham3 (Figure 2) ==\n");
+    std::printf("FT synthesis: %zu reversible gates -> %zu FT operations on %zu "
+                "qubits\n",
+                result.circuit.pre_ft_gates, result.circuit.ft_ops,
+                result.circuit.qubits);
+
+    // 3. The cached intermediates: the QODG of Figure 2(b) and the IIG.
+    const pipeline::CachedCircuitPtr entry = pipe.resolve(request.source);
+    std::printf("QODG: %zu nodes (%zu ops), %zu merged edges\n",
+                entry->qodg().num_nodes(), entry->qodg().num_ops(),
+                entry->qodg().num_edges());
     std::printf("IIG: %zu qubits, %zu interacting pairs, B = %.2f\n\n",
-                iig.num_qubits(), iig.num_edges(), iig.average_zone_area());
+                entry->iig().num_qubits(), entry->iig().num_edges(),
+                entry->iig().average_zone_area());
 
-    // 4. LEQA estimate with the paper's Table 1 physical parameters.
-    const fabric::PhysicalParams params; // Table 1 defaults
-    const core::LeqaEstimator estimator(params);
-    const core::LeqaEstimate estimate = estimator.estimate(ft.circuit);
+    // 4. LEQA estimate vs the detailed QSPR baseline, from the same request.
+    const core::LeqaEstimate& estimate = *result.estimate;
+    const qspr::QsprResult& actual = *result.mapping;
     std::printf("LEQA estimate:  %.6E s (critical path: %zu CNOT, %zu one-qubit)\n",
                 estimate.latency_seconds(), estimate.critical_cnots,
                 estimate.critical_one_qubit);
-
-    // 5. Detailed baseline for comparison.
-    const qspr::QsprMapper mapper(params);
-    const qspr::QsprResult actual = mapper.map(ft.circuit);
+    std::printf("QSPR actual:    %.6E s\n", actual.latency_us * 1e-6);
     const double error =
         100.0 * (estimate.latency_us - actual.latency_us) / actual.latency_us;
-    std::printf("QSPR actual:    %.6E s\n", actual.latency_us * 1e-6);
-    std::printf("estimation error: %+.2f%%\n", error);
+    std::printf("estimation error: %+.2f%%\n\n", error);
+
+    // 5. The session cache: a second identical request re-parses nothing.
+    (void)pipe.run(request);
+    std::printf("cache after two runs: %s\n", pipe.cache_stats().to_string().c_str());
     return 0;
 }

@@ -7,7 +7,12 @@
 ///   benchgen_cli hwb15ps out/hwb15ps.real --ft
 #include <cstdio>
 
+#include "benchgen/suite.h"
 #include "cli/common.h"
+#include "parser/io.h"
+#include "synth/ft_synth.h"
+#include "util/args.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -37,7 +42,11 @@ int body(int argc, char** argv) {
     LEQA_REQUIRE(name.has_value() && output.has_value(),
                  "usage: benchgen_cli <name> <output> (or --list)");
 
-    circuit::Circuit circ = benchgen::make_benchmark(*name);
+    // Accept the pipeline's bench: namespace too; this tool only generates
+    // suite benchmarks, so the bare name remains valid here.
+    const std::string bench_name =
+        util::starts_with(*name, "bench:") ? name->substr(6) : *name;
+    circuit::Circuit circ = benchgen::make_benchmark(bench_name);
     if (parser.flag("ft")) {
         auto result = synth::ft_synthesize(circ);
         std::printf("ft synthesis: %s\n", result.stats.to_string().c_str());

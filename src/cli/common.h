@@ -1,67 +1,16 @@
 /// \file common.h
-/// \brief Shared helpers for the CLI tools: input resolution and parameter
-///        overrides.
+/// \brief Shared helpers for the CLI tools.
+///
+/// Input resolution and parameter handling moved to pipeline/input.h (the
+/// pipeline facade's input-resolution module); what remains here is the
+/// top-level error handler the three CLIs share.
 #pragma once
 
 #include <cstdio>
-#include <string>
 
-#include "benchgen/suite.h"
-#include "circuit/circuit.h"
-#include "fabric/params.h"
-#include "parser/io.h"
-#include "synth/ft_synth.h"
-#include "util/args.h"
 #include "util/error.h"
-#include "util/strings.h"
 
 namespace leqa::cli {
-
-/// Resolve the circuit input: a netlist path, or "bench:<name>" /
-/// "--bench <name>" for a generated suite benchmark.  The returned circuit
-/// is pre-FT; callers synthesize as needed.
-inline circuit::Circuit resolve_input(const std::string& input) {
-    if (util::starts_with(input, "bench:")) {
-        const std::string name = input.substr(6);
-        return name == "ham3" ? benchgen::ham3() : benchgen::make_benchmark(name);
-    }
-    if (input == "ham3") return benchgen::ham3(); // the paper's Figure 2 circuit
-    if (benchgen::has_benchmark(input)) {
-        return benchgen::make_benchmark(input);
-    }
-    return parser::load_netlist(input);
-}
-
-/// Register the shared fabric-parameter options on a parser.
-inline void add_param_options(util::ArgParser& parser) {
-    parser.add_option("params", "physical-parameter config file (Table 1 defaults)");
-    parser.add_option("fabric", "fabric size as WxH, e.g. 60x60");
-    parser.add_option("nc", "routing channel capacity Nc");
-    parser.add_option("v", "logical-qubit speed parameter v");
-    parser.add_option("tmove", "per-hop move time in microseconds");
-}
-
-/// Build PhysicalParams from --params plus individual overrides.
-inline fabric::PhysicalParams resolve_params(const util::ArgParser& parser) {
-    fabric::PhysicalParams params;
-    if (parser.option_given("params")) {
-        params = fabric::PhysicalParams::load(parser.option("params"));
-    }
-    if (parser.option_given("fabric")) {
-        const auto parts = util::split(parser.option("fabric"), 'x');
-        LEQA_REQUIRE(parts.size() == 2, "--fabric expects WxH, e.g. 60x60");
-        const auto w = util::parse_int(parts[0]);
-        const auto h = util::parse_int(parts[1]);
-        LEQA_REQUIRE(w && h && *w > 0 && *h > 0, "--fabric expects positive integers");
-        params.width = static_cast<int>(*w);
-        params.height = static_cast<int>(*h);
-    }
-    if (parser.option_given("nc")) params.nc = static_cast<int>(parser.option_int("nc"));
-    if (parser.option_given("v")) params.v = parser.option_double("v");
-    if (parser.option_given("tmove")) params.t_move_us = parser.option_double("tmove");
-    params.validate();
-    return params;
-}
 
 /// Standard top-level error handler for main().
 inline int run_main(int argc, char** argv, int (*body)(int, char**)) {

@@ -1,19 +1,19 @@
 /// \file leqa_cli.cpp
 /// \brief Command-line LEQA estimator: netlist (or generated benchmark) in,
-///        latency estimate and model breakdown out.
+///        latency estimate and model breakdown out.  A thin shell over the
+///        leqa::pipeline::Pipeline facade.
 ///
 /// Examples:
-///   leqa_cli gf2^16mult
+///   leqa_cli bench:gf2^16mult
 ///   leqa_cli path/to/circuit.qasm --fabric 80x80 --nc 3 --v 0.002
 ///   leqa_cli bench:hwb15ps --breakdown --dot qodg.dot
 #include <cstdio>
 
 #include "cli/common.h"
-#include "core/leqa.h"
-#include "iig/iig.h"
-#include "qodg/qodg.h"
+#include "parser/io.h"
+#include "pipeline/pipeline.h"
 #include "report/report.h"
-#include "util/stopwatch.h"
+#include "util/args.h"
 
 namespace {
 
@@ -23,8 +23,8 @@ int body(int argc, char** argv) {
     util::ArgParser parser(
         "LEQA: fast latency estimation for a quantum algorithm mapped to a "
         "tiled quantum circuit fabric (DAC 2013)");
-    parser.add_positional("input", "netlist path (.qasm/.real) or suite benchmark name");
-    cli::add_param_options(parser);
+    parser.add_positional("input", "netlist path (.qasm/.real) or bench:<name>");
+    pipeline::add_param_options(parser);
     parser.add_option("sq-terms", "number of E[S_q] terms (paper: 20)", "20");
     parser.add_flag("exact-sq", "evaluate all Q terms of E[S_q]");
     parser.add_flag("breakdown", "print the model intermediates");
@@ -33,33 +33,35 @@ int body(int argc, char** argv) {
     parser.add_option("json", "write the estimate as JSON to this path");
     if (!parser.parse(argc, argv)) return 0;
 
-    const auto params = cli::resolve_params(parser);
-    core::LeqaOptions options;
-    options.sq_terms = static_cast<int>(parser.option_int("sq-terms"));
-    options.exact_sq = parser.flag("exact-sq");
+    pipeline::PipelineConfig config;
+    config.params = pipeline::params_from_args(parser);
+    config.leqa.sq_terms = static_cast<int>(parser.option_int("sq-terms"));
+    config.leqa.exact_sq = parser.flag("exact-sq");
+    config.auto_synthesize = !parser.flag("no-synth");
+    pipeline::Pipeline pipe(config);
 
-    circuit::Circuit circ = cli::resolve_input(*parser.positional("input"));
-    std::size_t pre_ft_gates = circ.size();
-    if (!parser.flag("no-synth") && !circ.is_ft()) {
-        const auto result = synth::ft_synthesize(circ);
-        std::printf("ft synthesis: %s\n", result.stats.to_string().c_str());
-        circ = std::move(result.circuit);
+    pipeline::EstimationRequest request(
+        pipeline::parse_source(*parser.positional("input")));
+    const pipeline::EstimationResult result = pipe.run(request);
+    const core::LeqaEstimate& estimate = *result.estimate;
+    const fabric::PhysicalParams& params = result.params;
+    const pipeline::CachedCircuitPtr entry = pipe.resolve(request.source);
+
+    if (result.circuit.synthesized) {
+        std::printf("ft synthesis: %s\n", entry->synth_stats().to_string().c_str());
     }
-
-    const util::Stopwatch total;
-    const core::LeqaEstimator estimator(params, options);
-    const core::LeqaEstimate estimate = estimator.estimate(circ);
-    const double runtime_s = total.seconds();
-
-    std::printf("circuit: %s\n", circ.name().empty() ? "(unnamed)" : circ.name().c_str());
-    std::printf("  logical qubits:      %zu\n", estimate.num_qubits);
+    std::printf("circuit: %s\n", result.circuit.name.c_str());
+    std::printf("  logical qubits:      %zu\n", result.circuit.qubits);
     std::printf("  FT operations:       %zu (from %zu reversible gates)\n",
-                estimate.num_ops, pre_ft_gates);
+                result.circuit.ft_ops, result.circuit.pre_ft_gates);
     std::printf("fabric: %dx%d ULBs, Nc=%d, Tmove=%.0f us, v=%g\n", params.width,
                 params.height, params.nc, params.t_move_us, params.v);
     std::printf("estimated latency D: %.6E s  (%.3f us)\n",
                 estimate.latency_seconds(), estimate.latency_us);
-    std::printf("leqa runtime: %.3f ms\n", runtime_s * 1e3);
+    std::printf("leqa runtime: %.3f ms (resolve %.3f ms, graphs %.3f ms, "
+                "estimate %.3f ms)\n",
+                result.times.total_s * 1e3, result.times.resolve_s * 1e3,
+                result.times.graphs_s * 1e3, result.times.estimate_s * 1e3);
 
     if (parser.flag("breakdown")) {
         std::printf("\nmodel breakdown:\n");
@@ -83,13 +85,11 @@ int body(int argc, char** argv) {
     }
 
     if (parser.option_given("dot")) {
-        const qodg::Qodg graph(circ);
-        parser::write_file(parser.option("dot"), graph.to_dot(circ));
+        parser::write_file(parser.option("dot"), entry->qodg().to_dot(entry->ft()));
         std::printf("wrote QODG DOT to %s\n", parser.option("dot").c_str());
     }
     if (parser.option_given("json")) {
-        parser::write_file(parser.option("json"),
-                           report::estimate_to_json(estimate, params, circ.name()));
+        parser::write_file(parser.option("json"), report::result_to_json(result));
         std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
     }
     return 0;

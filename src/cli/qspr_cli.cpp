@@ -1,16 +1,18 @@
 /// \file qspr_cli.cpp
 /// \brief Command-line QSPR baseline: run the detailed scheduler / placer /
-///        router and report the actual latency.
+///        router and report the actual latency.  A thin shell over the
+///        leqa::pipeline::Pipeline facade in Map mode.
 ///
 /// Examples:
-///   qspr_cli gf2^16mult
+///   qspr_cli bench:gf2^16mult
 ///   qspr_cli path/to/circuit.qasm --fabric 80x80 --placement random --seed 7
 #include <cstdio>
 
 #include "cli/common.h"
-#include "qspr/qspr.h"
+#include "parser/io.h"
+#include "pipeline/pipeline.h"
 #include "report/report.h"
-#include "util/stopwatch.h"
+#include "util/args.h"
 
 namespace {
 
@@ -20,8 +22,8 @@ int body(int argc, char** argv) {
     util::ArgParser parser(
         "QSPR baseline: detailed scheduling, placement and routing of an FT "
         "netlist on a tiled quantum architecture");
-    parser.add_positional("input", "netlist path (.qasm/.real) or suite benchmark name");
-    cli::add_param_options(parser);
+    parser.add_positional("input", "netlist path (.qasm/.real) or bench:<name>");
+    pipeline::add_param_options(parser);
     parser.add_option("placement", "centered-block | row-major | random", "centered-block");
     parser.add_option("routing", "maze | xy", "maze");
     parser.add_option("schedule", "program-order | critical-path", "program-order");
@@ -32,46 +34,46 @@ int body(int argc, char** argv) {
     parser.add_option("schedule-csv", "write the detailed schedule as CSV to this path");
     if (!parser.parse(argc, argv)) return 0;
 
-    const auto params = cli::resolve_params(parser);
-    qspr::QsprOptions options;
-    options.placement = qspr::parse_placement_strategy(parser.option("placement"));
-    options.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
-    options.routing = qspr::parse_routing_algorithm(parser.option("routing"));
-    options.schedule = qspr::parse_schedule_policy(parser.option("schedule"));
-    options.collect_schedule = parser.option_given("schedule-csv");
+    pipeline::PipelineConfig config;
+    config.params = pipeline::params_from_args(parser);
+    config.qspr.placement = qspr::parse_placement_strategy(parser.option("placement"));
+    config.qspr.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+    config.qspr.routing = qspr::parse_routing_algorithm(parser.option("routing"));
+    config.qspr.schedule = qspr::parse_schedule_policy(parser.option("schedule"));
+    config.qspr.collect_schedule = parser.option_given("schedule-csv");
+    config.auto_synthesize = !parser.flag("no-synth");
+    pipeline::Pipeline pipe(config);
 
-    circuit::Circuit circ = cli::resolve_input(*parser.positional("input"));
-    if (!parser.flag("no-synth") && !circ.is_ft()) {
-        const auto result = synth::ft_synthesize(circ);
-        std::printf("ft synthesis: %s\n", result.stats.to_string().c_str());
-        circ = std::move(result.circuit);
+    pipeline::EstimationRequest request(
+        pipeline::parse_source(*parser.positional("input")), pipeline::RunMode::Map);
+    const pipeline::EstimationResult result = pipe.run(request);
+    const qspr::QsprResult& mapping = *result.mapping;
+    const fabric::PhysicalParams& params = result.params;
+    const pipeline::CachedCircuitPtr entry = pipe.resolve(request.source);
+
+    if (result.circuit.synthesized) {
+        std::printf("ft synthesis: %s\n", entry->synth_stats().to_string().c_str());
     }
-
-    const util::Stopwatch total;
-    const qspr::QsprMapper mapper(params, options);
-    const qspr::QsprResult result = mapper.map(circ);
-    const double runtime_s = total.seconds();
-
-    std::printf("circuit: %s\n", circ.name().empty() ? "(unnamed)" : circ.name().c_str());
-    std::printf("  logical qubits: %zu\n", circ.num_qubits());
-    std::printf("  FT operations:  %zu\n", circ.size());
+    std::printf("circuit: %s\n", result.circuit.name.c_str());
+    std::printf("  logical qubits: %zu\n", result.circuit.qubits);
+    std::printf("  FT operations:  %zu\n", result.circuit.ft_ops);
     std::printf("fabric: %dx%d ULBs, Nc=%d, Tmove=%.0f us, placement=%s\n",
                 params.width, params.height, params.nc, params.t_move_us,
-                qspr::placement_strategy_name(options.placement).c_str());
-    std::printf("actual latency: %.6E s  (%.3f us)\n", result.latency_us * 1e-6,
-                result.latency_us);
-    std::printf("qspr runtime: %.3f s\n", runtime_s);
+                qspr::placement_strategy_name(config.qspr.placement).c_str());
+    std::printf("actual latency: %.6E s  (%.3f us)\n", mapping.latency_us * 1e-6,
+                mapping.latency_us);
+    std::printf("qspr runtime: %.3f s (resolve %.3f s, map %.3f s)\n",
+                result.times.total_s, result.times.resolve_s, result.times.map_s);
     if (parser.flag("stats")) {
-        std::printf("stats: %s\n", result.stats.to_string().c_str());
+        std::printf("stats: %s\n", mapping.stats.to_string().c_str());
     }
     if (parser.option_given("json")) {
-        parser::write_file(parser.option("json"),
-                           report::qspr_result_to_json(result, params, circ.name()));
+        parser::write_file(parser.option("json"), report::result_to_json(result));
         std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
     }
     if (parser.option_given("schedule-csv")) {
         parser::write_file(parser.option("schedule-csv"),
-                           report::schedule_to_csv(result, circ));
+                           report::schedule_to_csv(mapping, entry->ft()));
         std::printf("wrote schedule CSV to %s\n", parser.option("schedule-csv").c_str());
     }
     return 0;

@@ -3,35 +3,58 @@
 #include <cmath>
 #include <limits>
 
-#include "iig/iig.h"
-#include "qodg/qodg.h"
 #include "util/error.h"
 
 namespace leqa::core {
 
 namespace {
 
-/// Prebuilt graphs for each sample so the v sweep does not re-parse.
-struct PreparedSample {
-    std::unique_ptr<qodg::Qodg> graph;
-    std::unique_ptr<iig::Iig> iig;
-    double actual_latency_us = 0.0;
-};
+void validate_sample(const GraphSample& sample) {
+    LEQA_REQUIRE(sample.graph != nullptr && sample.iig != nullptr,
+                 "null graphs in calibration sample");
+    LEQA_REQUIRE(sample.actual_latency_us > 0.0,
+                 "calibration sample must have positive actual latency");
+}
 
-double error_at(const std::vector<PreparedSample>& prepared,
+double error_at(const std::vector<GraphSample>& samples,
                 const fabric::PhysicalParams& params, const LeqaOptions& options,
                 double v, std::size_t& evaluations) {
     fabric::PhysicalParams tuned = params;
     tuned.v = v;
     LeqaEstimator estimator(tuned, options);
     double total = 0.0;
-    for (const PreparedSample& sample : prepared) {
+    for (const GraphSample& sample : samples) {
         const LeqaEstimate estimate = estimator.estimate(*sample.graph, *sample.iig);
         ++evaluations;
         total += std::abs(estimate.latency_us - sample.actual_latency_us) /
                  sample.actual_latency_us;
     }
-    return total / static_cast<double>(prepared.size());
+    return total / static_cast<double>(samples.size());
+}
+
+/// Owned graph storage backing the circuit-sample entry points.
+struct PreparedSamples {
+    std::vector<std::unique_ptr<qodg::Qodg>> graphs;
+    std::vector<std::unique_ptr<iig::Iig>> iigs;
+    std::vector<GraphSample> samples;
+};
+
+PreparedSamples prepare(const std::vector<CalibrationSample>& samples) {
+    PreparedSamples prepared;
+    prepared.graphs.reserve(samples.size());
+    prepared.iigs.reserve(samples.size());
+    prepared.samples.reserve(samples.size());
+    for (const CalibrationSample& sample : samples) {
+        LEQA_REQUIRE(sample.ft_circuit != nullptr, "null circuit in calibration sample");
+        LEQA_REQUIRE(sample.actual_latency_us > 0.0,
+                     "calibration sample must have positive actual latency");
+        prepared.graphs.push_back(std::make_unique<qodg::Qodg>(*sample.ft_circuit));
+        prepared.iigs.push_back(std::make_unique<iig::Iig>(*sample.ft_circuit));
+        prepared.samples.push_back({prepared.graphs.back().get(),
+                                    prepared.iigs.back().get(),
+                                    sample.actual_latency_us});
+    }
+    return prepared;
 }
 
 } // namespace
@@ -53,7 +76,16 @@ double mean_abs_relative_error(const std::vector<CalibrationSample>& samples,
     return total / static_cast<double>(samples.size());
 }
 
-CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
+double mean_abs_relative_error(const std::vector<GraphSample>& samples,
+                               const fabric::PhysicalParams& params,
+                               const LeqaOptions& options) {
+    LEQA_REQUIRE(!samples.empty(), "need at least one calibration sample");
+    for (const GraphSample& sample : samples) validate_sample(sample);
+    std::size_t evaluations = 0;
+    return error_at(samples, params, options, params.v, evaluations);
+}
+
+CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
                               const fabric::PhysicalParams& base_params,
                               const LeqaOptions& options,
                               const CalibratorOptions& calibrator_options) {
@@ -62,19 +94,7 @@ CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
                      calibrator_options.v_max > calibrator_options.v_min,
                  "invalid v search range");
     LEQA_REQUIRE(calibrator_options.coarse_grid >= 2, "coarse grid needs >= 2 points");
-
-    std::vector<PreparedSample> prepared;
-    prepared.reserve(samples.size());
-    for (const CalibrationSample& sample : samples) {
-        LEQA_REQUIRE(sample.ft_circuit != nullptr, "null circuit in calibration sample");
-        LEQA_REQUIRE(sample.actual_latency_us > 0.0,
-                     "calibration sample must have positive actual latency");
-        PreparedSample p;
-        p.graph = std::make_unique<qodg::Qodg>(*sample.ft_circuit);
-        p.iig = std::make_unique<iig::Iig>(*sample.ft_circuit);
-        p.actual_latency_us = sample.actual_latency_us;
-        prepared.push_back(std::move(p));
-    }
+    for (const GraphSample& sample : samples) validate_sample(sample);
 
     CalibrationResult result;
     const double log_min = std::log10(calibrator_options.v_min);
@@ -86,7 +106,7 @@ CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
     for (int i = 0; i < calibrator_options.coarse_grid; ++i) {
         const double log_v = log_min + (log_max - log_min) * i /
                                            (calibrator_options.coarse_grid - 1);
-        const double error = error_at(prepared, base_params, options,
+        const double error = error_at(samples, base_params, options,
                                       std::pow(10.0, log_v), result.evaluations);
         if (error < best_error) {
             best_error = error;
@@ -101,9 +121,9 @@ CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
     constexpr double kInvPhi = 0.6180339887498949;
     double x1 = hi - kInvPhi * (hi - lo);
     double x2 = lo + kInvPhi * (hi - lo);
-    double f1 = error_at(prepared, base_params, options, std::pow(10.0, x1),
+    double f1 = error_at(samples, base_params, options, std::pow(10.0, x1),
                          result.evaluations);
-    double f2 = error_at(prepared, base_params, options, std::pow(10.0, x2),
+    double f2 = error_at(samples, base_params, options, std::pow(10.0, x2),
                          result.evaluations);
     for (int i = 0; i < calibrator_options.refine_iterations; ++i) {
         if (f1 <= f2) {
@@ -111,14 +131,14 @@ CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
             x2 = x1;
             f2 = f1;
             x1 = hi - kInvPhi * (hi - lo);
-            f1 = error_at(prepared, base_params, options, std::pow(10.0, x1),
+            f1 = error_at(samples, base_params, options, std::pow(10.0, x1),
                           result.evaluations);
         } else {
             lo = x1;
             x1 = x2;
             f1 = f2;
             x2 = lo + kInvPhi * (hi - lo);
-            f2 = error_at(prepared, base_params, options, std::pow(10.0, x2),
+            f2 = error_at(samples, base_params, options, std::pow(10.0, x2),
                           result.evaluations);
         }
     }
@@ -133,6 +153,15 @@ CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
         result.mean_abs_rel_error = best_error;
     }
     return result;
+}
+
+CalibrationResult calibrate_v(const std::vector<CalibrationSample>& samples,
+                              const fabric::PhysicalParams& base_params,
+                              const LeqaOptions& options,
+                              const CalibratorOptions& calibrator_options) {
+    LEQA_REQUIRE(!samples.empty(), "need at least one calibration sample");
+    const PreparedSamples prepared = prepare(samples);
+    return calibrate_v(prepared.samples, base_params, options, calibrator_options);
 }
 
 } // namespace leqa::core

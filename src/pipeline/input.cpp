@@ -1,0 +1,132 @@
+#include "pipeline/input.h"
+
+#include <filesystem>
+
+#include "benchgen/suite.h"
+#include "parser/io.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace leqa::pipeline {
+
+namespace {
+
+circuit::Circuit make_bench_circuit(const std::string& name) {
+    // ham3 is the paper's Figure 2 circuit, kept outside the Tables 2-3
+    // suite; everything else resolves through the suite factories.
+    if (name == "ham3") return benchgen::ham3();
+    return benchgen::make_benchmark(name);
+}
+
+bool is_bench_name(const std::string& name) {
+    return name == "ham3" || benchgen::has_benchmark(name);
+}
+
+} // namespace
+
+std::uint64_t circuit_fingerprint(const circuit::Circuit& circ) {
+    // FNV-1a over the qubit count and the gate stream.
+    constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    std::uint64_t hash = kOffset;
+    const auto mix = [&hash](std::uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (value >> (8 * byte)) & 0xFF;
+            hash *= kPrime;
+        }
+    };
+    mix(circ.num_qubits());
+    for (const circuit::Gate& gate : circ.gates()) {
+        mix(static_cast<std::uint64_t>(gate.kind));
+        for (const circuit::Qubit q : gate.controls) mix(0x100000000ULL | q);
+        for (const circuit::Qubit q : gate.targets) mix(0x200000000ULL | q);
+    }
+    return hash;
+}
+
+CircuitSource CircuitSource::from_path(std::string path) {
+    std::string identity = "path:" + path;
+    return CircuitSource(Kind::Path, std::move(path), std::move(identity));
+}
+
+CircuitSource CircuitSource::from_bench(std::string name) {
+    LEQA_REQUIRE(is_bench_name(name), "unknown suite benchmark \"" + name + "\"");
+    std::string identity = "bench:" + name;
+    return CircuitSource(Kind::Bench, std::move(name), std::move(identity));
+}
+
+CircuitSource CircuitSource::from_circuit(circuit::Circuit circ) {
+    std::string name = circ.name().empty() ? "(inline)" : circ.name();
+    std::string identity =
+        "inline:" + name + "#" + std::to_string(circuit_fingerprint(circ));
+    CircuitSource source(Kind::Inline, std::move(name), std::move(identity));
+    source.inline_circuit_ = std::make_shared<const circuit::Circuit>(std::move(circ));
+    return source;
+}
+
+std::string CircuitSource::display_name() const {
+    if (kind_ != Kind::Path) return spec_;
+    return std::filesystem::path(spec_).filename().string();
+}
+
+circuit::Circuit CircuitSource::load() const {
+    switch (kind_) {
+        case Kind::Path:
+            return parser::load_netlist(spec_);
+        case Kind::Bench:
+            return make_bench_circuit(spec_);
+        case Kind::Inline:
+            break;
+    }
+    LEQA_CHECK(inline_circuit_ != nullptr, "inline source without a circuit");
+    return *inline_circuit_;
+}
+
+CircuitSource parse_source(const std::string& spec) {
+    LEQA_REQUIRE(!spec.empty(), "empty circuit spec");
+    if (util::starts_with(spec, "bench:")) {
+        return CircuitSource::from_bench(spec.substr(6));
+    }
+    std::error_code ec;
+    if (std::filesystem::exists(spec, ec)) {
+        return CircuitSource::from_path(spec);
+    }
+    if (is_bench_name(spec)) {
+        throw util::InputError("no such file \"" + spec +
+                               "\"; generated suite benchmarks use the bench: "
+                               "namespace -- did you mean \"bench:" +
+                               spec + "\"?");
+    }
+    throw util::InputError("no such file or bench: benchmark: \"" + spec + "\"");
+}
+
+void add_param_options(util::ArgParser& parser) {
+    parser.add_option("params", "physical-parameter config file (Table 1 defaults)");
+    parser.add_option("fabric", "fabric size as WxH, e.g. 60x60");
+    parser.add_option("nc", "routing channel capacity Nc");
+    parser.add_option("v", "logical-qubit speed parameter v");
+    parser.add_option("tmove", "per-hop move time in microseconds");
+}
+
+fabric::PhysicalParams params_from_args(const util::ArgParser& parser) {
+    fabric::PhysicalParams params;
+    if (parser.option_given("params")) {
+        params = fabric::PhysicalParams::load(parser.option("params"));
+    }
+    if (parser.option_given("fabric")) {
+        const auto parts = util::split(parser.option("fabric"), 'x');
+        LEQA_REQUIRE(parts.size() == 2, "--fabric expects WxH, e.g. 60x60");
+        const auto w = util::parse_int(parts[0]);
+        const auto h = util::parse_int(parts[1]);
+        LEQA_REQUIRE(w && h && *w > 0 && *h > 0, "--fabric expects positive integers");
+        params.width = static_cast<int>(*w);
+        params.height = static_cast<int>(*h);
+    }
+    if (parser.option_given("nc")) params.nc = static_cast<int>(parser.option_int("nc"));
+    if (parser.option_given("v")) params.v = parser.option_double("v");
+    if (parser.option_given("tmove")) params.t_move_us = parser.option_double("tmove");
+    params.validate();
+    return params;
+}
+
+} // namespace leqa::pipeline

@@ -1,0 +1,358 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.h"
+#include "util/stopwatch.h"
+
+namespace leqa::pipeline {
+
+// ---------------------------------------------------------- CacheStats --
+
+std::string CacheStats::to_string() const {
+    return "circuits " + std::to_string(circuit_hits) + " hit / " +
+           std::to_string(circuit_misses) + " miss, graphs " +
+           std::to_string(graph_hits) + " hit / " + std::to_string(graph_misses) +
+           " miss, evictions " + std::to_string(evictions);
+}
+
+// ------------------------------------------------------- CachedCircuit --
+
+bool CachedCircuit::ensure_graphs() const {
+    bool built_now = false;
+    std::call_once(graphs_once_, [&] {
+        qodg_ = std::make_unique<const qodg::Qodg>(ft_);
+        iig_ = std::make_unique<const iig::Iig>(ft_);
+        graphs_ready_.store(true);
+        built_now = true;
+    });
+    return built_now;
+}
+
+const qodg::Qodg& CachedCircuit::qodg() const {
+    ensure_graphs();
+    return *qodg_;
+}
+
+const iig::Iig& CachedCircuit::iig() const {
+    ensure_graphs();
+    return *iig_;
+}
+
+// ------------------------------------------------------------ Pipeline --
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+    config_.params.validate();
+    LEQA_REQUIRE(config_.max_cached_circuits >= 1,
+                 "pipeline cache must hold at least one circuit");
+}
+
+PipelineConfig Pipeline::config() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return config_;
+}
+
+void Pipeline::set_params(const fabric::PhysicalParams& params) {
+    params.validate();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_.params = params;
+}
+
+void Pipeline::set_leqa_options(const core::LeqaOptions& options) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_.leqa = options;
+}
+
+void Pipeline::set_qspr_options(const qspr::QsprOptions& options) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_.qspr = options;
+}
+
+std::string Pipeline::cache_key(const CircuitSource& source) const {
+    std::string key = source.identity();
+    key += "|synth:";
+    if (!config_.auto_synthesize) {
+        key += "off";
+    } else {
+        key += config_.synth.share_ancillas ? "share" : "fresh";
+        if (config_.synth.keep_toffoli) key += ",toffoli";
+        key += ",p=" + config_.synth.ancilla_prefix;
+    }
+    return key;
+}
+
+CachedCircuitPtr Pipeline::resolve(const CircuitSource& source) {
+    return resolve_timed(source, nullptr);
+}
+
+CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* seconds) {
+    const std::string key = cache_key(source);
+    synth::FtSynthOptions synth_options;
+    bool auto_synthesize = true;
+    std::shared_future<CachedCircuitPtr> pending;
+    std::promise<CachedCircuitPtr> promise;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++stats_.circuit_hits;
+            lru_.splice(lru_.begin(), lru_, it->second.lru_pos); // refresh LRU
+            if (seconds != nullptr) *seconds = 0.0;
+            return it->second.entry;
+        }
+        const auto inflight = inflight_.find(key);
+        if (inflight != inflight_.end()) {
+            pending = inflight->second; // someone else is building this key
+        } else {
+            inflight_.emplace(key, promise.get_future().share());
+            synth_options = config_.synth;
+            auto_synthesize = config_.auto_synthesize;
+        }
+    }
+
+    if (pending.valid()) {
+        // Wait for the in-flight builder instead of duplicating the parse +
+        // synthesis; a builder failure rethrows here too.
+        const util::Stopwatch wait_clock;
+        CachedCircuitPtr entry = pending.get();
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.circuit_hits;
+        if (seconds != nullptr) *seconds = wait_clock.seconds();
+        return entry;
+    }
+
+    // Build outside the lock: parsing + synthesis dominate and must not
+    // serialize unrelated batch work.
+    const util::Stopwatch clock;
+    CachedCircuitPtr entry;
+    try {
+        auto building = std::make_shared<CachedCircuit>();
+        circuit::Circuit circ = source.load();
+        building->info_.name = circ.name().empty() ? source.display_name() : circ.name();
+        building->info_.cache_key = key;
+        building->info_.pre_ft_gates = circ.size();
+        if (auto_synthesize && !circ.is_ft()) {
+            synth::FtSynthResult synthesized = synth::ft_synthesize(circ, synth_options);
+            building->synth_stats_ = synthesized.stats;
+            building->info_.synthesized = true;
+            circ = std::move(synthesized.circuit);
+        }
+        building->info_.qubits = circ.num_qubits();
+        building->info_.ft_ops = circ.size();
+        building->ft_ = std::move(circ);
+        entry = std::move(building);
+    } catch (...) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+    if (seconds != nullptr) *seconds = clock.seconds();
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.circuit_misses;
+        inflight_.erase(key);
+        lru_.push_front(key);
+        cache_.emplace(key, Slot{entry, lru_.begin()});
+        while (cache_.size() > config_.max_cached_circuits) {
+            cache_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+    }
+    promise.set_value(entry);
+    return entry;
+}
+
+void Pipeline::ensure_graphs(const CachedCircuit& entry) {
+    const bool built = entry.ensure_graphs();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (built) {
+        ++stats_.graph_misses;
+    } else {
+        ++stats_.graph_hits;
+    }
+}
+
+EstimationResult Pipeline::run(const EstimationRequest& request) {
+    const util::Stopwatch total;
+    fabric::PhysicalParams params;
+    core::LeqaOptions leqa_options;
+    qspr::QsprOptions qspr_options;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        params = request.params.value_or(config_.params);
+        leqa_options = config_.leqa;
+        qspr_options = config_.qspr;
+    }
+    params.validate();
+
+    EstimationResult result;
+    result.label = request.label.empty() ? request.source.display_name() : request.label;
+    result.params = params;
+
+    const CachedCircuitPtr entry = resolve_timed(request.source, &result.times.resolve_s);
+    result.circuit = entry->info();
+
+    if (request.mode != RunMode::Map) {
+        const util::Stopwatch graphs_clock;
+        ensure_graphs(*entry);
+        result.times.graphs_s = graphs_clock.seconds();
+
+        const core::LeqaEstimator estimator(params, leqa_options);
+        const util::Stopwatch estimate_clock;
+        result.estimate = estimator.estimate(entry->qodg(), entry->iig());
+        result.times.estimate_s = estimate_clock.seconds();
+    }
+    if (request.mode != RunMode::Estimate) {
+        const qspr::QsprMapper mapper(params, qspr_options);
+        const util::Stopwatch map_clock;
+        result.mapping = mapper.map(entry->ft());
+        result.times.map_s = map_clock.seconds();
+    }
+    result.times.total_s = total.seconds();
+    return result;
+}
+
+std::vector<EstimationResult> Pipeline::run_batch(
+    const std::vector<EstimationRequest>& requests, std::size_t threads) {
+    const std::size_t count = requests.size();
+    if (threads == 0) {
+        const std::size_t hardware =
+            std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        threads = std::min(hardware, std::max<std::size_t>(count, 1));
+    }
+
+    std::vector<std::optional<EstimationResult>> slots(count);
+    if (threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i) slots[i] = run(requests[i]);
+    } else {
+        std::vector<std::exception_ptr> errors(count);
+        std::atomic<std::size_t> next{0};
+        const auto worker = [&] {
+            for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+                try {
+                    slots[i] = run(requests[i]);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads - 1);
+        for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+        worker();
+        for (std::thread& t : pool) t.join();
+        for (const std::exception_ptr& error : errors) {
+            if (error) std::rethrow_exception(error); // lowest index first
+        }
+    }
+
+    std::vector<EstimationResult> results;
+    results.reserve(count);
+    for (std::optional<EstimationResult>& slot : slots) {
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+// --------------------------------------------------------------- sweeps --
+
+core::SweepResult Pipeline::sweep_fabric_sides(const CircuitSource& source,
+                                               const std::vector<int>& sides) {
+    const CachedCircuitPtr entry = resolve(source);
+    ensure_graphs(*entry);
+    const auto [params, leqa_options] = snapshot_estimation_config();
+    return core::sweep_fabric_sides(entry->qodg(), entry->iig(), params, sides,
+                                    leqa_options);
+}
+
+core::SweepResult Pipeline::sweep_channel_capacity(const CircuitSource& source,
+                                                   const std::vector<int>& capacities) {
+    const CachedCircuitPtr entry = resolve(source);
+    ensure_graphs(*entry);
+    const auto [params, leqa_options] = snapshot_estimation_config();
+    return core::sweep_channel_capacity(entry->qodg(), entry->iig(), params, capacities,
+                                        leqa_options);
+}
+
+core::SweepResult Pipeline::sweep_speed(const CircuitSource& source,
+                                        const std::vector<double>& speeds) {
+    const CachedCircuitPtr entry = resolve(source);
+    ensure_graphs(*entry);
+    const auto [params, leqa_options] = snapshot_estimation_config();
+    return core::sweep_speed(entry->qodg(), entry->iig(), params, speeds, leqa_options);
+}
+
+// ---------------------------------------------------------- calibration --
+
+Pipeline::TrainingSet Pipeline::training_samples(
+    const std::vector<CircuitSource>& sources) {
+    fabric::PhysicalParams params;
+    qspr::QsprOptions qspr_options;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        params = config_.params;
+        qspr_options = config_.qspr;
+    }
+    const qspr::QsprMapper mapper(params, qspr_options);
+    TrainingSet training;
+    training.circuits.reserve(sources.size());
+    training.samples.reserve(sources.size());
+    training.graph_samples.reserve(sources.size());
+    for (const CircuitSource& source : sources) {
+        CachedCircuitPtr entry = resolve(source);
+        ensure_graphs(*entry);
+        const double actual_us = mapper.map(entry->ft()).latency_us;
+        training.samples.push_back({&entry->ft(), actual_us});
+        training.graph_samples.push_back({&entry->qodg(), &entry->iig(), actual_us});
+        training.circuits.push_back(std::move(entry));
+    }
+    return training;
+}
+
+core::CalibrationResult Pipeline::calibrate(const std::vector<CircuitSource>& training,
+                                            const core::CalibratorOptions& options) {
+    return calibrate(training_samples(training), options);
+}
+
+core::CalibrationResult Pipeline::calibrate(const TrainingSet& training,
+                                            const core::CalibratorOptions& options) {
+    const auto [params, leqa_options] = snapshot_estimation_config();
+    return core::calibrate_v(training.graph_samples, params, leqa_options, options);
+}
+
+std::pair<fabric::PhysicalParams, core::LeqaOptions>
+Pipeline::snapshot_estimation_config() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return {config_.params, config_.leqa};
+}
+
+void Pipeline::apply_calibration(const core::CalibrationResult& result) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_.params.v = result.v;
+}
+
+// ------------------------------------------------------------ cache mgmt --
+
+CacheStats Pipeline::cache_stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t Pipeline::cached_circuits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void Pipeline::clear_cache() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+    lru_.clear();
+}
+
+} // namespace leqa::pipeline

@@ -1,0 +1,248 @@
+/// \file pipeline.h
+/// \brief The unified session facade: parse -> FT synthesis -> QODG/IIG ->
+///        LEQA estimate and/or QSPR mapping, behind one API.
+///
+/// The paper positions LEQA as the fast inner loop of design-space
+/// exploration ("more than four orders of magnitude" faster than a detailed
+/// mapper).  Historically every consumer in this repo hand-wired the stage
+/// plumbing and rebuilt the dependency graphs per parameter point; the
+/// Pipeline owns that plumbing once:
+///
+///   - a keyed LRU cache of intermediates (FT circuit + lazily built
+///     QODG/IIG) per circuit identity, so fabric sweeps, QECC exploration
+///     and calibration reuse graphs instead of rebuilding them;
+///   - `run(request)` for one circuit, `run_batch(requests)` with optional
+///     thread-pool parallelism for many;
+///   - `sweep_*` / `calibrate` entry points that re-home core/sweep and
+///     core/calibrate onto the shared cache;
+///   - per-stage wall times and cache statistics for the perf trajectory.
+///
+/// All cache access is mutex-guarded; `run_batch` is safe with any thread
+/// count and bit-identical to sequential `run` calls.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/calibrate.h"
+#include "core/leqa.h"
+#include "core/sweep.h"
+#include "fabric/params.h"
+#include "iig/iig.h"
+#include "pipeline/input.h"
+#include "qodg/qodg.h"
+#include "qspr/qspr.h"
+#include "synth/ft_synth.h"
+
+namespace leqa::pipeline {
+
+/// Everything a session holds fixed across requests.
+struct PipelineConfig {
+    fabric::PhysicalParams params;   ///< Table 1 defaults
+    core::LeqaOptions leqa;          ///< estimator options
+    qspr::QsprOptions qspr;          ///< detailed-mapper options
+    synth::FtSynthOptions synth;     ///< FT synthesis toggles
+    bool auto_synthesize = true;     ///< FT-synthesize non-FT inputs
+    std::size_t max_cached_circuits = 64; ///< LRU bound on cached intermediates
+};
+
+/// What a request runs.
+enum class RunMode {
+    Estimate, ///< LEQA only (the fast path)
+    Map,      ///< QSPR only (the detailed baseline)
+    Both,     ///< both, e.g. for accuracy studies
+};
+
+/// One unit of work: a circuit source plus what to do with it.
+struct EstimationRequest {
+    CircuitSource source;
+    RunMode mode = RunMode::Estimate;
+    /// Per-request fabric-parameter override (the session default otherwise);
+    /// this is how sweeps and QECC exploration share one cache.
+    std::optional<fabric::PhysicalParams> params;
+    std::string label; ///< echoed into the result / reports
+
+    explicit EstimationRequest(CircuitSource src, RunMode run_mode = RunMode::Estimate)
+        : source(std::move(src)), mode(run_mode) {}
+};
+
+/// Wall-clock seconds per pipeline stage.  Cached stages report ~0.
+struct StageTimes {
+    double resolve_s = 0.0;  ///< parse/generate + FT synthesis (0 on cache hit)
+    double graphs_s = 0.0;   ///< QODG + IIG construction (0 on cache hit)
+    double estimate_s = 0.0; ///< LEQA Algorithm 1
+    double map_s = 0.0;      ///< QSPR map-and-route
+    double total_s = 0.0;
+};
+
+/// Identity and size of the circuit a result was computed on.
+struct CircuitInfo {
+    std::string name;          ///< display name
+    std::string cache_key;     ///< full cache identity (source + synth options)
+    std::size_t pre_ft_gates = 0; ///< reversible gates before synthesis
+    std::size_t qubits = 0;       ///< logical qubits after synthesis
+    std::size_t ft_ops = 0;       ///< FT operations after synthesis
+    bool synthesized = false;     ///< whether FT synthesis ran
+};
+
+/// The facade's unit of output.
+struct EstimationResult {
+    std::string label;
+    CircuitInfo circuit;
+    fabric::PhysicalParams params; ///< parameters actually used
+    std::optional<core::LeqaEstimate> estimate; ///< present for Estimate/Both
+    std::optional<qspr::QsprResult> mapping;    ///< present for Map/Both
+    StageTimes times;
+};
+
+/// Cache effectiveness counters (cumulative per Pipeline).
+struct CacheStats {
+    std::size_t circuit_hits = 0;   ///< FT circuit served from cache
+    std::size_t circuit_misses = 0; ///< parse + synthesis performed
+    std::size_t graph_hits = 0;     ///< QODG/IIG pair served from cache
+    std::size_t graph_misses = 0;   ///< QODG/IIG pair built
+    std::size_t evictions = 0;      ///< LRU evictions
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// A cached, immutable FT circuit with lazily built dependency graphs.
+/// Handles stay valid after eviction (shared ownership).
+class CachedCircuit {
+public:
+    [[nodiscard]] const circuit::Circuit& ft() const { return ft_; }
+    [[nodiscard]] const CircuitInfo& info() const { return info_; }
+    [[nodiscard]] const synth::FtSynthStats& synth_stats() const { return synth_stats_; }
+
+    /// Dependency graphs, built on first use (thread-safe).
+    [[nodiscard]] const qodg::Qodg& qodg() const;
+    [[nodiscard]] const iig::Iig& iig() const;
+
+    /// True once the QODG/IIG pair has been built.
+    [[nodiscard]] bool graphs_built() const { return graphs_ready_.load(); }
+
+private:
+    friend class Pipeline;
+
+    /// Force-build the graphs; returns true when this call built them.
+    bool ensure_graphs() const;
+
+    circuit::Circuit ft_;
+    CircuitInfo info_;
+    synth::FtSynthStats synth_stats_;
+
+    mutable std::once_flag graphs_once_;
+    mutable std::atomic<bool> graphs_ready_{false};
+    mutable std::unique_ptr<const qodg::Qodg> qodg_;
+    mutable std::unique_ptr<const iig::Iig> iig_;
+};
+
+using CachedCircuitPtr = std::shared_ptr<const CachedCircuit>;
+
+/// The session facade.  Construct once, issue many requests.
+class Pipeline {
+public:
+    explicit Pipeline(PipelineConfig config = {});
+
+    /// Snapshot of the session configuration (a copy: the setters below may
+    /// mutate it concurrently).
+    [[nodiscard]] PipelineConfig config() const;
+
+    /// Replace the session fabric parameters; cached circuits/graphs are
+    /// parameter-independent and survive.
+    void set_params(const fabric::PhysicalParams& params);
+    /// Replace the estimator options (cache survives).
+    void set_leqa_options(const core::LeqaOptions& options);
+    /// Replace the mapper options (cache survives).
+    void set_qspr_options(const qspr::QsprOptions& options);
+
+    /// Resolve a source to its cached FT circuit (parsing / generating /
+    /// synthesizing on first use).
+    [[nodiscard]] CachedCircuitPtr resolve(const CircuitSource& source);
+
+    /// Run one request.
+    [[nodiscard]] EstimationResult run(const EstimationRequest& request);
+
+    /// Run a batch.  `threads` = 0 picks min(hardware threads, batch size);
+    /// 1 forces sequential.  Results are index-aligned with `requests` and
+    /// identical to sequential `run` calls; the first (lowest-index) failed
+    /// request's exception is rethrown after the pool drains.
+    [[nodiscard]] std::vector<EstimationResult> run_batch(
+        const std::vector<EstimationRequest>& requests, std::size_t threads = 0);
+
+    // --- design-space sweeps on the shared cache --------------------------
+
+    [[nodiscard]] core::SweepResult sweep_fabric_sides(const CircuitSource& source,
+                                                       const std::vector<int>& sides);
+    [[nodiscard]] core::SweepResult sweep_channel_capacity(
+        const CircuitSource& source, const std::vector<int>& capacities);
+    [[nodiscard]] core::SweepResult sweep_speed(const CircuitSource& source,
+                                                const std::vector<double>& speeds);
+
+    // --- calibration on the shared cache ----------------------------------
+
+    /// Training pairs for the given sources: each circuit is resolved
+    /// through the cache and mapped with the session's QSPR configuration.
+    /// `graph_samples` borrow the cached QODG/IIG pairs, so the calibrator's
+    /// v sweep performs zero graph rebuilds; the handles keep everything
+    /// borrowed alive.
+    struct TrainingSet {
+        std::vector<CachedCircuitPtr> circuits;
+        std::vector<core::CalibrationSample> samples;
+        std::vector<core::GraphSample> graph_samples;
+    };
+    [[nodiscard]] TrainingSet training_samples(const std::vector<CircuitSource>& sources);
+
+    /// Fit v against the session mapper on the given training circuits.
+    [[nodiscard]] core::CalibrationResult calibrate(
+        const std::vector<CircuitSource>& training,
+        const core::CalibratorOptions& options = {});
+
+    /// Fit v on an already-built training set (no re-mapping): the path for
+    /// callers that also need the samples themselves (e.g. error curves).
+    [[nodiscard]] core::CalibrationResult calibrate(
+        const TrainingSet& training, const core::CalibratorOptions& options = {});
+
+    /// Adopt a calibration result into the session parameters.
+    void apply_calibration(const core::CalibrationResult& result);
+
+    // --- cache management --------------------------------------------------
+
+    [[nodiscard]] CacheStats cache_stats() const;
+    [[nodiscard]] std::size_t cached_circuits() const;
+    void clear_cache();
+
+private:
+    [[nodiscard]] std::string cache_key(const CircuitSource& source) const;
+    [[nodiscard]] std::pair<fabric::PhysicalParams, core::LeqaOptions>
+    snapshot_estimation_config() const;
+    [[nodiscard]] CachedCircuitPtr resolve_timed(const CircuitSource& source,
+                                                 double* seconds);
+    /// Force graphs and account the hit/miss.
+    void ensure_graphs(const CachedCircuit& entry);
+
+    PipelineConfig config_;
+
+    mutable std::mutex mutex_; ///< guards cache_, lru_, stats_, config_
+    struct Slot {
+        CachedCircuitPtr entry;
+        std::list<std::string>::iterator lru_pos;
+    };
+    std::unordered_map<std::string, Slot> cache_;
+    std::list<std::string> lru_; ///< most-recent first
+    /// Keys being built right now; concurrent resolvers of the same key
+    /// wait on the builder's future instead of duplicating parse+synthesis.
+    std::unordered_map<std::string, std::shared_future<CachedCircuitPtr>> inflight_;
+    CacheStats stats_;
+};
+
+} // namespace leqa::pipeline

@@ -37,19 +37,9 @@ void write_census(util::JsonWriter& json, const qodg::PathCensus& census) {
     json.end_object();
 }
 
-} // namespace
-
-std::string estimate_to_json(const core::LeqaEstimate& estimate,
-                             const fabric::PhysicalParams& params,
-                             const std::string& circuit_name) {
-    util::JsonWriter json;
-    json.begin_object();
-    json.kv("tool", "leqa");
-    json.kv("circuit", circuit_name);
-    json.kv("num_qubits", estimate.num_qubits);
-    json.kv("num_ops", estimate.num_ops);
-    write_params(json, params);
-
+/// The estimator's model/critical-path/latency fields (shared between the
+/// standalone estimate document and the pipeline result documents).
+void write_estimate_body(util::JsonWriter& json, const core::LeqaEstimate& estimate) {
     json.key("model").begin_object();
     json.kv("zone_area_b", estimate.zone_area_b);
     json.kv("d_uncongest_us", estimate.d_uncongest_us);
@@ -74,18 +64,10 @@ std::string estimate_to_json(const core::LeqaEstimate& estimate,
 
     json.kv("latency_us", estimate.latency_us);
     json.kv("latency_s", estimate.latency_seconds());
-    json.end_object();
-    return json.str();
 }
 
-std::string qspr_result_to_json(const qspr::QsprResult& result,
-                                const fabric::PhysicalParams& params,
-                                const std::string& circuit_name) {
-    util::JsonWriter json;
-    json.begin_object();
-    json.kv("tool", "qspr");
-    json.kv("circuit", circuit_name);
-    write_params(json, params);
+/// The mapper's latency/stats fields (shared, as above).
+void write_qspr_body(util::JsonWriter& json, const qspr::QsprResult& result) {
     json.kv("latency_us", result.latency_us);
     json.kv("latency_s", result.latency_us * 1e-6);
     json.key("stats").begin_object();
@@ -103,6 +85,79 @@ std::string qspr_result_to_json(const qspr::QsprResult& result,
     json.end_object();
     json.end_object();
     json.kv("scheduled_ops", result.schedule.size());
+}
+
+/// One pipeline result as an object (no document framing).
+void write_result_object(util::JsonWriter& json,
+                         const pipeline::EstimationResult& result) {
+    json.begin_object();
+    json.kv("label", result.label);
+
+    json.key("circuit").begin_object();
+    json.kv("name", result.circuit.name);
+    json.kv("cache_key", result.circuit.cache_key);
+    json.kv("pre_ft_gates", result.circuit.pre_ft_gates);
+    json.kv("qubits", result.circuit.qubits);
+    json.kv("ft_ops", result.circuit.ft_ops);
+    json.kv("synthesized", result.circuit.synthesized);
+    json.end_object();
+
+    write_params(json, result.params);
+
+    json.key("stage_times_s").begin_object();
+    json.kv("resolve", result.times.resolve_s);
+    json.kv("graphs", result.times.graphs_s);
+    json.kv("estimate", result.times.estimate_s);
+    json.kv("map", result.times.map_s);
+    json.kv("total", result.times.total_s);
+    json.end_object();
+
+    json.key("estimate");
+    if (result.estimate.has_value()) {
+        json.begin_object();
+        write_estimate_body(json, *result.estimate);
+        json.end_object();
+    } else {
+        json.null();
+    }
+
+    json.key("mapping");
+    if (result.mapping.has_value()) {
+        json.begin_object();
+        write_qspr_body(json, *result.mapping);
+        json.end_object();
+    } else {
+        json.null();
+    }
+    json.end_object();
+}
+
+} // namespace
+
+std::string estimate_to_json(const core::LeqaEstimate& estimate,
+                             const fabric::PhysicalParams& params,
+                             const std::string& circuit_name) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("tool", "leqa");
+    json.kv("circuit", circuit_name);
+    json.kv("num_qubits", estimate.num_qubits);
+    json.kv("num_ops", estimate.num_ops);
+    write_params(json, params);
+    write_estimate_body(json, estimate);
+    json.end_object();
+    return json.str();
+}
+
+std::string qspr_result_to_json(const qspr::QsprResult& result,
+                                const fabric::PhysicalParams& params,
+                                const std::string& circuit_name) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("tool", "qspr");
+    json.kv("circuit", circuit_name);
+    write_params(json, params);
+    write_qspr_body(json, result);
     json.end_object();
     return json.str();
 }
@@ -119,6 +174,26 @@ std::string schedule_to_csv(const qspr::QsprResult& result, const circuit::Circu
             << op.start_us << ',' << op.finish_us << ',' << op.ulb << '\n';
     }
     return out.str();
+}
+
+std::string result_to_json(const pipeline::EstimationResult& result) {
+    util::JsonWriter json;
+    write_result_object(json, result);
+    return json.str();
+}
+
+std::string batch_to_json(const std::vector<pipeline::EstimationResult>& results) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("tool", "leqa-pipeline");
+    json.kv("count", results.size());
+    json.key("results").begin_array();
+    for (const pipeline::EstimationResult& result : results) {
+        write_result_object(json, result);
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
 }
 
 } // namespace leqa::report

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.h"
 #include "core/leqa.h"
 #include "fabric/params.h"
+#include "pipeline/pipeline.h"
 #include "qspr/qspr.h"
 
 namespace leqa::report {
@@ -32,5 +34,16 @@ namespace leqa::report {
 /// Requires the result to have been produced with collect_schedule = true.
 [[nodiscard]] std::string schedule_to_csv(const qspr::QsprResult& result,
                                           const circuit::Circuit& circ);
+
+/// One pipeline result as a JSON document: circuit identity/stats, the
+/// parameters used, per-stage wall times, and whichever of the LEQA
+/// estimate / QSPR mapping the request produced.
+[[nodiscard]] std::string result_to_json(const pipeline::EstimationResult& result);
+
+/// A batch of pipeline results as one JSON document (the shape a sweep
+/// dashboard or regression tracker ingests): {"tool": "leqa-pipeline",
+/// "results": [...]}.
+[[nodiscard]] std::string batch_to_json(
+    const std::vector<pipeline::EstimationResult>& results);
 
 } // namespace leqa::report

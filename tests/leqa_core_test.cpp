@@ -356,7 +356,9 @@ TEST(Calibrate, ErrorMetricMatchesDefinition) {
 }
 
 TEST(Calibrate, RejectsBadInput) {
-    EXPECT_THROW((void)lcore::calibrate_v({}, paper_params()), InputError);
+    EXPECT_THROW((void)lcore::calibrate_v(std::vector<lcore::CalibrationSample>{},
+                                          paper_params()),
+                 InputError);
     const auto circ = random_ft_circuit(4, 20, 3);
     std::vector<lcore::CalibrationSample> bad{{&circ, 0.0}};
     EXPECT_THROW((void)lcore::calibrate_v(bad, paper_params()), InputError);

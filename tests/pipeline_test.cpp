@@ -1,0 +1,340 @@
+// Tests for the pipeline facade: source resolution semantics, intermediate
+// caching across sweeps and batches, batch determinism vs sequential runs,
+// and error propagation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "benchgen/suite.h"
+#include "parser/qasm.h"
+#include "pipeline/pipeline.h"
+#include "report/report.h"
+#include "util/error.h"
+
+namespace lp = leqa::pipeline;
+namespace lf = leqa::fabric;
+using leqa::util::InputError;
+
+namespace {
+
+/// RAII temp directory for path-resolution tests.
+class TempDir {
+public:
+    TempDir() {
+        path_ = std::filesystem::temp_directory_path() /
+                ("leqa_pipeline_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    [[nodiscard]] std::string file(const std::string& name) const {
+        return (path_ / name).string();
+    }
+
+private:
+    std::filesystem::path path_;
+};
+
+void write_text(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- sources --
+
+TEST(CircuitSource, BenchNamespaceResolvesSuite) {
+    const lp::CircuitSource source = lp::parse_source("bench:ham3");
+    EXPECT_EQ(source.kind(), lp::CircuitSource::Kind::Bench);
+    const auto circ = source.load();
+    EXPECT_EQ(circ.num_qubits(), 3u);
+}
+
+TEST(CircuitSource, ExistingFileBeatsBenchmarkName) {
+    // A local file named like a suite benchmark must resolve to the file,
+    // not be shadowed by the generated suite (the historical ambiguity).
+    TempDir dir;
+    const std::string path = dir.file("ham3");
+    write_text(path, leqa::parser::write_qasm(leqa::benchgen::make_benchmark("ham15")));
+
+    const lp::CircuitSource source = lp::parse_source(path);
+    EXPECT_EQ(source.kind(), lp::CircuitSource::Kind::Path);
+    // ham15 has 15 qubits; the suite's ham3 has 3.  The file wins.
+    EXPECT_EQ(source.load().num_qubits(), 15u);
+}
+
+TEST(CircuitSource, BareSuiteNameIsAnErrorWithHint) {
+    try {
+        (void)lp::parse_source("gf2^16mult");
+        FAIL() << "expected InputError";
+    } catch (const InputError& e) {
+        EXPECT_NE(std::string(e.what()).find("bench:gf2^16mult"), std::string::npos);
+    }
+}
+
+TEST(CircuitSource, UnknownBenchNameThrows) {
+    EXPECT_THROW((void)lp::parse_source("bench:nosuchbench"), InputError);
+    EXPECT_THROW((void)lp::CircuitSource::from_bench("nosuchbench"), InputError);
+}
+
+TEST(CircuitSource, InlineFingerprintDistinguishesCircuits) {
+    const auto a = lp::CircuitSource::from_circuit(leqa::benchgen::ham3());
+    const auto b = lp::CircuitSource::from_circuit(leqa::benchgen::ham3());
+    leqa::circuit::Circuit other = leqa::benchgen::ham3();
+    other.x(0);
+    const auto c = lp::CircuitSource::from_circuit(std::move(other));
+    EXPECT_EQ(a.identity(), b.identity());   // same structure, same identity
+    EXPECT_NE(a.identity(), c.identity());   // one extra gate changes it
+}
+
+// ----------------------------------------------------------------- caching --
+
+TEST(PipelineCache, FabricSweepBuildsGraphsOnce) {
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("ham3");
+
+    const auto sweep = pipe.sweep_fabric_sides(source, {20, 30, 40, 60, 80});
+    EXPECT_EQ(sweep.points.size(), 5u);
+
+    // The whole sweep: one parse+synth, one QODG/IIG build, zero rebuilds.
+    const lp::CacheStats stats = pipe.cache_stats();
+    EXPECT_EQ(stats.circuit_misses, 1u);
+    EXPECT_EQ(stats.graph_misses, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+
+    // A second sweep over the same circuit is pure cache hits.
+    (void)pipe.sweep_channel_capacity(source, {1, 2, 5});
+    const lp::CacheStats after = pipe.cache_stats();
+    EXPECT_EQ(after.circuit_misses, 1u);
+    EXPECT_EQ(after.graph_misses, 1u);
+    EXPECT_EQ(after.circuit_hits, stats.circuit_hits + 1);
+    EXPECT_EQ(after.graph_hits, stats.graph_hits + 1);
+}
+
+TEST(PipelineCache, ParamOverridesShareOneEntry) {
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("ham3");
+    for (const int side : {30, 40, 60}) {
+        lp::EstimationRequest request(source);
+        lf::PhysicalParams params;
+        params.width = side;
+        params.height = side;
+        request.params = params;
+        const auto result = pipe.run(request);
+        EXPECT_TRUE(result.estimate.has_value());
+        EXPECT_EQ(result.params.width, side);
+    }
+    const lp::CacheStats stats = pipe.cache_stats();
+    EXPECT_EQ(stats.circuit_misses, 1u);
+    EXPECT_EQ(stats.graph_misses, 1u);
+    EXPECT_EQ(stats.circuit_hits, 2u);
+    EXPECT_EQ(stats.graph_hits, 2u);
+}
+
+TEST(PipelineCache, SweepMatchesDirectEstimates) {
+    // Cached-graph sweeps must agree exactly with independent sessions.
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("ham3");
+    const auto sweep = pipe.sweep_fabric_sides(source, {30, 60});
+    for (const auto& point : sweep.points) {
+        lp::Pipeline fresh;
+        lp::EstimationRequest request(source);
+        request.params = point.params;
+        const auto result = fresh.run(request);
+        EXPECT_DOUBLE_EQ(result.estimate->latency_us, point.estimate.latency_us);
+    }
+}
+
+TEST(PipelineCache, LruEvictionIsBounded) {
+    lp::PipelineConfig config;
+    config.max_cached_circuits = 2;
+    lp::Pipeline pipe(config);
+    (void)pipe.resolve(lp::CircuitSource::from_bench("ham3"));
+    (void)pipe.resolve(lp::CircuitSource::from_bench("8bitadder"));
+    (void)pipe.resolve(lp::CircuitSource::from_bench("hwb15ps"));
+    EXPECT_EQ(pipe.cached_circuits(), 2u);
+    EXPECT_EQ(pipe.cache_stats().evictions, 1u);
+
+    // The evicted (least recent) entry re-resolves as a miss.
+    (void)pipe.resolve(lp::CircuitSource::from_bench("ham3"));
+    EXPECT_EQ(pipe.cache_stats().circuit_misses, 4u);
+}
+
+TEST(PipelineCache, SynthOptionsChangeIdentity) {
+    lp::PipelineConfig sharing;
+    sharing.synth.share_ancillas = true;
+    lp::Pipeline fresh_pipe;
+    lp::Pipeline shared_pipe(sharing);
+    const auto source = lp::CircuitSource::from_bench("ham3");
+    const auto fresh = fresh_pipe.resolve(source);
+    const auto shared = shared_pipe.resolve(source);
+    EXPECT_NE(fresh->info().cache_key, shared->info().cache_key);
+}
+
+// ------------------------------------------------------------------- batch --
+
+TEST(PipelineBatch, ParallelMatchesSequential) {
+    const auto make_requests = [] {
+        std::vector<lp::EstimationRequest> requests;
+        for (const char* name : {"ham3", "8bitadder", "hwb15ps"}) {
+            for (const int side : {40, 60}) {
+                lp::EstimationRequest request(lp::CircuitSource::from_bench(name));
+                lf::PhysicalParams params;
+                params.width = side;
+                params.height = side;
+                request.params = params;
+                requests.push_back(std::move(request));
+            }
+        }
+        return requests;
+    };
+
+    lp::Pipeline sequential_pipe;
+    std::vector<lp::EstimationResult> sequential;
+    for (const auto& request : make_requests()) {
+        sequential.push_back(sequential_pipe.run(request));
+    }
+
+    lp::Pipeline parallel_pipe;
+    const auto parallel = parallel_pipe.run_batch(make_requests(), 4);
+
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        EXPECT_DOUBLE_EQ(parallel[i].estimate->latency_us,
+                         sequential[i].estimate->latency_us)
+            << "batch result " << i << " diverged";
+        EXPECT_EQ(parallel[i].circuit.ft_ops, sequential[i].circuit.ft_ops);
+    }
+    // 3 distinct circuits across 6 requests: the cache still converges to
+    // 3 builds regardless of thread interleaving.
+    EXPECT_EQ(parallel_pipe.cached_circuits(), 3u);
+}
+
+TEST(PipelineBatch, ColdConcurrentBatchBuildsOnce) {
+    // Concurrent requests for the same uncached circuit must not duplicate
+    // parse + synthesis: late arrivals wait on the in-flight builder.
+    lp::Pipeline pipe;
+    std::vector<lp::EstimationRequest> requests;
+    for (int i = 0; i < 6; ++i) {
+        requests.emplace_back(lp::CircuitSource::from_bench("gf2^16mult"));
+    }
+    const auto results = pipe.run_batch(requests, 4);
+    EXPECT_EQ(results.size(), 6u);
+    const lp::CacheStats stats = pipe.cache_stats();
+    EXPECT_EQ(stats.circuit_misses, 1u);
+    EXPECT_EQ(stats.circuit_hits, 5u);
+    EXPECT_EQ(stats.graph_misses, 1u);
+}
+
+TEST(PipelineBatch, MapModeProducesMapping) {
+    lp::Pipeline pipe;
+    lp::EstimationRequest request(lp::CircuitSource::from_bench("ham3"),
+                                  lp::RunMode::Both);
+    const auto result = pipe.run(request);
+    ASSERT_TRUE(result.estimate.has_value());
+    ASSERT_TRUE(result.mapping.has_value());
+    EXPECT_GT(result.estimate->latency_us, 0.0);
+    EXPECT_GT(result.mapping->latency_us, 0.0);
+    EXPECT_GE(result.times.total_s, 0.0);
+}
+
+// ------------------------------------------------------------------ errors --
+
+TEST(PipelineErrors, MalformedNetlistPathPropagates) {
+    lp::Pipeline pipe;
+    lp::EstimationRequest request(
+        lp::CircuitSource::from_path("/nonexistent/leqa/circuit.qasm"));
+    EXPECT_THROW((void)pipe.run(request), InputError);
+}
+
+TEST(PipelineErrors, MalformedNetlistContentPropagates) {
+    TempDir dir;
+    const std::string path = dir.file("broken.qasm");
+    write_text(path, "OPENQASM 2.0;\nqreg q[2];\nbogusgate q[0];\n");
+    lp::Pipeline pipe;
+    lp::EstimationRequest request(lp::CircuitSource::from_path(path));
+    EXPECT_THROW((void)pipe.run(request), leqa::util::Error);
+}
+
+TEST(PipelineErrors, BatchRethrowsFirstFailure) {
+    lp::Pipeline pipe;
+    std::vector<lp::EstimationRequest> requests;
+    requests.emplace_back(lp::CircuitSource::from_bench("ham3"));
+    requests.emplace_back(lp::CircuitSource::from_path("/nonexistent/a.qasm"));
+    requests.emplace_back(lp::CircuitSource::from_bench("ham3"));
+    EXPECT_THROW((void)pipe.run_batch(requests, 2), InputError);
+    EXPECT_THROW((void)pipe.run_batch(requests, 1), InputError);
+}
+
+TEST(PipelineErrors, InvalidParamOverrideRejected) {
+    lp::Pipeline pipe;
+    lp::EstimationRequest request(lp::CircuitSource::from_bench("ham3"));
+    lf::PhysicalParams params;
+    params.width = -1;
+    request.params = params;
+    EXPECT_THROW((void)pipe.run(request), InputError);
+}
+
+// ------------------------------------------------------------- calibration --
+
+TEST(PipelineCalibration, CalibratesAndAppliesV) {
+    lp::Pipeline pipe;
+    const std::vector<lp::CircuitSource> training = {
+        lp::CircuitSource::from_bench("ham3")};
+    const auto result = pipe.calibrate(training);
+    EXPECT_GT(result.v, 0.0);
+    pipe.apply_calibration(result);
+    EXPECT_DOUBLE_EQ(pipe.config().params.v, result.v);
+}
+
+TEST(PipelineCalibration, VSearchRunsOnCachedGraphs) {
+    lp::Pipeline pipe;
+    const auto training =
+        pipe.training_samples({lp::CircuitSource::from_bench("ham3")});
+    ASSERT_EQ(training.graph_samples.size(), 1u);
+    EXPECT_EQ(pipe.cache_stats().graph_misses, 1u);
+
+    // The whole v search (hundreds of estimator evaluations) borrows the
+    // cached QODG/IIG pair; the session never builds a second one.
+    const auto result = pipe.calibrate(training);
+    EXPECT_GT(result.evaluations, 50u);
+    EXPECT_EQ(pipe.cache_stats().graph_misses, 1u);
+
+    // And calibrating from sources resolves the same cached entry.
+    (void)pipe.calibrate({lp::CircuitSource::from_bench("ham3")});
+    EXPECT_EQ(pipe.cache_stats().graph_misses, 1u);
+    EXPECT_EQ(pipe.cache_stats().circuit_misses, 1u);
+}
+
+// ----------------------------------------------------------------- reports --
+
+TEST(PipelineReport, BatchJsonContainsResults) {
+    lp::Pipeline pipe;
+    std::vector<lp::EstimationRequest> requests;
+    requests.emplace_back(lp::CircuitSource::from_bench("ham3"), lp::RunMode::Both);
+    requests.emplace_back(lp::CircuitSource::from_bench("ham3"));
+    requests[1].label = "ham3-estimate-only";
+    const auto results = pipe.run_batch(requests, 1);
+
+    const std::string json = leqa::report::batch_to_json(results);
+    EXPECT_NE(json.find("\"tool\":\"leqa-pipeline\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"ham3-estimate-only\""), std::string::npos);
+    EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"stage_times_s\""), std::string::npos);
+    // The estimate-only result has a null mapping.
+    EXPECT_NE(json.find("\"mapping\":null"), std::string::npos);
+
+    const std::string single = leqa::report::result_to_json(results[0]);
+    EXPECT_NE(single.find("\"cache_key\""), std::string::npos);
+    EXPECT_NE(single.find("\"mapping\":{"), std::string::npos);
+}

@@ -7,6 +7,7 @@
 
 #include "benchgen/gf2_mult.h"
 #include "benchgen/suite.h"
+#include "core/engine.h"
 #include "core/leqa.h"
 #include "fabric/params.h"
 #include "iig/iig.h"
@@ -164,6 +165,71 @@ void BM_PipelineSweepWarm(benchmark::State& state) {
                             static_cast<std::int64_t>(kSweepSides.size()));
 }
 BENCHMARK(BM_PipelineSweepWarm)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Per-parameter-point estimation cost on the acceptance bar's 50x50 fabric.
+// Seed path: the pre-refactor evaluation (full a x b coverage table, three
+// lgammas + two logs + exp per cell per q term).  Staged path: the
+// CircuitProfile is built once outside the loop and each point pays only
+// the compressed-coverage + Eq. 18 parameter stage plus the CSR critical
+// path.  The ratio of these two benchmarks is the sweep speedup.
+fabric::PhysicalParams fifty_by_fifty() {
+    fabric::PhysicalParams params;
+    params.width = 50;
+    params.height = 50;
+    return params;
+}
+
+void BM_PerPointSeed(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    const qodg::Qodg graph(circ);
+    const iig::Iig iig(circ);
+    const core::LeqaEstimator estimator(fifty_by_fifty());
+    for (auto _ : state) {
+        const auto estimate = estimator.estimate_reference(graph, iig);
+        benchmark::DoNotOptimize(estimate.latency_us);
+    }
+}
+BENCHMARK(BM_PerPointSeed)->Arg(16)->Arg(64);
+
+void BM_PerPointStaged(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    const qodg::Qodg graph(circ);
+    const iig::Iig iig(circ);
+    const auto profile = core::CircuitProfile::build(graph, iig);
+    core::EstimationEngine engine(fifty_by_fifty());
+    // Alternate the geometry so every iteration misses the engine's E[S_q]
+    // memo and pays the full parameter stage (a fabric-side sweep's cost).
+    fabric::PhysicalParams jiggled = fifty_by_fifty();
+    jiggled.height = 49;
+    bool flip = false;
+    for (auto _ : state) {
+        engine.set_params(flip ? jiggled : fifty_by_fifty());
+        flip = !flip;
+        const auto estimate = engine.estimate(profile);
+        benchmark::DoNotOptimize(estimate.latency_us);
+    }
+}
+BENCHMARK(BM_PerPointStaged)->Arg(16)->Arg(64);
+
+void BM_PerPointStagedMemoHit(benchmark::State& state) {
+    const auto circ = ft_mult(static_cast<int>(state.range(0)));
+    const qodg::Qodg graph(circ);
+    const iig::Iig iig(circ);
+    const auto profile = core::CircuitProfile::build(graph, iig);
+    core::EstimationEngine engine(fifty_by_fifty());
+    // Alternate v at fixed geometry: the memo hits (a v / Nc sweep or the
+    // calibrator's search), leaving the congestion algebra + critical path.
+    fabric::PhysicalParams faster = fifty_by_fifty();
+    faster.v *= 2.0;
+    bool flip = false;
+    for (auto _ : state) {
+        engine.set_params(flip ? faster : fifty_by_fifty());
+        flip = !flip;
+        const auto estimate = engine.estimate(profile);
+        benchmark::DoNotOptimize(estimate.latency_us);
+    }
+}
+BENCHMARK(BM_PerPointStagedMemoHit)->Arg(16)->Arg(64);
 
 void BM_FtSynthesis(benchmark::State& state) {
     benchgen::Gf2MultSpec spec;

@@ -1,0 +1,170 @@
+/// \file sweep_perf.cpp
+/// \brief Sweep-cost tracking bench: records cold/warm pipeline sweeps and
+///        old-vs-new per-parameter-point timings into BENCH_sweep.json so
+///        the perf trajectory is tracked from the staged-engine PR onward.
+///
+/// Three measurements on a gf2 multiplier circuit:
+///   - cold sweep: a fresh pipeline session per sweep (synthesis + graph
+///     build + profile paid inside the measurement);
+///   - warm sweep: the session cache holds the circuit-invariant artifacts,
+///     so each point pays only the parameter stage;
+///   - per-point: the seed evaluation path (`estimate_reference`: full
+///     a x b coverage table, per-cell log-space PMF) against the staged
+///     engine on prebuilt graphs, on the 50x50 fabric of the acceptance
+///     bar.  `speedup_per_point` is the headline number.
+///
+/// Environment knobs: LEQA_BENCH_FAST / LEQA_BENCH_LIMIT (see harness.h)
+/// shrink the circuit; LEQA_SWEEP_JSON overrides the artifact path.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/gf2_mult.h"
+#include "core/engine.h"
+#include "core/leqa.h"
+#include "harness.h"
+#include "iig/iig.h"
+#include "pipeline/pipeline.h"
+#include "qodg/qodg.h"
+#include "synth/ft_synth.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace leqa;
+
+/// Best-of-N wall time of a callable, in seconds.
+template <typename F>
+double best_of(int repetitions, F&& body) {
+    double best = 1e300;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        const util::Stopwatch clock;
+        body();
+        best = std::min(best, clock.seconds());
+    }
+    return best;
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== sweep cost: pipeline cold/warm and per-point old vs new ===\n\n");
+
+    // gf2^32mult-sized input by default; the FAST knob drops to n = 16.
+    const int n = bench::bench_op_limit() > 0 && bench::bench_op_limit() <= 80000 ? 16 : 32;
+    benchgen::Gf2MultSpec spec;
+    spec.n = n;
+    spec.form = benchgen::Gf2PolyForm::Auto;
+    const circuit::Circuit reversible = benchgen::gf2_mult(spec);
+    const auto source = pipeline::CircuitSource::from_circuit(reversible);
+
+    const std::vector<int> sides = {40, 44, 48, 50, 52, 56, 60, 64, 72, 80};
+
+    // --- cold vs warm sweep through the pipeline ---------------------------
+    const double cold_s = best_of(3, [&] {
+        pipeline::Pipeline fresh; // pays synthesis + graphs + profile
+        (void)fresh.sweep_fabric_sides(source, sides);
+    });
+
+    pipeline::Pipeline warm;
+    (void)warm.sweep_fabric_sides(source, sides); // populate the cache
+    const double warm_s = best_of(5, [&] {
+        (void)warm.sweep_fabric_sides(source, sides);
+    });
+
+    // --- per-point: seed evaluation vs staged engine, 50x50 fabric ---------
+    const circuit::Circuit ft = synth::ft_synthesize(reversible).circuit;
+    const qodg::Qodg graph(ft);
+    const iig::Iig iig(ft);
+    const core::CircuitProfile profile = core::CircuitProfile::build(graph, iig);
+
+    fabric::PhysicalParams params;
+    params.width = 50;
+    params.height = 50;
+
+    const core::LeqaEstimator seed_estimator(params);
+    core::EstimationEngine engine(params);
+
+    const int reps = 20;
+    const double seed_point_s = best_of(3, [&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            (void)seed_estimator.estimate_reference(graph, iig);
+        }
+    }) / reps;
+
+    // Two staged regimes.  Geometry-moving (a fabric-side sweep): every
+    // point changes (a, b), missing the engine's E[S_q] memo and paying the
+    // full compressed-coverage + Eq. 18 parameter stage — the conservative
+    // headline.  Geometry-fixed (a v or Nc sweep, the calibrator): the memo
+    // hits and each point pays only the congestion algebra + critical path.
+    fabric::PhysicalParams jiggled = params;
+    jiggled.height = 49;
+    const double staged_point_s = best_of(3, [&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            engine.set_params(rep % 2 == 0 ? params : jiggled);
+            (void)engine.estimate(profile);
+        }
+    }) / reps;
+
+    fabric::PhysicalParams faster = params;
+    faster.v = params.v * 2.0;
+    const double staged_memo_point_s = best_of(3, [&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            engine.set_params(rep % 2 == 0 ? params : faster);
+            (void)engine.estimate(profile);
+        }
+    }) / reps;
+
+    const double per_point_speedup =
+        staged_point_s > 0.0 ? seed_point_s / staged_point_s : 0.0;
+    const double memo_point_speedup =
+        staged_memo_point_s > 0.0 ? seed_point_s / staged_memo_point_s : 0.0;
+    const double warm_point_s = warm_s / static_cast<double>(sides.size());
+
+    std::printf("circuit: gf2^%dmult  (%zu FT ops, %zu qubits)\n", n, ft.size(),
+                ft.num_qubits());
+    std::printf("sweep over %zu fabric sides:\n", sides.size());
+    std::printf("  cold (fresh session) : %.4f s\n", cold_s);
+    std::printf("  warm (cached profile): %.4f s  (%.2e s/point)\n", warm_s,
+                warm_point_s);
+    std::printf("per point on a 50x50 fabric:\n");
+    std::printf("  seed path (reference)        : %.3e s\n", seed_point_s);
+    std::printf("  staged, geometry moving      : %.3e s  (%.1fx)\n", staged_point_s,
+                per_point_speedup);
+    std::printf("  staged, geometry fixed (memo): %.3e s  (%.1fx)\n",
+                staged_memo_point_s, memo_point_speedup);
+
+    // --- artifact ----------------------------------------------------------
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("bench", "sweep_perf");
+    json.key("circuit").begin_object();
+    json.kv("name", "gf2^" + std::to_string(n) + "mult");
+    json.kv("ft_ops", ft.size());
+    json.kv("qubits", ft.num_qubits());
+    json.end_object();
+    json.key("pipeline_sweep").begin_object();
+    json.kv("points", sides.size());
+    json.kv("cold_s", cold_s);
+    json.kv("warm_s", warm_s);
+    json.kv("warm_per_point_s", warm_point_s);
+    json.end_object();
+    json.key("per_point_50x50").begin_object();
+    json.kv("seed_s", seed_point_s);
+    json.kv("staged_s", staged_point_s);
+    json.kv("speedup", per_point_speedup);
+    json.kv("staged_memo_s", staged_memo_point_s);
+    json.kv("memo_speedup", memo_point_speedup);
+    json.end_object();
+    json.end_object();
+
+    const std::string path =
+        util::env_string("LEQA_SWEEP_JSON").value_or("BENCH_sweep.json");
+    std::ofstream out(path);
+    out << json.str() << "\n";
+    std::printf("\nwrote %s\n", path.c_str());
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/engine.h"
 #include "util/error.h"
 
 namespace leqa::core {
@@ -16,18 +17,51 @@ void validate_sample(const GraphSample& sample) {
                  "calibration sample must have positive actual latency");
 }
 
-double error_at(const std::vector<GraphSample>& samples,
-                const fabric::PhysicalParams& params, const LeqaOptions& options,
-                double v, std::size_t& evaluations) {
+/// One training pair reduced to its circuit-invariant profile: the whole v
+/// search then pays only the parameter-dependent stage per evaluation.
+struct ProfiledSample {
+    CircuitProfile profile;
+    double actual_latency_us = 0.0;
+};
+
+std::vector<ProfiledSample> profile_samples(const std::vector<GraphSample>& samples) {
+    std::vector<ProfiledSample> profiled;
+    profiled.reserve(samples.size());
+    for (const GraphSample& sample : samples) {
+        profiled.push_back(
+            {CircuitProfile::build(*sample.graph, *sample.iig), sample.actual_latency_us});
+    }
+    return profiled;
+}
+
+/// One engine per sample, persistent across the whole v search: v does not
+/// move the coverage geometry, so each engine's E[S_q] memo is computed on
+/// the first evaluation and hit on every later one.
+std::vector<EstimationEngine> engines_for(const std::vector<ProfiledSample>& samples,
+                                          const fabric::PhysicalParams& params,
+                                          const LeqaOptions& options) {
+    std::vector<EstimationEngine> engines;
+    engines.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        engines.emplace_back(params, options);
+    }
+    return engines;
+}
+
+/// Mean error at speed v over index-aligned (sample, engine) pairs.
+double error_at(const std::vector<ProfiledSample>& samples,
+                std::vector<EstimationEngine>& engines,
+                const fabric::PhysicalParams& params, double v,
+                std::size_t& evaluations) {
     fabric::PhysicalParams tuned = params;
     tuned.v = v;
-    LeqaEstimator estimator(tuned, options);
     double total = 0.0;
-    for (const GraphSample& sample : samples) {
-        const LeqaEstimate estimate = estimator.estimate(*sample.graph, *sample.iig);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        engines[i].set_params(tuned);
+        const LeqaEstimate estimate = engines[i].estimate(samples[i].profile);
         ++evaluations;
-        total += std::abs(estimate.latency_us - sample.actual_latency_us) /
-                 sample.actual_latency_us;
+        total += std::abs(estimate.latency_us - samples[i].actual_latency_us) /
+                 samples[i].actual_latency_us;
     }
     return total / static_cast<double>(samples.size());
 }
@@ -82,7 +116,9 @@ double mean_abs_relative_error(const std::vector<GraphSample>& samples,
     LEQA_REQUIRE(!samples.empty(), "need at least one calibration sample");
     for (const GraphSample& sample : samples) validate_sample(sample);
     std::size_t evaluations = 0;
-    return error_at(samples, params, options, params.v, evaluations);
+    const std::vector<ProfiledSample> profiled = profile_samples(samples);
+    std::vector<EstimationEngine> engines = engines_for(profiled, params, options);
+    return error_at(profiled, engines, params, params.v, evaluations);
 }
 
 CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
@@ -96,6 +132,11 @@ CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
     LEQA_REQUIRE(calibrator_options.coarse_grid >= 2, "coarse grid needs >= 2 points");
     for (const GraphSample& sample : samples) validate_sample(sample);
 
+    // Stage 1 once per sample; every v evaluation below is parameter-stage
+    // work only.
+    const std::vector<ProfiledSample> profiled = profile_samples(samples);
+    std::vector<EstimationEngine> engines = engines_for(profiled, base_params, options);
+
     CalibrationResult result;
     const double log_min = std::log10(calibrator_options.v_min);
     const double log_max = std::log10(calibrator_options.v_max);
@@ -106,7 +147,7 @@ CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
     for (int i = 0; i < calibrator_options.coarse_grid; ++i) {
         const double log_v = log_min + (log_max - log_min) * i /
                                            (calibrator_options.coarse_grid - 1);
-        const double error = error_at(samples, base_params, options,
+        const double error = error_at(profiled, engines, base_params,
                                       std::pow(10.0, log_v), result.evaluations);
         if (error < best_error) {
             best_error = error;
@@ -121,9 +162,9 @@ CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
     constexpr double kInvPhi = 0.6180339887498949;
     double x1 = hi - kInvPhi * (hi - lo);
     double x2 = lo + kInvPhi * (hi - lo);
-    double f1 = error_at(samples, base_params, options, std::pow(10.0, x1),
+    double f1 = error_at(profiled, engines, base_params, std::pow(10.0, x1),
                          result.evaluations);
-    double f2 = error_at(samples, base_params, options, std::pow(10.0, x2),
+    double f2 = error_at(profiled, engines, base_params, std::pow(10.0, x2),
                          result.evaluations);
     for (int i = 0; i < calibrator_options.refine_iterations; ++i) {
         if (f1 <= f2) {
@@ -131,14 +172,14 @@ CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
             x2 = x1;
             f2 = f1;
             x1 = hi - kInvPhi * (hi - lo);
-            f1 = error_at(samples, base_params, options, std::pow(10.0, x1),
+            f1 = error_at(profiled, engines, base_params, std::pow(10.0, x1),
                           result.evaluations);
         } else {
             lo = x1;
             x1 = x2;
             f1 = f2;
             x2 = lo + kInvPhi * (hi - lo);
-            f2 = error_at(samples, base_params, options, std::pow(10.0, x2),
+            f2 = error_at(profiled, engines, base_params, std::pow(10.0, x2),
                           result.evaluations);
         }
     }

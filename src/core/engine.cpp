@@ -1,0 +1,214 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/binomial.h"
+#include "mathx/queueing.h"
+#include "mathx/tsp.h"
+#include "util/error.h"
+
+namespace leqa::core {
+
+// -------------------------------------------------------- CircuitProfile --
+
+CircuitProfile CircuitProfile::build(const qodg::Qodg& graph, const iig::Iig& iig) {
+    CircuitProfile profile;
+    profile.graph = &graph;
+    profile.num_qubits = iig.num_qubits();
+    profile.num_ops = graph.num_ops();
+
+    // Lines 1-3 of Algorithm 1: IIG statistics and B (Eqs. 6-7).
+    profile.zone_area_b = iig.average_zone_area();
+
+    // Lines 4-8 without the parameter: the W_i-weighted average of
+    // E[l_ham,i] / M_i (Eqs. 15-16).  Dividing by v at estimate time
+    // recovers d_uncongest (Eq. 12) exactly up to association order.
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (circuit::Qubit i = 0; i < iig.num_qubits(); ++i) {
+        const double w = static_cast<double>(iig.adjacent_weight(i));
+        if (w <= 0.0) continue; // no interactions: no presence-zone travel
+        const double m = static_cast<double>(iig.degree(i));
+        const double l_ham = mathx::expected_hamiltonian_path(iig.zone_area(i), m);
+        numerator += w * (l_ham / m);
+        denominator += w;
+    }
+    profile.d_uncongest_v = denominator > 0.0 ? numerator / denominator : 0.0;
+
+    for (qodg::NodeId id = 0; id < graph.num_nodes(); ++id) {
+        const qodg::Node& node = graph.node(id);
+        if (node.kind == qodg::NodeKind::Op) {
+            ++profile.gate_counts[static_cast<std::size_t>(node.gate_kind)];
+        }
+    }
+    return profile;
+}
+
+// ----------------------------------------------------- CoverageHistogram --
+
+CoverageHistogram CoverageHistogram::build(int a, int b, int zone_side) {
+    LEQA_REQUIRE(a >= 1 && b >= 1, "fabric dimensions must be >= 1");
+    LEQA_REQUIRE(zone_side >= 1 && zone_side <= std::min(a, b),
+                 "zone side must be in [1, min(a, b)]");
+    const int s = zone_side;
+
+    // Along one axis of length `len`, Eq. 5's count min{x, len-x+1, s,
+    // len-s+1} takes at most min(s, len-s+1) distinct values; tally how
+    // many coordinates produce each.
+    const auto axis_counts = [s](int len) {
+        const int cap = std::min(s, len - s + 1);
+        std::vector<double> count(static_cast<std::size_t>(cap) + 1, 0.0);
+        for (int x = 1; x <= len; ++x) {
+            const int n = std::min({x, len - x + 1, s, len - s + 1});
+            count[static_cast<std::size_t>(n)] += 1.0;
+        }
+        return count;
+    };
+    const std::vector<double> cx = axis_counts(a);
+    const std::vector<double> cy = axis_counts(b);
+
+    // Cross the two axes on the integer product nx * ny, merging products
+    // that coincide (1*4 == 2*2): at most (cap_a * cap_b) <= s^2 bins.
+    const std::size_t max_product = (cx.size() - 1) * (cy.size() - 1);
+    std::vector<double> product_count(max_product + 1, 0.0);
+    for (std::size_t i = 1; i < cx.size(); ++i) {
+        if (cx[i] == 0.0) continue;
+        for (std::size_t j = 1; j < cy.size(); ++j) {
+            if (cy[j] == 0.0) continue;
+            product_count[i * j] += cx[i] * cy[j];
+        }
+    }
+
+    const double denom =
+        static_cast<double>(a - s + 1) * static_cast<double>(b - s + 1);
+    CoverageHistogram histogram;
+    histogram.cells_ = static_cast<double>(a) * static_cast<double>(b);
+    for (std::size_t product = 1; product <= max_product; ++product) {
+        if (product_count[product] == 0.0) continue;
+        histogram.bins_.push_back(
+            Bin{static_cast<double>(product) / denom, product_count[product]});
+    }
+    return histogram;
+}
+
+// ------------------------------------------------------ EstimationEngine --
+
+EstimationEngine::EstimationEngine(const fabric::PhysicalParams& params,
+                                   LeqaOptions options)
+    : params_(params), options_(options) {
+    params_.validate();
+    LEQA_REQUIRE(options_.sq_terms >= 1, "sq_terms must be >= 1");
+}
+
+void EstimationEngine::set_params(const fabric::PhysicalParams& params) {
+    params.validate();
+    params_ = params;
+}
+
+std::vector<double> EstimationEngine::expected_surfaces(
+    const CoverageHistogram& coverage, long long num_zones, long long terms) {
+    LEQA_REQUIRE(num_zones >= 0, "zone count must be non-negative");
+    LEQA_REQUIRE(terms >= 0 && terms <= num_zones, "terms must be in [0, Q]");
+
+    // One running Eq. 18 recursion per distinct coverage probability; each
+    // q advances every recursion by one multiplicative step.
+    std::vector<mathx::BinomialTermRecursion> rows;
+    rows.reserve(coverage.bins().size());
+    for (const CoverageHistogram::Bin& bin : coverage.bins()) {
+        rows.emplace_back(num_zones, bin.probability);
+    }
+
+    std::vector<double> surfaces;
+    surfaces.reserve(static_cast<std::size_t>(terms));
+    for (long long q = 1; q <= terms; ++q) {
+        double total = 0.0;
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            rows[r].advance();
+            total += coverage.bins()[r].multiplicity * rows[r].value();
+        }
+        surfaces.push_back(total);
+    }
+    return surfaces;
+}
+
+LeqaEstimate EstimationEngine::estimate(const CircuitProfile& profile) const {
+    LEQA_REQUIRE(profile.graph != nullptr, "profile has no QODG attached");
+    const qodg::Qodg& graph = *profile.graph;
+
+    LeqaEstimate out;
+    out.num_qubits = profile.num_qubits;
+    out.num_ops = profile.num_ops;
+    out.l_one_qubit_avg_us = params_.one_qubit_routing_latency_us();
+
+    const long long q_total = static_cast<long long>(profile.num_qubits);
+    const int a = params_.width;
+    const int b = params_.height;
+
+    // --- lines 1-3 came from the profile (Eqs. 6-7) ------------------------
+    out.zone_area_b = profile.zone_area_b;
+
+    // --- lines 4-8: d_uncongest (Eq. 12); v divides back in ----------------
+    out.d_uncongest_us = profile.d_uncongest_v / params_.v;
+
+    // --- lines 9-13: coverage histogram (Eq. 5, compressed) ----------------
+    // --- lines 14-17: E[S_q] (Eq. 4, via Eq. 18) and d_q (Eq. 8) -----------
+    // --- line 18: L_CNOT^avg (Eq. 2) ---------------------------------------
+    if (q_total > 0 && out.d_uncongest_us > 0.0) {
+        const int side = LeqaEstimator::zone_side(out.zone_area_b, a, b);
+        const long long terms =
+            options_.exact_sq ? q_total
+                              : std::min<long long>(q_total, options_.sq_terms);
+        if (surface_memo_.a != a || surface_memo_.b != b || surface_memo_.side != side ||
+            surface_memo_.q_total != q_total || surface_memo_.terms != terms) {
+            const CoverageHistogram coverage = CoverageHistogram::build(a, b, side);
+            surface_memo_ =
+                SurfaceMemo{a, b, side, q_total, terms,
+                            expected_surfaces(coverage, q_total, terms)};
+        }
+        out.e_sq = surface_memo_.e_sq;
+        out.d_q.reserve(static_cast<std::size_t>(terms));
+        double weighted_delay = 0.0;
+        for (long long q = 1; q <= terms; ++q) {
+            const double surface = out.e_sq[static_cast<std::size_t>(q - 1)];
+            const double delay = mathx::congested_delay(
+                static_cast<double>(q), static_cast<double>(params_.nc),
+                out.d_uncongest_us);
+            out.d_q.push_back(delay);
+            out.covered_area += surface;
+            weighted_delay += surface * delay;
+        }
+        out.l_cnot_avg_us = out.covered_area > 0.0 ? weighted_delay / out.covered_area : 0.0;
+    }
+
+    // --- lines 19-20: update QODG delays, critical path, D (Eq. 1) ---------
+    // Per-kind delay table instead of a per-node functor; only kinds the
+    // circuit contains are queried (delay_us rejects non-FT kinds).
+    std::array<double, circuit::kGateKindCount> delay_by_kind{};
+    for (std::size_t k = 0; k < circuit::kGateKindCount; ++k) {
+        if (profile.gate_counts[k] == 0) continue;
+        const auto kind = static_cast<circuit::GateKind>(k);
+        const double routing = kind == circuit::GateKind::Cnot
+                                   ? out.l_cnot_avg_us
+                                   : out.l_one_qubit_avg_us;
+        delay_by_kind[k] = params_.delay_us(kind) + routing;
+    }
+    const std::vector<double> delays = graph.node_delays(delay_by_kind);
+    const qodg::LongestPath lp = graph.longest_path(delays);
+    const std::vector<qodg::NodeId> path = graph.critical_path(lp);
+    out.critical_census = graph.census(path);
+    out.critical_cnots = out.critical_census.of(circuit::GateKind::Cnot);
+    out.critical_one_qubit = out.critical_census.total_ops - out.critical_cnots;
+    out.latency_us = lp.length;
+
+    for (std::size_t k = 0; k < circuit::kGateKindCount; ++k) {
+        const auto kind = static_cast<circuit::GateKind>(k);
+        const std::size_t count = out.critical_census.by_kind[k];
+        if (count > 0) {
+            out.critical_gate_delay_us += static_cast<double>(count) * params_.delay_us(kind);
+        }
+    }
+    return out;
+}
+
+} // namespace leqa::core

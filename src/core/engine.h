@@ -1,0 +1,139 @@
+/// \file engine.h
+/// \brief The staged estimation engine: circuit-invariant profile stage +
+///        parameter-dependent stage.
+///
+/// LEQA's value proposition is being the fast inner loop of design-space
+/// exploration, yet Algorithm 1 as written mixes circuit-sized work (IIG
+/// statistics, the a x b coverage table) with parameter-dependent work.
+/// The engine splits it:
+///
+///   stage 1 — `CircuitProfile` (per circuit, parameter-free):
+///     QODG structure, IIG-derived statistics (B of Eq. 7 and the
+///     circuit-only factor of d_uncongest, Eqs. 12/15/16 — v divides out),
+///     per-kind gate counts.  Build once, reuse across every parameter
+///     point; the pipeline caches it next to the graphs.
+///
+///   stage 2 — `EstimationEngine::estimate(profile)` (per parameter point):
+///     the coverage table of Eq. 5 is compressed to its O(s^2) distinct
+///     (probability, multiplicity) bins (`CoverageHistogram`; see DESIGN.md
+///     for the counting argument), and E[S_q] (Eq. 4) is evaluated with the
+///     paper's Eq. 18 running recursion — two multiplies per (bin, q)
+///     instead of three lgammas, two logs and an exp per (cell, q).  The
+///     remaining per-point work is the critical-path pass over the CSR
+///     QODG.
+///
+/// `LeqaEstimator::estimate` delegates here; `estimate_reference` keeps the
+/// pre-refactor O(a*b*T) evaluation as the golden path the parity tests
+/// compare against.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/leqa.h"
+#include "fabric/params.h"
+#include "iig/iig.h"
+#include "qodg/qodg.h"
+
+namespace leqa::core {
+
+/// Stage-1 artifact: everything Algorithm 1 needs that depends only on the
+/// circuit, never on the fabric parameters.  Borrows the QODG (the pipeline
+/// keeps graph and profile alive together).
+struct CircuitProfile {
+    std::size_t num_qubits = 0;
+    std::size_t num_ops = 0;
+
+    /// B, the average presence-zone area (Eq. 7).
+    double zone_area_b = 1.0;
+
+    /// The circuit-only factor of d_uncongest (Eq. 12): the W_i-weighted
+    /// average of E[l_ham,i] / M_i (Eqs. 15-16).  The speed parameter v
+    /// divides out of the average, so d_uncongest = d_uncongest_v / v.
+    double d_uncongest_v = 0.0;
+
+    /// Per-kind operation counts over the whole circuit.
+    std::array<std::size_t, circuit::kGateKindCount> gate_counts{};
+
+    /// Dependency structure for the critical-path stage (borrowed).
+    const qodg::Qodg* graph = nullptr;
+
+    /// Build from prebuilt graphs; the IIG is consumed statistically and
+    /// not retained.
+    [[nodiscard]] static CircuitProfile build(const qodg::Qodg& graph,
+                                              const iig::Iig& iig);
+};
+
+/// The coverage table of Eq. 5 compressed to its distinct values.  On an
+/// a x b fabric with zone side s, P_xy = nx * ny / denom where nx and ny
+/// each take at most min(s, a-s+1) distinct values, so the table holds at
+/// most s^2 distinct probabilities regardless of fabric area.  Summing
+/// multiplicity-weighted bins replaces the O(a*b) per-q cell sweep.
+class CoverageHistogram {
+public:
+    struct Bin {
+        double probability = 0.0;
+        double multiplicity = 0.0; ///< number of ULBs sharing this P_xy
+    };
+
+    /// Tabulate for an a x b fabric and zone side `zone_side` (same
+    /// preconditions as LeqaEstimator::coverage_probability).
+    [[nodiscard]] static CoverageHistogram build(int a, int b, int zone_side);
+
+    [[nodiscard]] const std::vector<Bin>& bins() const { return bins_; }
+
+    /// Total multiplicity (= a * b).
+    [[nodiscard]] double cells() const { return cells_; }
+
+private:
+    std::vector<Bin> bins_;
+    double cells_ = 0.0;
+};
+
+/// Stage 2: runs Algorithm 1 against a profile at one parameter point.
+///
+/// The engine memoizes the E[S_q] vector across estimate() calls: the
+/// surfaces depend only on (a, b, zone side, Q, terms), which are invariant
+/// across speed (v) and channel-capacity (Nc) sweeps and the calibrator's
+/// entire v search, so those pay only the congestion algebra and the
+/// critical-path pass per point.  The memo makes concurrent estimate()
+/// calls on one engine instance unsafe; use one engine per thread (the
+/// pipeline constructs one per request).
+class EstimationEngine {
+public:
+    explicit EstimationEngine(const fabric::PhysicalParams& params,
+                              LeqaOptions options = {});
+
+    /// Estimate at the engine's parameter point.  Bit-compatible with
+    /// `LeqaEstimator::estimate` (which delegates here) and within 1e-9
+    /// relative of `LeqaEstimator::estimate_reference`.
+    [[nodiscard]] LeqaEstimate estimate(const CircuitProfile& profile) const;
+
+    /// Expected q-fold-covered surfaces E[S_q] for q = 1..terms (Eq. 4)
+    /// over a compressed coverage table, via the Eq. 18 running recursion.
+    [[nodiscard]] static std::vector<double> expected_surfaces(
+        const CoverageHistogram& coverage, long long num_zones, long long terms);
+
+    [[nodiscard]] const fabric::PhysicalParams& params() const { return params_; }
+    [[nodiscard]] const LeqaOptions& options() const { return options_; }
+
+    /// Replace the parameter point (sweeps and the calibrator's v search).
+    void set_params(const fabric::PhysicalParams& params);
+
+private:
+    fabric::PhysicalParams params_;
+    LeqaOptions options_;
+
+    /// Memoized E[S_q] for the last (a, b, side, Q, terms) seen.
+    struct SurfaceMemo {
+        int a = -1;
+        int b = -1;
+        int side = -1;
+        long long q_total = -1;
+        long long terms = -1;
+        std::vector<double> e_sq;
+    };
+    mutable SurfaceMemo surface_memo_;
+};
+
+} // namespace leqa::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/engine.h"
 #include "mathx/binomial.h"
 #include "mathx/queueing.h"
 #include "mathx/tsp.h"
@@ -61,6 +62,12 @@ LeqaEstimate LeqaEstimator::estimate(const circuit::Circuit& ft_circuit) const {
 }
 
 LeqaEstimate LeqaEstimator::estimate(const qodg::Qodg& graph, const iig::Iig& iig) const {
+    const EstimationEngine engine(params_, options_);
+    return engine.estimate(CircuitProfile::build(graph, iig));
+}
+
+LeqaEstimate LeqaEstimator::estimate_reference(const qodg::Qodg& graph,
+                                               const iig::Iig& iig) const {
     LeqaEstimate out;
     out.num_qubits = iig.num_qubits();
     out.num_ops = graph.num_ops();

@@ -72,8 +72,17 @@ public:
     [[nodiscard]] LeqaEstimate estimate(const circuit::Circuit& ft_circuit) const;
 
     /// Estimate from prebuilt graphs (avoids rebuilding during calibration
-    /// sweeps).  `iig.num_qubits()` supplies Q.
+    /// sweeps).  `iig.num_qubits()` supplies Q.  Delegates to the staged
+    /// `EstimationEngine` (see engine.h), building a throwaway
+    /// `CircuitProfile`; sweep-heavy callers should build the profile once
+    /// and drive the engine directly.
     [[nodiscard]] LeqaEstimate estimate(const qodg::Qodg& graph, const iig::Iig& iig) const;
+
+    /// The pre-refactor evaluation of Algorithm 1: full a x b coverage
+    /// table, per-cell log-space binomial PMF.  O(a*b*T) per call — kept as
+    /// the golden path the engine parity tests compare against.
+    [[nodiscard]] LeqaEstimate estimate_reference(const qodg::Qodg& graph,
+                                                  const iig::Iig& iig) const;
 
     [[nodiscard]] const fabric::PhysicalParams& params() const { return params_; }
     [[nodiscard]] const LeqaOptions& options() const { return options_; }

@@ -6,15 +6,16 @@ namespace leqa::core {
 
 namespace {
 
-SweepResult run_sweep(const qodg::Qodg& graph, const iig::Iig& iig,
+SweepResult run_sweep(const CircuitProfile& profile,
                       const std::vector<fabric::PhysicalParams>& configurations,
                       const LeqaOptions& options) {
     LEQA_REQUIRE(!configurations.empty(), "sweep has no feasible configurations");
     SweepResult result;
     result.points.reserve(configurations.size());
+    EstimationEngine engine(configurations.front(), options);
     for (const auto& params : configurations) {
-        LeqaEstimator estimator(params, options);
-        SweepPoint point{params, estimator.estimate(graph, iig)};
+        engine.set_params(params);
+        SweepPoint point{params, engine.estimate(profile)};
         result.points.push_back(std::move(point));
         if (result.points.back().estimate.latency_us <
             result.points[result.best_index].estimate.latency_us) {
@@ -24,17 +25,14 @@ SweepResult run_sweep(const qodg::Qodg& graph, const iig::Iig& iig,
     return result;
 }
 
-} // namespace
-
-SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
-                               const fabric::PhysicalParams& base,
-                               const std::vector<int>& sides,
-                               const LeqaOptions& options) {
+std::vector<fabric::PhysicalParams> side_configurations(
+    std::size_t num_qubits, const fabric::PhysicalParams& base,
+    const std::vector<int>& sides) {
     std::vector<fabric::PhysicalParams> configurations;
     for (const int side : sides) {
         LEQA_REQUIRE(side >= 1, "fabric side must be >= 1");
         if (static_cast<std::size_t>(side) * static_cast<std::size_t>(side) <
-            iig.num_qubits()) {
+            num_qubits) {
             continue; // cannot host the circuit
         }
         fabric::PhysicalParams params = base;
@@ -42,13 +40,11 @@ SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
         params.height = side;
         configurations.push_back(params);
     }
-    return run_sweep(graph, iig, configurations, options);
+    return configurations;
 }
 
-SweepResult sweep_channel_capacity(const qodg::Qodg& graph, const iig::Iig& iig,
-                                   const fabric::PhysicalParams& base,
-                                   const std::vector<int>& capacities,
-                                   const LeqaOptions& options) {
+std::vector<fabric::PhysicalParams> capacity_configurations(
+    const fabric::PhysicalParams& base, const std::vector<int>& capacities) {
     std::vector<fabric::PhysicalParams> configurations;
     for (const int nc : capacities) {
         LEQA_REQUIRE(nc >= 1, "channel capacity must be >= 1");
@@ -56,13 +52,11 @@ SweepResult sweep_channel_capacity(const qodg::Qodg& graph, const iig::Iig& iig,
         params.nc = nc;
         configurations.push_back(params);
     }
-    return run_sweep(graph, iig, configurations, options);
+    return configurations;
 }
 
-SweepResult sweep_speed(const qodg::Qodg& graph, const iig::Iig& iig,
-                        const fabric::PhysicalParams& base,
-                        const std::vector<double>& speeds,
-                        const LeqaOptions& options) {
+std::vector<fabric::PhysicalParams> speed_configurations(
+    const fabric::PhysicalParams& base, const std::vector<double>& speeds) {
     std::vector<fabric::PhysicalParams> configurations;
     for (const double v : speeds) {
         LEQA_REQUIRE(v > 0.0, "speed must be positive");
@@ -70,7 +64,53 @@ SweepResult sweep_speed(const qodg::Qodg& graph, const iig::Iig& iig,
         params.v = v;
         configurations.push_back(params);
     }
-    return run_sweep(graph, iig, configurations, options);
+    return configurations;
+}
+
+} // namespace
+
+SweepResult sweep_fabric_sides(const CircuitProfile& profile,
+                               const fabric::PhysicalParams& base,
+                               const std::vector<int>& sides,
+                               const LeqaOptions& options) {
+    return run_sweep(profile, side_configurations(profile.num_qubits, base, sides),
+                     options);
+}
+
+SweepResult sweep_channel_capacity(const CircuitProfile& profile,
+                                   const fabric::PhysicalParams& base,
+                                   const std::vector<int>& capacities,
+                                   const LeqaOptions& options) {
+    return run_sweep(profile, capacity_configurations(base, capacities), options);
+}
+
+SweepResult sweep_speed(const CircuitProfile& profile,
+                        const fabric::PhysicalParams& base,
+                        const std::vector<double>& speeds,
+                        const LeqaOptions& options) {
+    return run_sweep(profile, speed_configurations(base, speeds), options);
+}
+
+SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
+                               const fabric::PhysicalParams& base,
+                               const std::vector<int>& sides,
+                               const LeqaOptions& options) {
+    return sweep_fabric_sides(CircuitProfile::build(graph, iig), base, sides, options);
+}
+
+SweepResult sweep_channel_capacity(const qodg::Qodg& graph, const iig::Iig& iig,
+                                   const fabric::PhysicalParams& base,
+                                   const std::vector<int>& capacities,
+                                   const LeqaOptions& options) {
+    return sweep_channel_capacity(CircuitProfile::build(graph, iig), base, capacities,
+                                  options);
+}
+
+SweepResult sweep_speed(const qodg::Qodg& graph, const iig::Iig& iig,
+                        const fabric::PhysicalParams& base,
+                        const std::vector<double>& speeds,
+                        const LeqaOptions& options) {
+    return sweep_speed(CircuitProfile::build(graph, iig), base, speeds, options);
 }
 
 } // namespace leqa::core

@@ -1,16 +1,22 @@
 /// \file sweep.h
-/// \brief Design-space sweeps built on the estimator.
+/// \brief Design-space sweeps built on the staged estimation engine.
 ///
 /// The paper positions LEQA as the inner loop of design exploration: "Size
 /// of the fabric ... can be changed to find the optimal size for the
 /// fabric which results in the minimum delay."  These helpers run the
 /// estimator across one-parameter families (fabric side, channel capacity,
-/// qubit speed) against prebuilt graphs and report the latency-minimal
-/// point.
+/// qubit speed) and report the latency-minimal point.
+///
+/// The profile-based overloads are the fast path: the circuit-invariant
+/// `CircuitProfile` is built once and only the parameter-dependent stage
+/// runs per point, so a sweep costs O(points) parameter-stage evaluations
+/// rather than O(points x circuit) table rebuilds.  The graph-based
+/// overloads build the profile internally and delegate.
 #pragma once
 
 #include <vector>
 
+#include "core/engine.h"
 #include "core/leqa.h"
 #include "fabric/params.h"
 #include "iig/iig.h"
@@ -30,21 +36,40 @@ struct SweepResult {
     [[nodiscard]] const SweepPoint& best() const { return points.at(best_index); }
 };
 
+// --- profile-based fast path ------------------------------------------------
+
 /// Sweep square fabrics of the given sides.  Sides too small to host the
 /// circuit's qubits are skipped; throws InputError if none remain.
-[[nodiscard]] SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
+[[nodiscard]] SweepResult sweep_fabric_sides(const CircuitProfile& profile,
                                              const fabric::PhysicalParams& base,
                                              const std::vector<int>& sides,
                                              const LeqaOptions& options = {});
 
 /// Sweep channel capacities Nc.
+[[nodiscard]] SweepResult sweep_channel_capacity(const CircuitProfile& profile,
+                                                 const fabric::PhysicalParams& base,
+                                                 const std::vector<int>& capacities,
+                                                 const LeqaOptions& options = {});
+
+/// Sweep the qubit-speed parameter v.
+[[nodiscard]] SweepResult sweep_speed(const CircuitProfile& profile,
+                                      const fabric::PhysicalParams& base,
+                                      const std::vector<double>& speeds,
+                                      const LeqaOptions& options = {});
+
+// --- graph-based convenience overloads (profile built once, internally) ----
+
+[[nodiscard]] SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,
+                                             const fabric::PhysicalParams& base,
+                                             const std::vector<int>& sides,
+                                             const LeqaOptions& options = {});
+
 [[nodiscard]] SweepResult sweep_channel_capacity(const qodg::Qodg& graph,
                                                  const iig::Iig& iig,
                                                  const fabric::PhysicalParams& base,
                                                  const std::vector<int>& capacities,
                                                  const LeqaOptions& options = {});
 
-/// Sweep the qubit-speed parameter v.
 [[nodiscard]] SweepResult sweep_speed(const qodg::Qodg& graph, const iig::Iig& iig,
                                       const fabric::PhysicalParams& base,
                                       const std::vector<double>& speeds,

@@ -1,0 +1,127 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace leqa::graph {
+
+std::vector<std::uint32_t> CsrDigraph::in_degrees() const {
+    std::vector<std::uint32_t> degrees(num_nodes(), 0);
+    for (const NodeId v : targets_) ++degrees[v];
+    return degrees;
+}
+
+CsrBuilder::CsrBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+void CsrBuilder::reserve_edges(std::size_t count) {
+    from_.reserve(count);
+    to_.reserve(count);
+}
+
+void CsrBuilder::add_edge(NodeId from, NodeId to) {
+    LEQA_REQUIRE(from < num_nodes_ && to < num_nodes_, "edge endpoint out of range");
+    LEQA_REQUIRE(from != to, "self loops are not representable");
+    if (from > to) topological_ = false;
+    from_.push_back(from);
+    to_.push_back(to);
+}
+
+CsrDigraph CsrBuilder::build(bool merge_parallel) {
+    CsrDigraph g;
+    g.topological_ = topological_;
+    g.offsets_.assign(num_nodes_ + 1, 0);
+
+    // Counting sort by source: count, prefix-sum, scatter.
+    for (const NodeId u : from_) ++g.offsets_[u + 1];
+    for (std::size_t u = 0; u < num_nodes_; ++u) g.offsets_[u + 1] += g.offsets_[u];
+    g.targets_.resize(to_.size());
+    std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (std::size_t e = 0; e < from_.size(); ++e) {
+        g.targets_[cursor[from_[e]]++] = to_[e];
+    }
+
+    // Sort each successor list; optionally drop parallel duplicates (the
+    // QODG merge rule), compacting the arrays in place.
+    std::uint32_t write = 0;
+    std::uint32_t row_start = 0;
+    for (std::size_t u = 0; u < num_nodes_; ++u) {
+        const std::uint32_t row_end = g.offsets_[u + 1];
+        auto* begin = g.targets_.data() + row_start;
+        auto* end = g.targets_.data() + row_end;
+        std::sort(begin, end);
+        if (merge_parallel) end = std::unique(begin, end);
+        for (auto* it = begin; it != end; ++it) g.targets_[write++] = *it;
+        row_start = row_end;
+        g.offsets_[u + 1] = write;
+    }
+    g.targets_.resize(write);
+
+    from_.clear();
+    to_.clear();
+    return g;
+}
+
+LongestPathResult longest_path(const CsrDigraph& g, std::span<const double> delays,
+                               NodeId source) {
+    LEQA_REQUIRE(g.topologically_ordered(),
+                 "longest_path requires a topologically ordered graph");
+    LEQA_REQUIRE(delays.size() == g.num_nodes(),
+                 "delay vector size must equal node count");
+    LEQA_REQUIRE(source < g.num_nodes(), "source out of range");
+
+    LongestPathResult lp;
+    const std::size_t n = g.num_nodes();
+    lp.distance.assign(n, -1.0);
+    lp.predecessor.assign(n, source);
+    lp.distance[source] = delays[source];
+
+    for (NodeId u = source; u < n; ++u) {
+        const double base = lp.distance[u];
+        if (base < 0.0) continue; // unreachable from source
+        for (const NodeId v : g.successors(u)) {
+            const double candidate = base + delays[v];
+            if (candidate > lp.distance[v]) {
+                lp.distance[v] = candidate;
+                lp.predecessor[v] = u;
+            }
+        }
+    }
+    return lp;
+}
+
+std::vector<NodeId> extract_path(std::span<const double> distance,
+                                 std::span<const NodeId> predecessor, NodeId source,
+                                 NodeId sink) {
+    LEQA_REQUIRE(sink < distance.size() && source < distance.size(),
+                 "path endpoint out of range");
+    LEQA_REQUIRE(distance[sink] >= 0.0, "sink unreachable from source");
+    std::vector<NodeId> path;
+    NodeId cursor = sink;
+    path.push_back(cursor);
+    while (cursor != source) {
+        cursor = predecessor[cursor];
+        path.push_back(cursor);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<double> downstream_delay(const CsrDigraph& g,
+                                     std::span<const double> delays) {
+    LEQA_REQUIRE(g.topologically_ordered(),
+                 "downstream_delay requires a topologically ordered graph");
+    LEQA_REQUIRE(delays.size() == g.num_nodes(),
+                 "delay vector size must equal node count");
+    std::vector<double> downstream(g.num_nodes(), 0.0);
+    for (NodeId u = static_cast<NodeId>(g.num_nodes()); u-- > 0;) {
+        double best_successor = 0.0;
+        for (const NodeId v : g.successors(u)) {
+            best_successor = std::max(best_successor, downstream[v]);
+        }
+        downstream[u] = delays[u] + best_successor;
+    }
+    return downstream;
+}
+
+} // namespace leqa::graph

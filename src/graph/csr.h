@@ -1,0 +1,116 @@
+/// \file csr.h
+/// \brief Immutable compressed-sparse-row digraph and its traversal kernels.
+///
+/// The QODG, the QSPR list scheduler, and the estimation engine all walk the
+/// same dependency structure; this substrate gives them one flat
+/// representation instead of per-module adjacency containers.  A
+/// `CsrBuilder` collects (from, to) pairs, merges parallel edges, and
+/// freezes them into two arrays (offsets + targets), after which traversal
+/// is cache-friendly pointer arithmetic.
+///
+/// The kernels below require a *topologically ordered* graph (every edge
+/// goes from a lower to a higher node id).  The builder records whether
+/// that property holds; graphs built from circuits in program order (the
+/// QODG) always satisfy it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace leqa::graph {
+
+using NodeId = std::uint32_t;
+
+class CsrBuilder;
+
+/// Immutable digraph in compressed-sparse-row form.
+class CsrDigraph {
+public:
+    CsrDigraph() = default;
+
+    [[nodiscard]] std::size_t num_nodes() const {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+    [[nodiscard]] std::size_t num_edges() const { return targets_.size(); }
+
+    /// Successors of `u`, ascending by id.
+    [[nodiscard]] std::span<const NodeId> successors(NodeId u) const {
+        return {targets_.data() + offsets_[u], targets_.data() + offsets_[u + 1]};
+    }
+
+    [[nodiscard]] std::size_t out_degree(NodeId u) const {
+        return offsets_[u + 1] - offsets_[u];
+    }
+
+    /// True when every edge goes from a lower to a higher id (node ids form
+    /// a topological order); precondition of the kernels below.
+    [[nodiscard]] bool topologically_ordered() const { return topological_; }
+
+    /// Per-node in-degree (one O(|E|) pass).
+    [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
+
+private:
+    friend class CsrBuilder;
+
+    std::vector<std::uint32_t> offsets_; ///< size num_nodes + 1
+    std::vector<NodeId> targets_;        ///< concatenated successor lists
+    bool topological_ = true;
+};
+
+/// Collects edges, then freezes them into a CsrDigraph.
+class CsrBuilder {
+public:
+    explicit CsrBuilder(std::size_t num_nodes);
+
+    void reserve_edges(std::size_t count);
+
+    /// Add one directed edge.  Self loops are rejected.
+    void add_edge(NodeId from, NodeId to);
+
+    /// Freeze.  Parallel (from, to) duplicates are merged into one edge when
+    /// `merge_parallel`; successor lists come out sorted either way.
+    /// The builder is consumed.
+    [[nodiscard]] CsrDigraph build(bool merge_parallel = true);
+
+private:
+    std::size_t num_nodes_;
+    std::vector<NodeId> from_;
+    std::vector<NodeId> to_;
+    bool topological_ = true;
+};
+
+// --- topological-order kernels ---------------------------------------------
+//
+// All kernels take per-node delays (path length = sum of node delays along
+// the path) and require `g.topologically_ordered()`.
+
+/// Longest path from `source` to every node.  Nodes unreachable from
+/// `source` keep distance -1.
+struct LongestPathResult {
+    std::vector<double> distance;    ///< per node; -1 when unreachable
+    std::vector<NodeId> predecessor; ///< per node: predecessor on that path
+};
+
+[[nodiscard]] LongestPathResult longest_path(const CsrDigraph& g,
+                                             std::span<const double> delays,
+                                             NodeId source);
+
+/// Walk predecessors back from `sink` to `source` and return the
+/// source->sink node sequence.  `distance` is only consulted to reject an
+/// unreachable sink.
+[[nodiscard]] std::vector<NodeId> extract_path(std::span<const double> distance,
+                                               std::span<const NodeId> predecessor,
+                                               NodeId source, NodeId sink);
+
+[[nodiscard]] inline std::vector<NodeId> extract_path(const LongestPathResult& lp,
+                                                      NodeId source, NodeId sink) {
+    return extract_path(lp.distance, lp.predecessor, source, sink);
+}
+
+/// Longest path from each node to any sink, inclusive of the node's own
+/// delay (the priority function of list scheduling).
+[[nodiscard]] std::vector<double> downstream_delay(const CsrDigraph& g,
+                                                   std::span<const double> delays);
+
+} // namespace leqa::graph

@@ -1,0 +1,72 @@
+#include "graph/weighted.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace leqa::graph {
+
+WeightedUndigraph WeightedUndigraph::from_pairs(
+    std::size_t num_nodes, std::span<const std::pair<NodeId, NodeId>> pairs) {
+    WeightedUndigraph g;
+
+    // Canonicalize to packed (min << 32 | max) keys and sort: identical
+    // pairs become adjacent runs whose lengths are the edge weights.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pairs.size());
+    for (const auto& [a, b] : pairs) {
+        LEQA_REQUIRE(a < num_nodes && b < num_nodes, "edge endpoint out of range");
+        LEQA_REQUIRE(a != b, "self loops are not representable");
+        const NodeId lo = std::min(a, b);
+        const NodeId hi = std::max(a, b);
+        keys.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    g.offsets_.assign(num_nodes + 1, 0);
+    g.adjacent_weight_.assign(num_nodes, 0);
+
+    // Run-length encode into the unique edge list, accumulating per-node
+    // degree (into offsets_, shifted by one) and adjacent weight as we go.
+    for (std::size_t run = 0; run < keys.size();) {
+        std::size_t end = run + 1;
+        while (end < keys.size() && keys[end] == keys[run]) ++end;
+        const auto i = static_cast<NodeId>(keys[run] >> 32);
+        const auto j = static_cast<NodeId>(keys[run] & 0xFFFFFFFFULL);
+        const auto weight = static_cast<std::uint64_t>(end - run);
+        g.edges_.push_back(Edge{i, j, weight});
+        ++g.offsets_[i + 1];
+        ++g.offsets_[j + 1];
+        g.adjacent_weight_[i] += weight;
+        g.adjacent_weight_[j] += weight;
+        run = end;
+    }
+
+    for (std::size_t u = 0; u < num_nodes; ++u) g.offsets_[u + 1] += g.offsets_[u];
+
+    // Scatter the symmetric adjacency.  Edges are sorted by (i, j), so each
+    // node's neighbor slice comes out ascending without a second sort: the
+    // i-side fills in j-ascending order, and the j-side entries (neighbors
+    // below the node) are appended before any i-side ones (neighbors above).
+    g.neighbors_.resize(2 * g.edges_.size());
+    g.weights_.resize(2 * g.edges_.size());
+    std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const Edge& e : g.edges_) {
+        g.neighbors_[cursor[e.i]] = e.j;
+        g.weights_[cursor[e.i]++] = e.weight;
+        g.neighbors_[cursor[e.j]] = e.i;
+        g.weights_[cursor[e.j]++] = e.weight;
+    }
+    return g;
+}
+
+std::uint64_t WeightedUndigraph::weight_between(NodeId a, NodeId b) const {
+    LEQA_REQUIRE(a < num_nodes() && b < num_nodes(), "node out of range");
+    LEQA_REQUIRE(a != b, "self loops are not representable");
+    const auto hood = neighbors(a);
+    const auto it = std::lower_bound(hood.begin(), hood.end(), b);
+    if (it == hood.end() || *it != b) return 0;
+    return neighbor_weights(a)[static_cast<std::size_t>(it - hood.begin())];
+}
+
+} // namespace leqa::graph

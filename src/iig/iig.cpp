@@ -1,54 +1,38 @@
 #include "iig/iig.h"
 
-#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/error.h"
 
 namespace leqa::iig {
 
-std::uint64_t Iig::key(circuit::Qubit a, circuit::Qubit b) {
-    if (a > b) std::swap(a, b);
-    return (static_cast<std::uint64_t>(a) << 32) | b;
-}
-
 Iig::Iig(const circuit::Circuit& circ) {
-    degree_.assign(circ.num_qubits(), 0);
-    adjacent_weight_.assign(circ.num_qubits(), 0);
-
+    // One pass over the gates collects the interacting endpoint pairs; the
+    // flat graph build then produces the unique edge list and the per-qubit
+    // M_i / W_i arrays in one sort + scan.
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+    pairs.reserve(circ.size());
     for (const circuit::Gate& gate : circ.gates()) {
         const auto qubits = gate.qubits();
         if (qubits.size() < 2) continue;
         for (std::size_t a = 0; a < qubits.size(); ++a) {
             for (std::size_t b = a + 1; b < qubits.size(); ++b) {
-                ++weights_[key(qubits[a], qubits[b])];
+                pairs.emplace_back(qubits[a], qubits[b]);
             }
         }
     }
-
-    edges_.reserve(weights_.size());
-    for (const auto& [packed, weight] : weights_) {
-        const auto i = static_cast<circuit::Qubit>(packed >> 32);
-        const auto j = static_cast<circuit::Qubit>(packed & 0xFFFFFFFFULL);
-        edges_.push_back(Edge{i, j, weight});
-        ++degree_[i];
-        ++degree_[j];
-        adjacent_weight_[i] += weight;
-        adjacent_weight_[j] += weight;
-    }
-    std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
-        return a.i != b.i ? a.i < b.i : a.j < b.j;
-    });
+    graph_ = graph::WeightedUndigraph::from_pairs(circ.num_qubits(), pairs);
 }
 
 std::size_t Iig::degree(circuit::Qubit q) const {
-    LEQA_REQUIRE(q < degree_.size(), "qubit index out of range");
-    return degree_[q];
+    LEQA_REQUIRE(q < num_qubits(), "qubit index out of range");
+    return graph_.degree(q);
 }
 
 std::uint64_t Iig::adjacent_weight(circuit::Qubit q) const {
-    LEQA_REQUIRE(q < adjacent_weight_.size(), "qubit index out of range");
-    return adjacent_weight_[q];
+    LEQA_REQUIRE(q < num_qubits(), "qubit index out of range");
+    return graph_.adjacent_weight(q);
 }
 
 double Iig::zone_area(circuit::Qubit q) const {
@@ -60,8 +44,8 @@ double Iig::average_zone_area() const {
     // Eq. 7: B = sum_i W_i B_i / sum_i W_i.
     double numerator = 0.0;
     double denominator = 0.0;
-    for (circuit::Qubit q = 0; q < degree_.size(); ++q) {
-        const auto w = static_cast<double>(adjacent_weight_[q]);
+    for (circuit::Qubit q = 0; q < num_qubits(); ++q) {
+        const auto w = static_cast<double>(graph_.adjacent_weight(q));
         numerator += w * zone_area(q);
         denominator += w;
     }
@@ -71,24 +55,25 @@ double Iig::average_zone_area() const {
 
 std::uint64_t Iig::total_adjacent_weight() const {
     std::uint64_t total = 0;
-    for (const auto w : adjacent_weight_) total += w;
+    for (circuit::Qubit q = 0; q < num_qubits(); ++q) {
+        total += graph_.adjacent_weight(q);
+    }
     return total;
 }
 
 std::uint64_t Iig::edge_weight(circuit::Qubit a, circuit::Qubit b) const {
-    LEQA_REQUIRE(a < degree_.size() && b < degree_.size(), "qubit index out of range");
+    LEQA_REQUIRE(a < num_qubits() && b < num_qubits(), "qubit index out of range");
     LEQA_REQUIRE(a != b, "IIG has no self loops");
-    const auto it = weights_.find(key(a, b));
-    return it == weights_.end() ? 0 : it->second;
+    return graph_.weight_between(a, b);
 }
 
 std::string Iig::to_dot(const circuit::Circuit& circ) const {
     std::ostringstream out;
     out << "graph iig {\n";
-    for (circuit::Qubit q = 0; q < degree_.size(); ++q) {
+    for (circuit::Qubit q = 0; q < num_qubits(); ++q) {
         out << "  n" << q << " [label=\"" << circ.qubit_name(q) << "\"];\n";
     }
-    for (const Edge& e : edges_) {
+    for (const Edge& e : edges()) {
         out << "  n" << e.i << " -- n" << e.j << " [label=\"" << e.weight << "\"];\n";
     }
     out << "}\n";

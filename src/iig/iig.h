@@ -11,6 +11,11 @@
 /// and the fabric-wide average presence-zone area B as the W_i-weighted
 /// mean of B_i (Eq. 7).
 ///
+/// The edge store is a flat `graph::WeightedUndigraph` (see
+/// graph/weighted.h): endpoint pairs are collected in one pass over the
+/// circuit and frozen into a sorted edge list plus CSR adjacency, with the
+/// per-qubit statistics (M_i, W_i) coming out as arrays — no hash map.
+///
 /// The builder accepts any circuit; gates touching two qubits contribute
 /// weight 1 to their pair.  Gates touching three or more qubits (permitted
 /// only pre-FT-synthesis) contribute weight 1 to every qubit pair they
@@ -21,19 +26,15 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "graph/weighted.h"
 
 namespace leqa::iig {
 
 /// An undirected weighted edge (i < j).
-struct Edge {
-    circuit::Qubit i = 0;
-    circuit::Qubit j = 0;
-    std::uint64_t weight = 0;
-};
+using Edge = graph::WeightedUndigraph::Edge;
 
 class Iig {
 public:
@@ -41,10 +42,10 @@ public:
     explicit Iig(const circuit::Circuit& circ);
 
     /// Number of logical qubits Q.
-    [[nodiscard]] std::size_t num_qubits() const { return degree_.size(); }
+    [[nodiscard]] std::size_t num_qubits() const { return graph_.num_nodes(); }
 
     /// Number of distinct interacting pairs |E|.
-    [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+    [[nodiscard]] std::size_t num_edges() const { return graph_.num_edges(); }
 
     /// M_i: number of distinct neighbors of qubit i.
     [[nodiscard]] std::size_t degree(circuit::Qubit q) const;
@@ -67,18 +68,16 @@ public:
     [[nodiscard]] std::uint64_t edge_weight(circuit::Qubit a, circuit::Qubit b) const;
 
     /// All edges, sorted by (i, j).
-    [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+    [[nodiscard]] const std::vector<Edge>& edges() const { return graph_.edges(); }
+
+    /// The underlying flat weighted graph.
+    [[nodiscard]] const graph::WeightedUndigraph& graph() const { return graph_; }
 
     /// Graphviz DOT rendering (small graphs).
     [[nodiscard]] std::string to_dot(const circuit::Circuit& circ) const;
 
 private:
-    static std::uint64_t key(circuit::Qubit a, circuit::Qubit b);
-
-    std::vector<std::size_t> degree_;
-    std::vector<std::uint64_t> adjacent_weight_;
-    std::unordered_map<std::uint64_t, std::uint64_t> weights_;
-    std::vector<Edge> edges_;
+    graph::WeightedUndigraph graph_;
 };
 
 } // namespace leqa::iig

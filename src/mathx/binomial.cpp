@@ -29,6 +29,50 @@ double binomial_pmf(std::int64_t n, std::int64_t k, double p) {
     return std::exp(log_pmf);
 }
 
+BinomialTermRecursion::BinomialTermRecursion(std::int64_t n, double p) : n_(n), p_(p) {
+    LEQA_REQUIRE(n >= 0, "BinomialTermRecursion: need n >= 0");
+    LEQA_REQUIRE(p >= 0.0 && p <= 1.0, "BinomialTermRecursion: need 0 <= p <= 1");
+    if (p == 0.0 || p == 1.0) {
+        degenerate_ = true;
+        return;
+    }
+    ratio_ = p / (1.0 - p);
+    // (1-p)^n split as mantissa * 2^exponent: the log-space start is the one
+    // place a transcendental is unavoidable, and it keeps the start exactly
+    // representable even when (1-p)^n underflows double range.
+    const double log2_start =
+        static_cast<double>(n) * std::log1p(-p) / 0.6931471805599453;
+    exponent_ = static_cast<int>(std::floor(log2_start));
+    mantissa_ = std::exp2(log2_start - static_cast<double>(exponent_));
+}
+
+double BinomialTermRecursion::value() const {
+    if (degenerate_) {
+        if (p_ == 0.0) return q_ == 0 ? 1.0 : 0.0;
+        return q_ == n_ ? 1.0 : 0.0;
+    }
+    return std::ldexp(mantissa_, exponent_);
+}
+
+void BinomialTermRecursion::advance() {
+    if (degenerate_) {
+        ++q_;
+        return;
+    }
+    if (q_ >= n_) {
+        mantissa_ = 0.0;
+        ++q_;
+        return;
+    }
+    // Eq. 18 step: C(n,q+1) = C(n,q) * (n-q)/(q+1), times one extra
+    // p/(1-p) to move the p^q (1-p)^(n-q) factor along with it.
+    mantissa_ *= ratio_ * (static_cast<double>(n_ - q_) / static_cast<double>(q_ + 1));
+    ++q_;
+    int shift = 0;
+    mantissa_ = std::frexp(mantissa_, &shift);
+    exponent_ += shift;
+}
+
 std::vector<double> binomial_row_recursive(std::int64_t n, std::int64_t max_k) {
     LEQA_REQUIRE(n >= 0 && max_k >= 0 && max_k <= n,
                  "binomial_row_recursive: need 0 <= max_k <= n");

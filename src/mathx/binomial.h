@@ -30,4 +30,39 @@ namespace leqa::mathx {
 /// large n; intended for small n and for validating log_binomial.
 [[nodiscard]] std::vector<double> binomial_row_recursive(std::int64_t n, std::int64_t max_k);
 
+/// Running evaluation of the binomial PMF row C(n,q) p^q (1-p)^(n-q) for
+/// q = 0, 1, 2, ... via the paper's Eq. (18) multiplicative recursion:
+///
+///   pmf(n, 0)     = (1-p)^n
+///   pmf(n, q + 1) = pmf(n, q) * (n-q)/(q+1) * p/(1-p)
+///
+/// Each step is two multiplies — no lgamma, log, or exp in the loop.  The
+/// state is kept as mantissa * 2^exponent (renormalized with frexp) so that
+/// an underflowing (1-p)^n start does not wipe out terms that re-enter
+/// double range at larger q; terms whose true magnitude is below double
+/// range come out as 0, matching what the log-space `binomial_pmf` returns
+/// after its final exp.  The p == 0 and p == 1 endpoints are exact.
+class BinomialTermRecursion {
+public:
+    /// Requires n >= 0 and 0 <= p <= 1.  Starts positioned at q = 0.
+    BinomialTermRecursion(std::int64_t n, double p);
+
+    /// PMF at the current q.
+    [[nodiscard]] double value() const;
+
+    /// Step q -> q+1.  Stepping past q == n pins the value to 0.
+    void advance();
+
+    [[nodiscard]] std::int64_t q() const { return q_; }
+
+private:
+    std::int64_t n_ = 0;
+    std::int64_t q_ = 0;
+    double ratio_ = 0.0;    ///< p / (1-p); unused at the exact endpoints
+    double mantissa_ = 0.0; ///< value() = mantissa_ * 2^exponent_
+    int exponent_ = 0;
+    bool degenerate_ = false; ///< p == 0 or p == 1: exact indicator values
+    double p_ = 0.0;          ///< retained for the degenerate endpoints
+};
+
 } // namespace leqa::mathx

@@ -24,6 +24,9 @@ bool CachedCircuit::ensure_graphs() const {
     std::call_once(graphs_once_, [&] {
         qodg_ = std::make_unique<const qodg::Qodg>(ft_);
         iig_ = std::make_unique<const iig::Iig>(ft_);
+        // The profile borrows the QODG; both live (and die) together here.
+        profile_ = std::make_unique<const core::CircuitProfile>(
+            core::CircuitProfile::build(*qodg_, *iig_));
         graphs_ready_.store(true);
         built_now = true;
     });
@@ -38,6 +41,11 @@ const qodg::Qodg& CachedCircuit::qodg() const {
 const iig::Iig& CachedCircuit::iig() const {
     ensure_graphs();
     return *iig_;
+}
+
+const core::CircuitProfile& CachedCircuit::profile() const {
+    ensure_graphs();
+    return *profile_;
 }
 
 // ------------------------------------------------------------ Pipeline --
@@ -203,9 +211,9 @@ EstimationResult Pipeline::run(const EstimationRequest& request) {
         ensure_graphs(*entry);
         result.times.graphs_s = graphs_clock.seconds();
 
-        const core::LeqaEstimator estimator(params, leqa_options);
+        const core::EstimationEngine engine(params, leqa_options);
         const util::Stopwatch estimate_clock;
-        result.estimate = estimator.estimate(entry->qodg(), entry->iig());
+        result.estimate = engine.estimate(entry->profile());
         result.times.estimate_s = estimate_clock.seconds();
     }
     if (request.mode != RunMode::Estimate) {
@@ -267,8 +275,7 @@ core::SweepResult Pipeline::sweep_fabric_sides(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_fabric_sides(entry->qodg(), entry->iig(), params, sides,
-                                    leqa_options);
+    return core::sweep_fabric_sides(entry->profile(), params, sides, leqa_options);
 }
 
 core::SweepResult Pipeline::sweep_channel_capacity(const CircuitSource& source,
@@ -276,7 +283,7 @@ core::SweepResult Pipeline::sweep_channel_capacity(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_channel_capacity(entry->qodg(), entry->iig(), params, capacities,
+    return core::sweep_channel_capacity(entry->profile(), params, capacities,
                                         leqa_options);
 }
 
@@ -285,7 +292,7 @@ core::SweepResult Pipeline::sweep_speed(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_speed(entry->qodg(), entry->iig(), params, speeds, leqa_options);
+    return core::sweep_speed(entry->profile(), params, speeds, leqa_options);
 }
 
 // ---------------------------------------------------------- calibration --

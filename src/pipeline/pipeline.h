@@ -9,8 +9,9 @@
 /// Pipeline owns that plumbing once:
 ///
 ///   - a keyed LRU cache of intermediates (FT circuit + lazily built
-///     QODG/IIG) per circuit identity, so fabric sweeps, QECC exploration
-///     and calibration reuse graphs instead of rebuilding them;
+///     QODG/IIG + the circuit-invariant `core::CircuitProfile`) per circuit
+///     identity, so fabric sweeps, QECC exploration and calibration reuse
+///     the stage-1 artifacts instead of rebuilding them;
 ///   - `run(request)` for one circuit, `run_batch(requests)` with optional
 ///     thread-pool parallelism for many;
 ///   - `sweep_*` / `calibrate` entry points that re-home core/sweep and
@@ -34,6 +35,7 @@
 
 #include "circuit/circuit.h"
 #include "core/calibrate.h"
+#include "core/engine.h"
 #include "core/leqa.h"
 #include "core/sweep.h"
 #include "fabric/params.h"
@@ -115,8 +117,9 @@ struct CacheStats {
     [[nodiscard]] std::string to_string() const;
 };
 
-/// A cached, immutable FT circuit with lazily built dependency graphs.
-/// Handles stay valid after eviction (shared ownership).
+/// A cached, immutable FT circuit with lazily built dependency graphs and
+/// the circuit-invariant estimation profile derived from them.  Handles
+/// stay valid after eviction (shared ownership).
 class CachedCircuit {
 public:
     [[nodiscard]] const circuit::Circuit& ft() const { return ft_; }
@@ -127,13 +130,19 @@ public:
     [[nodiscard]] const qodg::Qodg& qodg() const;
     [[nodiscard]] const iig::Iig& iig() const;
 
-    /// True once the QODG/IIG pair has been built.
+    /// The circuit-invariant stage-1 artifact (see core/engine.h), built
+    /// together with the graphs: sweeps and calibration re-estimate from it
+    /// without touching the circuit again.
+    [[nodiscard]] const core::CircuitProfile& profile() const;
+
+    /// True once the QODG/IIG pair (and profile) has been built.
     [[nodiscard]] bool graphs_built() const { return graphs_ready_.load(); }
 
 private:
     friend class Pipeline;
 
-    /// Force-build the graphs; returns true when this call built them.
+    /// Force-build the graphs + profile; returns true when this call built
+    /// them.
     bool ensure_graphs() const;
 
     circuit::Circuit ft_;
@@ -144,6 +153,7 @@ private:
     mutable std::atomic<bool> graphs_ready_{false};
     mutable std::unique_ptr<const qodg::Qodg> qodg_;
     mutable std::unique_ptr<const iig::Iig> iig_;
+    mutable std::unique_ptr<const core::CircuitProfile> profile_;
 };
 
 using CachedCircuitPtr = std::shared_ptr<const CachedCircuit>;

@@ -10,7 +10,6 @@ namespace leqa::qodg {
 Qodg::Qodg(const circuit::Circuit& circ) {
     const std::size_t n_gates = circ.size();
     nodes_.reserve(n_gates + 2);
-    out_edges_.resize(n_gates + 2);
 
     nodes_.push_back(Node{NodeKind::Start, 0, circuit::GateKind::X});
     for (std::size_t i = 0; i < n_gates; ++i) {
@@ -19,36 +18,32 @@ Qodg::Qodg(const circuit::Circuit& circ) {
     nodes_.push_back(Node{NodeKind::End, 0, circuit::GateKind::X});
     const NodeId end_id = end();
 
+    graph::CsrBuilder builder(nodes_.size());
+    builder.reserve_edges(2 * n_gates + circ.num_qubits() + 1);
+
     // Last QODG node that touched each qubit (start initially).
     std::vector<NodeId> last(circ.num_qubits(), start());
 
-    std::vector<NodeId> preds; // scratch, deduplicated per gate
     for (std::size_t i = 0; i < n_gates; ++i) {
         const NodeId me = static_cast<NodeId>(i + 1);
         const circuit::Gate& gate = circ.gate(i);
-        preds.clear();
-        for (const circuit::Qubit q : gate.controls) preds.push_back(last[q]);
-        for (const circuit::Qubit q : gate.targets) preds.push_back(last[q]);
-        std::sort(preds.begin(), preds.end());
-        preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
-        for (const NodeId p : preds) {
-            out_edges_[p].push_back(me); // merged: one edge per (p, me) pair
-            ++edge_count_;
-        }
+        // Parallel edges (a CNOT feeding both operands of another CNOT) are
+        // merged by the builder at freeze time.
+        for (const circuit::Qubit q : gate.controls) builder.add_edge(last[q], me);
+        for (const circuit::Qubit q : gate.targets) builder.add_edge(last[q], me);
         for (const circuit::Qubit q : gate.controls) last[q] = me;
         for (const circuit::Qubit q : gate.targets) last[q] = me;
     }
 
-    // Connect all last-level nodes (and untouched qubits' start) to end,
-    // merging duplicates.
-    std::vector<NodeId> tails(last.begin(), last.end());
-    if (circ.num_qubits() == 0) tails.push_back(start());
-    std::sort(tails.begin(), tails.end());
-    tails.erase(std::unique(tails.begin(), tails.end()), tails.end());
-    for (const NodeId t : tails) {
-        out_edges_[t].push_back(end_id);
-        ++edge_count_;
+    // Connect all last-level nodes (and untouched qubits' start) to end;
+    // duplicates merge at freeze time.
+    if (circ.num_qubits() == 0) {
+        builder.add_edge(start(), end_id);
+    } else {
+        for (const NodeId t : last) builder.add_edge(t, end_id);
     }
+
+    csr_ = builder.build(/*merge_parallel=*/true);
 }
 
 NodeId Qodg::node_of_gate(std::size_t gate_index) const {
@@ -67,25 +62,24 @@ std::vector<double> Qodg::node_delays(
     return delays;
 }
 
+std::vector<double> Qodg::node_delays(
+    const std::array<double, circuit::kGateKindCount>& delay_by_kind) const {
+    std::vector<double> delays(nodes_.size(), 0.0);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].kind == NodeKind::Op) {
+            delays[id] = delay_by_kind[static_cast<std::size_t>(nodes_[id].gate_kind)];
+        }
+    }
+    return delays;
+}
+
 LongestPath Qodg::longest_path(const std::vector<double>& delays) const {
     LEQA_REQUIRE(delays.size() == nodes_.size(),
                  "delay vector size must equal node count");
+    graph::LongestPathResult result = graph::longest_path(csr_, delays, start());
     LongestPath lp;
-    lp.distance.assign(nodes_.size(), -1.0);
-    lp.predecessor.assign(nodes_.size(), start());
-    lp.distance[start()] = delays[start()];
-
-    // Node ids are already a topological order (edges go low -> high).
-    for (NodeId u = 0; u < nodes_.size(); ++u) {
-        if (lp.distance[u] < 0.0) continue; // unreachable (cannot happen)
-        for (const NodeId v : out_edges_[u]) {
-            const double candidate = lp.distance[u] + delays[v];
-            if (candidate > lp.distance[v]) {
-                lp.distance[v] = candidate;
-                lp.predecessor[v] = u;
-            }
-        }
-    }
+    lp.distance = std::move(result.distance);
+    lp.predecessor = std::move(result.predecessor);
     lp.length = lp.distance[end()];
     return lp;
 }
@@ -93,15 +87,7 @@ LongestPath Qodg::longest_path(const std::vector<double>& delays) const {
 std::vector<NodeId> Qodg::critical_path(const LongestPath& lp) const {
     LEQA_REQUIRE(lp.distance.size() == nodes_.size(),
                  "longest-path result does not match this graph");
-    std::vector<NodeId> path;
-    NodeId cursor = end();
-    path.push_back(cursor);
-    while (cursor != start()) {
-        cursor = lp.predecessor[cursor];
-        path.push_back(cursor);
-    }
-    std::reverse(path.begin(), path.end());
-    return path;
+    return graph::extract_path(lp.distance, lp.predecessor, start(), end());
 }
 
 PathCensus Qodg::census(const std::vector<NodeId>& path) const {
@@ -118,16 +104,7 @@ PathCensus Qodg::census(const std::vector<NodeId>& path) const {
 std::vector<double> Qodg::downstream_delay(const std::vector<double>& delays) const {
     LEQA_REQUIRE(delays.size() == nodes_.size(),
                  "delay vector size must equal node count");
-    std::vector<double> downstream(nodes_.size(), 0.0);
-    // Reverse topological order: node ids descend.
-    for (NodeId u = static_cast<NodeId>(nodes_.size()); u-- > 0;) {
-        double best_successor = 0.0;
-        for (const NodeId v : out_edges_[u]) {
-            best_successor = std::max(best_successor, downstream[v]);
-        }
-        downstream[u] = delays[u] + best_successor;
-    }
-    return downstream;
+    return graph::downstream_delay(csr_, delays);
 }
 
 Qodg::SlackAnalysis Qodg::slack_analysis(const std::vector<double>& delays) const {
@@ -165,7 +142,7 @@ std::string Qodg::to_dot(const circuit::Circuit& circ) const {
         out << "];\n";
     }
     for (NodeId u = 0; u < nodes_.size(); ++u) {
-        for (const NodeId v : out_edges_[u]) {
+        for (const NodeId v : csr_.successors(u)) {
             out << "  n" << u << " -> n" << v << ";\n";
         }
     }

@@ -10,23 +10,27 @@
 ///   - node ids are a topological order by construction (gates are appended
 ///     in program order).
 ///
-/// The class also provides the weighted-longest-path machinery LEQA's
-/// Algorithm 1 (lines 19-20) and the QSPR scheduler both build on: given a
-/// per-node delay vector, compute the critical path, its length, and the
-/// per-gate-kind operation census along it (N^critical of Eq. 1).
+/// The dependency structure itself lives in a shared `graph::CsrDigraph`
+/// (see graph/csr.h); this class adds the circuit-facing node metadata and
+/// the weighted-longest-path machinery LEQA's Algorithm 1 (lines 19-20) and
+/// the QSPR scheduler both build on: given a per-node delay vector, compute
+/// the critical path, its length, and the per-gate-kind operation census
+/// along it (N^critical of Eq. 1).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "graph/csr.h"
 
 namespace leqa::qodg {
 
-using NodeId = std::uint32_t;
+using NodeId = graph::NodeId;
 
 enum class NodeKind : std::uint8_t { Start, Op, End };
 
@@ -62,21 +66,30 @@ public:
     explicit Qodg(const circuit::Circuit& circ);
 
     [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
-    [[nodiscard]] std::size_t num_edges() const { return edge_count_; }
+    [[nodiscard]] std::size_t num_edges() const { return csr_.num_edges(); }
     [[nodiscard]] std::size_t num_ops() const { return nodes_.size() - 2; }
     [[nodiscard]] NodeId start() const { return 0; }
     [[nodiscard]] NodeId end() const { return static_cast<NodeId>(nodes_.size() - 1); }
     [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
-    [[nodiscard]] const std::vector<NodeId>& successors(NodeId id) const {
-        return out_edges_.at(id);
+    [[nodiscard]] std::span<const NodeId> successors(NodeId id) const {
+        (void)nodes_.at(id); // bounds check; CSR indexing below is unchecked
+        return csr_.successors(id);
     }
-    /// Node id of the i-th gate (gates map to ids 1..N in program order).
+    /// The raw dependency structure (node ids are a topological order).
+    [[nodiscard]] const graph::CsrDigraph& csr() const { return csr_; }
+
+    /// Node id of the i-th gate: gates map to ids 1..N in program order, so
+    /// this is a constant-time offset plus a bounds check.
     [[nodiscard]] NodeId node_of_gate(std::size_t gate_index) const;
 
     /// Build a per-node delay vector from a per-gate-kind delay functor;
     /// start/end get zero delay.
     [[nodiscard]] std::vector<double> node_delays(
         const std::function<double(circuit::GateKind)>& delay_of) const;
+
+    /// As above from a per-kind delay table (no indirect call per node).
+    [[nodiscard]] std::vector<double> node_delays(
+        const std::array<double, circuit::kGateKindCount>& delay_by_kind) const;
 
     /// Longest path from start to every node where path length is the sum
     /// of node delays along the path.  `delays.size()` must equal
@@ -112,8 +125,7 @@ public:
 
 private:
     std::vector<Node> nodes_;
-    std::vector<std::vector<NodeId>> out_edges_;
-    std::size_t edge_count_ = 0;
+    graph::CsrDigraph csr_;
 };
 
 } // namespace leqa::qodg

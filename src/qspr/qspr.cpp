@@ -182,17 +182,16 @@ private:
 
     /// Critical-path list scheduling: ready operations (all QODG
     /// predecessors executed) issue in descending downstream-delay order.
+    /// Runs on the QODG's CSR structure and the shared graph kernels.
     void run_priority_schedule(const std::function<void(std::size_t)>& execute) {
-        const qodg::Qodg graph(circ_);
-        const std::vector<double> delays = graph.node_delays(
+        const qodg::Qodg deps(circ_);
+        const leqa::graph::CsrDigraph& csr = deps.csr();
+        const std::vector<double> delays = deps.node_delays(
             [&](circuit::GateKind kind) { return params_.delay_us(kind); });
-        const std::vector<double> priority = graph.downstream_delay(delays);
+        const std::vector<double> priority = leqa::graph::downstream_delay(csr, delays);
 
         // Remaining-predecessor counts per node.
-        std::vector<std::uint32_t> pending(graph.num_nodes(), 0);
-        for (qodg::NodeId u = 0; u < graph.num_nodes(); ++u) {
-            for (const qodg::NodeId v : graph.successors(u)) ++pending[v];
-        }
+        std::vector<std::uint32_t> pending = csr.in_degrees();
 
         // Max-heap on (priority, lower gate index as tie-break).
         using Entry = std::pair<double, qodg::NodeId>;
@@ -203,17 +202,17 @@ private:
         std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> ready(worse);
 
         const auto release = [&](qodg::NodeId node) {
-            for (const qodg::NodeId v : graph.successors(node)) {
-                if (--pending[v] == 0 && graph.node(v).kind == qodg::NodeKind::Op) {
+            for (const qodg::NodeId v : csr.successors(node)) {
+                if (--pending[v] == 0 && deps.node(v).kind == qodg::NodeKind::Op) {
                     ready.push({priority[v], v});
                 }
             }
         };
-        release(graph.start());
+        release(deps.start());
         while (!ready.empty()) {
             const qodg::NodeId node = ready.top().second;
             ready.pop();
-            execute(graph.node(node).gate_index);
+            execute(deps.node(node).gate_index);
             release(node);
         }
     }

@@ -9,9 +9,15 @@
 /// both should relax with a larger fabric and tighten with a smaller Nc.
 /// Every parameter point is one pipeline request with a parameter override;
 /// the session synthesizes the workload and builds its graphs exactly once.
+///
+/// The third sweep exercises the fabric::Topology axis: the same workload
+/// mapped and estimated on a grid, a torus, and the area-equivalent
+/// ion-trap line.  The wraparound should relax routing (shorter average
+/// CNOT travel), the line should tighten it.
 #include <cmath>
 #include <cstdio>
 
+#include "fabric/topology.h"
 #include "harness.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -82,11 +88,42 @@ int main() {
                                                3)});
         }
         std::printf("%s", table.to_string().c_str());
-        std::printf("pipeline cache over both sweeps: %s\n",
-                    pipe.cache_stats().to_string().c_str());
         std::printf("note: at the Table 1 operating point (Nc = 5) the channels are\n"
                     "mostly uncongested, so both tools flatten above small Nc -- the\n"
-                    "M/M/1 branch of Eq. 8 only engages when zones overlap heavily.\n");
+                    "M/M/1 branch of Eq. 8 only engages when zones overlap heavily.\n\n");
+    }
+
+    {
+        std::printf("-- topology sweep (fixed 400-ULB area, Nc = 5) --\n");
+        util::Table table(
+            {"topology", "fabric", "QSPR actual (s)", "LEQA estimate (s)", "error (%)"});
+        for (const auto kind :
+             {fabric::TopologyKind::Grid, fabric::TopologyKind::Torus,
+              fabric::TopologyKind::Line}) {
+            fabric::PhysicalParams params;
+            params.topology = kind;
+            if (kind == fabric::TopologyKind::Line) {
+                params.width = 400;
+                params.height = 1;
+            } else {
+                params.width = 20;
+                params.height = 20;
+            }
+            const pipeline::EstimationResult result = run_point(params);
+            const double actual_s = result.mapping->latency_us * 1e-6;
+            const double estimate_s = result.estimate->latency_seconds();
+            table.add_row({fabric::topology_kind_name(kind),
+                           std::to_string(params.width) + "x" +
+                               std::to_string(params.height),
+                           util::format_scientific(actual_s, 3),
+                           util::format_scientific(estimate_s, 3),
+                           util::format_double(100.0 * std::abs(estimate_s - actual_s) /
+                                                   actual_s,
+                                               3)});
+        }
+        std::printf("%s", table.to_string().c_str());
+        std::printf("pipeline cache over all sweeps: %s\n",
+                    pipe.cache_stats().to_string().c_str());
     }
     return 0;
 }

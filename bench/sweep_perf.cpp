@@ -3,7 +3,7 @@
 ///        old-vs-new per-parameter-point timings into BENCH_sweep.json so
 ///        the perf trajectory is tracked from the staged-engine PR onward.
 ///
-/// Three measurements on a gf2 multiplier circuit:
+/// Measurements on a gf2 multiplier circuit:
 ///   - cold sweep: a fresh pipeline session per sweep (synthesis + graph
 ///     build + profile paid inside the measurement);
 ///   - warm sweep: the session cache holds the circuit-invariant artifacts,
@@ -11,7 +11,11 @@
 ///   - per-point: the seed evaluation path (`estimate_reference`: full
 ///     a x b coverage table, per-cell log-space PMF) against the staged
 ///     engine on prebuilt graphs, on the 50x50 fabric of the acceptance
-///     bar.  `speedup_per_point` is the headline number.
+///     bar.  `speedup_per_point` is the headline number;
+///   - topologies: the same warm sweep and geometry-moving per-point cost
+///     for every `fabric::Topology` (grid / torus / line on the
+///     area-equivalent fabric), with the per-point cost ratio vs grid —
+///     the topology-generic coverage path must stay within 2x of grid.
 ///
 /// Environment knobs: LEQA_BENCH_FAST / LEQA_BENCH_LIMIT (see harness.h)
 /// shrink the circuit; LEQA_SWEEP_JSON overrides the artifact path.
@@ -124,6 +128,60 @@ int main() {
         staged_memo_point_s > 0.0 ? seed_point_s / staged_memo_point_s : 0.0;
     const double warm_point_s = warm_s / static_cast<double>(sides.size());
 
+    // --- the topology axis: warm sweep + geometry-moving per-point cost ----
+    struct TopologyRow {
+        std::string name;
+        double warm_s = 0.0;
+        double point_s = 0.0;
+        double vs_grid = 0.0; ///< per-point cost ratio against grid
+    };
+    std::vector<TopologyRow> topology_rows;
+    for (const auto kind :
+         {fabric::TopologyKind::Grid, fabric::TopologyKind::Torus,
+          fabric::TopologyKind::Line}) {
+        TopologyRow row;
+        row.name = fabric::topology_kind_name(kind);
+
+        fabric::PhysicalParams base;
+        base.topology = kind;
+        if (kind == fabric::TopologyKind::Line) {
+            base.width = base.width * base.height; // area-equivalent row
+            base.height = 1;
+        }
+        pipeline::PipelineConfig config;
+        config.params = base;
+        pipeline::Pipeline session(config);
+        (void)session.sweep_fabric_sides(source, sides); // warm the cache
+        row.warm_s = best_of(5, [&] {
+            (void)session.sweep_fabric_sides(source, sides);
+        });
+
+        // Geometry-moving per-point cost on the 50x50-area fabric of the
+        // acceptance bar (2500x1 for the line), memo defeated per point.
+        fabric::PhysicalParams at = base;
+        at.width = kind == fabric::TopologyKind::Line ? 2500 : 50;
+        at.height = kind == fabric::TopologyKind::Line ? 1 : 50;
+        fabric::PhysicalParams moved = at;
+        if (kind == fabric::TopologyKind::Line) {
+            moved.width = 2450;
+        } else {
+            moved.height = 49;
+        }
+        core::EstimationEngine topo_engine(at);
+        row.point_s = best_of(3, [&] {
+            for (int rep = 0; rep < reps; ++rep) {
+                topo_engine.set_params(rep % 2 == 0 ? at : moved);
+                (void)topo_engine.estimate(profile);
+            }
+        }) / reps;
+        topology_rows.push_back(row);
+    }
+    for (auto& row : topology_rows) {
+        row.vs_grid = topology_rows.front().point_s > 0.0
+                          ? row.point_s / topology_rows.front().point_s
+                          : 0.0;
+    }
+
     std::printf("circuit: gf2^%dmult  (%zu FT ops, %zu qubits)\n", n, ft.size(),
                 ft.num_qubits());
     std::printf("sweep over %zu fabric sides:\n", sides.size());
@@ -136,6 +194,11 @@ int main() {
                 per_point_speedup);
     std::printf("  staged, geometry fixed (memo): %.3e s  (%.1fx)\n",
                 staged_memo_point_s, memo_point_speedup);
+    std::printf("per point by topology (geometry moving, 50x50-area fabric):\n");
+    for (const auto& row : topology_rows) {
+        std::printf("  %-5s : %.3e s/point  (%.2fx grid), warm sweep %.4f s\n",
+                    row.name.c_str(), row.point_s, row.vs_grid, row.warm_s);
+    }
 
     // --- artifact ----------------------------------------------------------
     util::JsonWriter json;
@@ -159,6 +222,16 @@ int main() {
     json.kv("staged_memo_s", staged_memo_point_s);
     json.kv("memo_speedup", memo_point_speedup);
     json.end_object();
+    json.key("topologies").begin_array();
+    for (const auto& row : topology_rows) {
+        json.begin_object();
+        json.kv("name", row.name);
+        json.kv("warm_sweep_s", row.warm_s);
+        json.kv("per_point_s", row.point_s);
+        json.kv("per_point_vs_grid", row.vs_grid);
+        json.end_object();
+    }
+    json.end_array();
     json.end_object();
 
     const std::string path =

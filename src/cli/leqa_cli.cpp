@@ -54,8 +54,9 @@ int body(int argc, char** argv) {
     std::printf("  logical qubits:      %zu\n", result.circuit.qubits);
     std::printf("  FT operations:       %zu (from %zu reversible gates)\n",
                 result.circuit.ft_ops, result.circuit.pre_ft_gates);
-    std::printf("fabric: %dx%d ULBs, Nc=%d, Tmove=%.0f us, v=%g\n", params.width,
-                params.height, params.nc, params.t_move_us, params.v);
+    std::printf("fabric: %dx%d ULBs (%s), Nc=%d, Tmove=%.0f us, v=%g\n", params.width,
+                params.height, fabric::topology_kind_name(params.topology).c_str(),
+                params.nc, params.t_move_us, params.v);
     std::printf("estimated latency D: %.6E s  (%.3f us)\n",
                 estimate.latency_seconds(), estimate.latency_us);
     std::printf("leqa runtime: %.3f ms (resolve %.3f ms, graphs %.3f ms, "

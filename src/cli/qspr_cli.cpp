@@ -57,8 +57,10 @@ int body(int argc, char** argv) {
     std::printf("circuit: %s\n", result.circuit.name.c_str());
     std::printf("  logical qubits: %zu\n", result.circuit.qubits);
     std::printf("  FT operations:  %zu\n", result.circuit.ft_ops);
-    std::printf("fabric: %dx%d ULBs, Nc=%d, Tmove=%.0f us, placement=%s\n",
-                params.width, params.height, params.nc, params.t_move_us,
+    std::printf("fabric: %dx%d ULBs (%s), Nc=%d, Tmove=%.0f us, placement=%s\n",
+                params.width, params.height,
+                fabric::topology_kind_name(params.topology).c_str(), params.nc,
+                params.t_move_us,
                 qspr::placement_strategy_name(config.qspr.placement).c_str());
     std::printf("actual latency: %.6E s  (%.3f us)\n", mapping.latency_us * 1e-6,
                 mapping.latency_us);

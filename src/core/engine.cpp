@@ -45,65 +45,27 @@ CircuitProfile CircuitProfile::build(const qodg::Qodg& graph, const iig::Iig& ii
     return profile;
 }
 
-// ----------------------------------------------------- CoverageHistogram --
-
-CoverageHistogram CoverageHistogram::build(int a, int b, int zone_side) {
-    LEQA_REQUIRE(a >= 1 && b >= 1, "fabric dimensions must be >= 1");
-    LEQA_REQUIRE(zone_side >= 1 && zone_side <= std::min(a, b),
-                 "zone side must be in [1, min(a, b)]");
-    const int s = zone_side;
-
-    // Along one axis of length `len`, Eq. 5's count min{x, len-x+1, s,
-    // len-s+1} takes at most min(s, len-s+1) distinct values; tally how
-    // many coordinates produce each.
-    const auto axis_counts = [s](int len) {
-        const int cap = std::min(s, len - s + 1);
-        std::vector<double> count(static_cast<std::size_t>(cap) + 1, 0.0);
-        for (int x = 1; x <= len; ++x) {
-            const int n = std::min({x, len - x + 1, s, len - s + 1});
-            count[static_cast<std::size_t>(n)] += 1.0;
-        }
-        return count;
-    };
-    const std::vector<double> cx = axis_counts(a);
-    const std::vector<double> cy = axis_counts(b);
-
-    // Cross the two axes on the integer product nx * ny, merging products
-    // that coincide (1*4 == 2*2): at most (cap_a * cap_b) <= s^2 bins.
-    const std::size_t max_product = (cx.size() - 1) * (cy.size() - 1);
-    std::vector<double> product_count(max_product + 1, 0.0);
-    for (std::size_t i = 1; i < cx.size(); ++i) {
-        if (cx[i] == 0.0) continue;
-        for (std::size_t j = 1; j < cy.size(); ++j) {
-            if (cy[j] == 0.0) continue;
-            product_count[i * j] += cx[i] * cy[j];
-        }
-    }
-
-    const double denom =
-        static_cast<double>(a - s + 1) * static_cast<double>(b - s + 1);
-    CoverageHistogram histogram;
-    histogram.cells_ = static_cast<double>(a) * static_cast<double>(b);
-    for (std::size_t product = 1; product <= max_product; ++product) {
-        if (product_count[product] == 0.0) continue;
-        histogram.bins_.push_back(
-            Bin{static_cast<double>(product) / denom, product_count[product]});
-    }
-    return histogram;
-}
-
 // ------------------------------------------------------ EstimationEngine --
+// (CoverageHistogram moved to fabric/topology.{h,cpp}: every topology now
+// supplies its own compressed Eq. 5 table.)
 
 EstimationEngine::EstimationEngine(const fabric::PhysicalParams& params,
                                    LeqaOptions options)
     : params_(params), options_(options) {
     params_.validate();
     LEQA_REQUIRE(options_.sq_terms >= 1, "sq_terms must be >= 1");
+    topology_ = fabric::make_topology(params_);
 }
 
 void EstimationEngine::set_params(const fabric::PhysicalParams& params) {
     params.validate();
+    const bool same_fabric = params.topology == params_.topology &&
+                             params.width == params_.width &&
+                             params.height == params_.height;
     params_ = params;
+    if (!same_fabric || topology_ == nullptr) {
+        topology_ = fabric::make_topology(params_);
+    }
 }
 
 std::vector<double> EstimationEngine::expected_surfaces(
@@ -142,8 +104,9 @@ LeqaEstimate EstimationEngine::estimate(const CircuitProfile& profile) const {
     out.l_one_qubit_avg_us = params_.one_qubit_routing_latency_us();
 
     const long long q_total = static_cast<long long>(profile.num_qubits);
-    const int a = params_.width;
-    const int b = params_.height;
+    const fabric::Topology& topo = *topology_;
+    const int a = topo.width();
+    const int b = topo.height();
 
     // --- lines 1-3 came from the profile (Eqs. 6-7) ------------------------
     out.zone_area_b = profile.zone_area_b;
@@ -151,19 +114,20 @@ LeqaEstimate EstimationEngine::estimate(const CircuitProfile& profile) const {
     // --- lines 4-8: d_uncongest (Eq. 12); v divides back in ----------------
     out.d_uncongest_us = profile.d_uncongest_v / params_.v;
 
-    // --- lines 9-13: coverage histogram (Eq. 5, compressed) ----------------
+    // --- lines 9-13: coverage histogram (Eq. 5, topology-provided) ---------
     // --- lines 14-17: E[S_q] (Eq. 4, via Eq. 18) and d_q (Eq. 8) -----------
     // --- line 18: L_CNOT^avg (Eq. 2) ---------------------------------------
     if (q_total > 0 && out.d_uncongest_us > 0.0) {
-        const int side = LeqaEstimator::zone_side(out.zone_area_b, a, b);
+        const int side = topo.zone_extent(out.zone_area_b);
         const long long terms =
             options_.exact_sq ? q_total
                               : std::min<long long>(q_total, options_.sq_terms);
-        if (surface_memo_.a != a || surface_memo_.b != b || surface_memo_.side != side ||
+        if (surface_memo_.kind != topo.kind() || surface_memo_.a != a ||
+            surface_memo_.b != b || surface_memo_.side != side ||
             surface_memo_.q_total != q_total || surface_memo_.terms != terms) {
-            const CoverageHistogram coverage = CoverageHistogram::build(a, b, side);
+            const CoverageHistogram coverage = topo.coverage_histogram(side);
             surface_memo_ =
-                SurfaceMemo{a, b, side, q_total, terms,
+                SurfaceMemo{topo.kind(), a, b, side, q_total, terms,
                             expected_surfaces(coverage, q_total, terms)};
         }
         out.e_sq = surface_memo_.e_sq;

@@ -28,10 +28,12 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "core/leqa.h"
 #include "fabric/params.h"
+#include "fabric/topology.h"
 #include "iig/iig.h"
 #include "qodg/qodg.h"
 
@@ -64,41 +66,28 @@ struct CircuitProfile {
                                               const iig::Iig& iig);
 };
 
-/// The coverage table of Eq. 5 compressed to its distinct values.  On an
-/// a x b fabric with zone side s, P_xy = nx * ny / denom where nx and ny
-/// each take at most min(s, a-s+1) distinct values, so the table holds at
-/// most s^2 distinct probabilities regardless of fabric area.  Summing
-/// multiplicity-weighted bins replaces the O(a*b) per-q cell sweep.
-class CoverageHistogram {
-public:
-    struct Bin {
-        double probability = 0.0;
-        double multiplicity = 0.0; ///< number of ULBs sharing this P_xy
-    };
-
-    /// Tabulate for an a x b fabric and zone side `zone_side` (same
-    /// preconditions as LeqaEstimator::coverage_probability).
-    [[nodiscard]] static CoverageHistogram build(int a, int b, int zone_side);
-
-    [[nodiscard]] const std::vector<Bin>& bins() const { return bins_; }
-
-    /// Total multiplicity (= a * b).
-    [[nodiscard]] double cells() const { return cells_; }
-
-private:
-    std::vector<Bin> bins_;
-    double cells_ = 0.0;
-};
+/// The coverage table of Eq. 5 compressed to its distinct values (now a
+/// fabric-layer type: every `fabric::Topology` supplies its own histogram).
+/// On an a x b grid with zone side s the table holds at most s^2 distinct
+/// probabilities regardless of fabric area; a torus collapses to one bin
+/// and a line to at most s.  Summing multiplicity-weighted bins replaces
+/// the O(a*b) per-q cell sweep.
+using CoverageHistogram = fabric::CoverageHistogram;
 
 /// Stage 2: runs Algorithm 1 against a profile at one parameter point.
 ///
+/// The fabric shape enters only through `fabric::Topology`: the zone
+/// extent and coverage histogram come from the params' topology, so the
+/// same staged evaluation covers grid, torus and line fabrics (grid is
+/// bit-compatible with the pre-topology code).
+///
 /// The engine memoizes the E[S_q] vector across estimate() calls: the
-/// surfaces depend only on (a, b, zone side, Q, terms), which are invariant
-/// across speed (v) and channel-capacity (Nc) sweeps and the calibrator's
-/// entire v search, so those pay only the congestion algebra and the
-/// critical-path pass per point.  The memo makes concurrent estimate()
-/// calls on one engine instance unsafe; use one engine per thread (the
-/// pipeline constructs one per request).
+/// surfaces depend only on (topology, a, b, zone extent, Q, terms), which
+/// are invariant across speed (v) and channel-capacity (Nc) sweeps and the
+/// calibrator's entire v search, so those pay only the congestion algebra
+/// and the critical-path pass per point.  The memo makes concurrent
+/// estimate() calls on one engine instance unsafe; use one engine per
+/// thread (the pipeline constructs one per request).
 class EstimationEngine {
 public:
     explicit EstimationEngine(const fabric::PhysicalParams& params,
@@ -117,15 +106,21 @@ public:
     [[nodiscard]] const fabric::PhysicalParams& params() const { return params_; }
     [[nodiscard]] const LeqaOptions& options() const { return options_; }
 
+    /// The topology instance the engine estimates on (rebuilt by
+    /// set_params when the fabric description changes).
+    [[nodiscard]] const fabric::Topology& topology() const { return *topology_; }
+
     /// Replace the parameter point (sweeps and the calibrator's v search).
     void set_params(const fabric::PhysicalParams& params);
 
 private:
     fabric::PhysicalParams params_;
     LeqaOptions options_;
+    std::shared_ptr<const fabric::Topology> topology_;
 
-    /// Memoized E[S_q] for the last (a, b, side, Q, terms) seen.
+    /// Memoized E[S_q] for the last (topology, a, b, extent, Q, terms) seen.
     struct SurfaceMemo {
+        fabric::TopologyKind kind = fabric::TopologyKind::Grid;
         int a = -1;
         int b = -1;
         int side = -1;

@@ -68,6 +68,10 @@ LeqaEstimate LeqaEstimator::estimate(const qodg::Qodg& graph, const iig::Iig& ii
 
 LeqaEstimate LeqaEstimator::estimate_reference(const qodg::Qodg& graph,
                                                const iig::Iig& iig) const {
+    LEQA_REQUIRE(params_.topology == fabric::TopologyKind::Grid,
+                 "estimate_reference is the pre-topology golden path and only "
+                 "evaluates grid fabrics; use LeqaEstimator::estimate (the "
+                 "staged engine) for torus/line topologies");
     LeqaEstimate out;
     out.num_qubits = iig.num_qubits();
     out.num_ops = graph.num_ops();

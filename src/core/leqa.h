@@ -80,7 +80,9 @@ public:
 
     /// The pre-refactor evaluation of Algorithm 1: full a x b coverage
     /// table, per-cell log-space binomial PMF.  O(a*b*T) per call — kept as
-    /// the golden path the engine parity tests compare against.
+    /// the golden path the engine parity tests compare against.  Grid
+    /// topology only (throws InputError otherwise); the staged engine is
+    /// the topology-generic path.
     [[nodiscard]] LeqaEstimate estimate_reference(const qodg::Qodg& graph,
                                                   const iig::Iig& iig) const;
 

@@ -36,8 +36,31 @@ std::vector<fabric::PhysicalParams> side_configurations(
             continue; // cannot host the circuit
         }
         fabric::PhysicalParams params = base;
-        params.width = side;
-        params.height = side;
+        if (base.topology == fabric::TopologyKind::Line) {
+            // Area-equivalent row: a "side s" point is the s*s x 1 fabric.
+            params.width = side * side;
+            params.height = 1;
+        } else {
+            params.width = side;
+            params.height = side;
+        }
+        configurations.push_back(params);
+    }
+    return configurations;
+}
+
+std::vector<fabric::PhysicalParams> topology_configurations(
+    const fabric::PhysicalParams& base, const std::vector<fabric::TopologyKind>& kinds) {
+    std::vector<fabric::PhysicalParams> configurations;
+    const long long area = static_cast<long long>(base.width) * base.height;
+    for (const fabric::TopologyKind kind : kinds) {
+        fabric::PhysicalParams params = base;
+        params.topology = kind;
+        if (kind == fabric::TopologyKind::Line) {
+            params.width = static_cast<int>(area);
+            params.height = 1;
+        }
+        params.validate();
         configurations.push_back(params);
     }
     return configurations;
@@ -75,6 +98,13 @@ SweepResult sweep_fabric_sides(const CircuitProfile& profile,
                                const LeqaOptions& options) {
     return run_sweep(profile, side_configurations(profile.num_qubits, base, sides),
                      options);
+}
+
+SweepResult sweep_topology(const CircuitProfile& profile,
+                           const fabric::PhysicalParams& base,
+                           const std::vector<fabric::TopologyKind>& kinds,
+                           const LeqaOptions& options) {
+    return run_sweep(profile, topology_configurations(base, kinds), options);
 }
 
 SweepResult sweep_channel_capacity(const CircuitProfile& profile,

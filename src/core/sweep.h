@@ -38,12 +38,21 @@ struct SweepResult {
 
 // --- profile-based fast path ------------------------------------------------
 
-/// Sweep square fabrics of the given sides.  Sides too small to host the
-/// circuit's qubits are skipped; throws InputError if none remain.
+/// Sweep fabrics of the given sides.  On grid/torus topologies a side s
+/// means an s x s fabric; on a line it means the area-equivalent s*s x 1
+/// row, so points stay comparable across topologies.  Sides too small to
+/// host the circuit's qubits are skipped; throws InputError if none remain.
 [[nodiscard]] SweepResult sweep_fabric_sides(const CircuitProfile& profile,
                                              const fabric::PhysicalParams& base,
                                              const std::vector<int>& sides,
                                              const LeqaOptions& options = {});
+
+/// Sweep the fabric topology itself on a fixed area: grid/torus keep the
+/// base geometry, line flattens it to the area-equivalent (a*b) x 1 row.
+[[nodiscard]] SweepResult sweep_topology(const CircuitProfile& profile,
+                                         const fabric::PhysicalParams& base,
+                                         const std::vector<fabric::TopologyKind>& kinds,
+                                         const LeqaOptions& options = {});
 
 /// Sweep channel capacities Nc.
 [[nodiscard]] SweepResult sweep_channel_capacity(const CircuitProfile& profile,

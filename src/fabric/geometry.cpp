@@ -1,8 +1,6 @@
 #include "fabric/geometry.h"
 
-#include <cmath>
-#include <cstdlib>
-
+#include "fabric/topology.h"
 #include "util/error.h"
 
 namespace leqa::fabric {
@@ -11,104 +9,55 @@ std::string UlbCoord::to_string() const {
     return "(" + std::to_string(x) + "," + std::to_string(y) + ")";
 }
 
-FabricGeometry::FabricGeometry(int width, int height) : width_(width), height_(height) {
-    LEQA_REQUIRE(width >= 1 && height >= 1, "fabric dimensions must be >= 1");
+FabricGeometry::FabricGeometry(int width, int height)
+    : FabricGeometry(make_topology(TopologyKind::Grid, width, height)) {}
+
+FabricGeometry::FabricGeometry(std::shared_ptr<const Topology> topology)
+    : topology_(std::move(topology)) {
+    LEQA_REQUIRE(topology_ != nullptr, "fabric geometry needs a topology");
 }
 
-std::size_t FabricGeometry::num_segments() const {
-    return static_cast<std::size_t>(width_ - 1) * height_ +
-           static_cast<std::size_t>(width_) * (height_ - 1);
-}
+int FabricGeometry::width() const { return topology_->width(); }
 
-bool FabricGeometry::in_bounds(UlbCoord c) const {
-    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
-}
+int FabricGeometry::height() const { return topology_->height(); }
 
-UlbId FabricGeometry::ulb_id(UlbCoord c) const {
-    LEQA_REQUIRE(in_bounds(c), "ULB coordinate out of bounds: " + c.to_string());
-    return static_cast<UlbId>(c.y) * width_ + c.x;
-}
+std::size_t FabricGeometry::num_ulbs() const { return topology_->num_ulbs(); }
 
-UlbCoord FabricGeometry::ulb_coord(UlbId id) const {
-    LEQA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < num_ulbs(),
-                 "ULB id out of range");
-    return UlbCoord{id % width_, id / width_};
-}
+std::size_t FabricGeometry::num_segments() const { return topology_->num_segments(); }
+
+bool FabricGeometry::in_bounds(UlbCoord c) const { return topology_->in_bounds(c); }
+
+UlbId FabricGeometry::ulb_id(UlbCoord c) const { return topology_->ulb_id(c); }
+
+UlbCoord FabricGeometry::ulb_coord(UlbId id) const { return topology_->ulb_coord(id); }
 
 SegmentId FabricGeometry::segment_between(UlbCoord a, UlbCoord b) const {
-    LEQA_REQUIRE(in_bounds(a) && in_bounds(b), "ULB coordinate out of bounds");
-    const int dx = b.x - a.x;
-    const int dy = b.y - a.y;
-    LEQA_REQUIRE(std::abs(dx) + std::abs(dy) == 1, "ULBs are not adjacent");
-    if (dy == 0) {
-        // Horizontal segment between (min_x, y) and (min_x + 1, y).
-        const int min_x = std::min(a.x, b.x);
-        return static_cast<SegmentId>(a.y) * (width_ - 1) + min_x;
-    }
-    // Vertical segments are indexed after all horizontal ones.
-    const int horizontal_count = (width_ - 1) * height_;
-    const int min_y = std::min(a.y, b.y);
-    return static_cast<SegmentId>(horizontal_count) + min_y * width_ + a.x;
+    return topology_->segment_between(topology_->ulb_id(a), topology_->ulb_id(b));
 }
 
 int FabricGeometry::manhattan(UlbCoord a, UlbCoord b) const {
-    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+    return topology_->distance(a, b);
 }
 
-std::vector<SegmentId> FabricGeometry::xy_route(UlbCoord a, UlbCoord b) const {
+std::vector<SegmentId> FabricGeometry::route(UlbCoord a, UlbCoord b) const {
     LEQA_REQUIRE(in_bounds(a) && in_bounds(b), "ULB coordinate out of bounds");
-    std::vector<SegmentId> route;
-    route.reserve(static_cast<std::size_t>(manhattan(a, b)));
-    UlbCoord cursor = a;
-    const int step_x = b.x > a.x ? 1 : -1;
-    while (cursor.x != b.x) {
-        const UlbCoord next{cursor.x + step_x, cursor.y};
-        route.push_back(segment_between(cursor, next));
-        cursor = next;
-    }
-    const int step_y = b.y > a.y ? 1 : -1;
-    while (cursor.y != b.y) {
-        const UlbCoord next{cursor.x, cursor.y + step_y};
-        route.push_back(segment_between(cursor, next));
-        cursor = next;
-    }
-    return route;
+    return topology_->route(a, b);
 }
 
 std::vector<UlbCoord> FabricGeometry::ring(UlbCoord center, int r) const {
-    LEQA_REQUIRE(r >= 0, "ring radius must be non-negative");
-    std::vector<UlbCoord> out;
-    if (r == 0) {
-        if (in_bounds(center)) out.push_back(center);
-        return out;
-    }
-    // Top and bottom rows of the ring, then the side columns.
-    for (int x = center.x - r; x <= center.x + r; ++x) {
-        const UlbCoord top{x, center.y - r};
-        if (in_bounds(top)) out.push_back(top);
-        const UlbCoord bottom{x, center.y + r};
-        if (in_bounds(bottom)) out.push_back(bottom);
-    }
-    for (int y = center.y - r + 1; y <= center.y + r - 1; ++y) {
-        const UlbCoord left{center.x - r, y};
-        if (in_bounds(left)) out.push_back(left);
-        const UlbCoord right{center.x + r, y};
-        if (in_bounds(right)) out.push_back(right);
-    }
-    return out;
+    return topology_->ring(center, r);
 }
 
 std::vector<UlbCoord> FabricGeometry::neighbors(UlbCoord c) const {
     std::vector<UlbCoord> out;
-    for (const UlbCoord candidate : {UlbCoord{c.x + 1, c.y}, UlbCoord{c.x - 1, c.y},
-                                     UlbCoord{c.x, c.y + 1}, UlbCoord{c.x, c.y - 1}}) {
-        if (in_bounds(candidate)) out.push_back(candidate);
+    for (const auto id : topology_->neighbors(topology_->ulb_id(c))) {
+        out.push_back(topology_->ulb_coord(static_cast<UlbId>(id)));
     }
     return out;
 }
 
 UlbCoord FabricGeometry::midpoint(UlbCoord a, UlbCoord b) const {
-    return UlbCoord{(a.x + b.x) / 2, (a.y + b.y) / 2};
+    return topology_->midpoint(a, b);
 }
 
 } // namespace leqa::fabric

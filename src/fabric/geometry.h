@@ -1,18 +1,26 @@
 /// \file geometry.h
-/// \brief Grid geometry of the tiled quantum architecture (paper Figure 1).
+/// \brief Fabric geometry of the tiled quantum architecture (paper Figure 1).
 ///
-/// The fabric is a `width x height` grid of ULBs separated by routing
-/// channels.  We model each channel as the set of unit *segments* between
-/// horizontally or vertically adjacent ULBs; quantum crossbars sit at the
-/// junctions and are absorbed into the segment hop cost.  A qubit route is
-/// a sequence of segments produced by dimension-ordered (XY) routing.
+/// The fabric is a `width x height` coordinate space of ULBs separated by
+/// routing channels.  We model each channel as the set of unit *segments*
+/// between adjacent ULBs; quantum crossbars sit at the junctions and are
+/// absorbed into the segment hop cost.
+///
+/// `FabricGeometry` is a coordinate-level view over a `fabric::Topology`
+/// (see topology.h): which ULBs are adjacent, what the hop metric is, and
+/// what a shortest route looks like all come from the topology's CSR
+/// adjacency.  The historical `FabricGeometry(width, height)` constructor
+/// keeps building the paper's square grid.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace leqa::fabric {
+
+class Topology;
 
 /// ULB coordinates (x column, y row), zero-based.
 struct UlbCoord {
@@ -31,15 +39,22 @@ using SegmentId = std::int32_t;
 
 class FabricGeometry {
 public:
+    /// The paper's open-boundary grid (back-compat constructor).
     FabricGeometry(int width, int height);
 
-    [[nodiscard]] int width() const { return width_; }
-    [[nodiscard]] int height() const { return height_; }
-    [[nodiscard]] std::size_t num_ulbs() const {
-        return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+    /// A view over an explicit topology (grid, torus, line, ...).
+    explicit FabricGeometry(std::shared_ptr<const Topology> topology);
+
+    [[nodiscard]] const Topology& topology() const { return *topology_; }
+    [[nodiscard]] const std::shared_ptr<const Topology>& topology_ptr() const {
+        return topology_;
     }
-    /// Number of channel segments: (width-1)*height horizontal +
-    /// width*(height-1) vertical.
+
+    [[nodiscard]] int width() const;
+    [[nodiscard]] int height() const;
+    [[nodiscard]] std::size_t num_ulbs() const;
+    /// Number of channel segments (topology-dependent; on a grid:
+    /// (width-1)*height horizontal + width*(height-1) vertical).
     [[nodiscard]] std::size_t num_segments() const;
 
     [[nodiscard]] bool in_bounds(UlbCoord c) const;
@@ -49,26 +64,33 @@ public:
     /// Segment between two adjacent ULBs; throws InputError if not adjacent.
     [[nodiscard]] SegmentId segment_between(UlbCoord a, UlbCoord b) const;
 
-    /// Manhattan distance between ULBs (hop count of a shortest route).
+    /// Hop count of a shortest route between ULBs (Manhattan distance on a
+    /// grid; wrap-aware on a torus).
     [[nodiscard]] int manhattan(UlbCoord a, UlbCoord b) const;
 
-    /// Dimension-ordered route a -> b: all X moves then all Y moves.
-    /// Returns the segment sequence (empty when a == b).
-    [[nodiscard]] std::vector<SegmentId> xy_route(UlbCoord a, UlbCoord b) const;
+    /// Deterministic shortest route a -> b as a segment sequence (empty
+    /// when a == b).  Dimension-ordered XY on a grid; BFS next-hop tables
+    /// on other topologies.
+    [[nodiscard]] std::vector<SegmentId> route(UlbCoord a, UlbCoord b) const;
 
-    /// ULBs at L-infinity ring radius r around center, clipped to bounds,
-    /// in deterministic scan order.  r = 0 yields {center}.
+    /// Historical name for `route` (grid routes are XY dimension-ordered).
+    [[nodiscard]] std::vector<SegmentId> xy_route(UlbCoord a, UlbCoord b) const {
+        return route(a, b);
+    }
+
+    /// ULBs at ring radius r around center in deterministic order; r = 0
+    /// yields {center}.  Rings for r = 0..max(width, height) cover every
+    /// ULB exactly once.
     [[nodiscard]] std::vector<UlbCoord> ring(UlbCoord center, int r) const;
 
-    /// The 2-4 orthogonal neighbors of a ULB.
+    /// The topology-adjacent neighbors of a ULB (ascending by ULB id).
     [[nodiscard]] std::vector<UlbCoord> neighbors(UlbCoord c) const;
 
-    /// Midpoint ULB of two coordinates (componentwise average, floor).
+    /// A ULB "between" two coordinates (componentwise average on a grid).
     [[nodiscard]] UlbCoord midpoint(UlbCoord a, UlbCoord b) const;
 
 private:
-    int width_;
-    int height_;
+    std::shared_ptr<const Topology> topology_;
 };
 
 } // namespace leqa::fabric

@@ -8,6 +8,26 @@
 
 namespace leqa::fabric {
 
+TopologyKind parse_topology_kind(const std::string& name) {
+    const std::string lowered = util::to_lower(name);
+    if (lowered == "grid" || lowered == "mesh") return TopologyKind::Grid;
+    if (lowered == "torus") return TopologyKind::Torus;
+    if (lowered == "line" || lowered == "row" || lowered == "ion-trap-row") {
+        return TopologyKind::Line;
+    }
+    throw util::InputError("unknown fabric topology: '" + name +
+                           "' (expected grid, torus, or line)");
+}
+
+std::string topology_kind_name(TopologyKind kind) {
+    switch (kind) {
+        case TopologyKind::Grid: return "grid";
+        case TopologyKind::Torus: return "torus";
+        case TopologyKind::Line: return "line";
+    }
+    return "?";
+}
+
 double PhysicalParams::delay_us(circuit::GateKind kind) const {
     using circuit::GateKind;
     switch (kind) {
@@ -34,6 +54,11 @@ void PhysicalParams::validate() const {
     LEQA_REQUIRE(v > 0, "qubit speed v must be positive");
     LEQA_REQUIRE(width >= 1 && height >= 1, "fabric dimensions must be >= 1");
     LEQA_REQUIRE(t_move_us > 0, "Tmove must be positive");
+    LEQA_REQUIRE(topology != TopologyKind::Line || height == 1,
+                 "line topology requires height = 1 (got height = " +
+                     std::to_string(height) + "); use a " +
+                     std::to_string(static_cast<long long>(width) * height) +
+                     "x1 fabric for the same area");
 }
 
 std::string PhysicalParams::to_config() const {
@@ -49,6 +74,7 @@ std::string PhysicalParams::to_config() const {
     out << "width = " << width << '\n';
     out << "height = " << height << '\n';
     out << "t_move = " << t_move_us << '\n';
+    out << "topology = " << topology_kind_name(topology) << '\n';
     return out.str();
 }
 
@@ -68,6 +94,10 @@ PhysicalParams PhysicalParams::from_config(const std::string& text) {
                      "config line " + std::to_string(line_number) + ": expected 'key = value'");
         const std::string key = util::to_lower(util::trim(line.substr(0, eq)));
         const std::string value_text = util::trim(line.substr(eq + 1));
+        if (key == "topology") { // the one non-numeric key
+            params.topology = parse_topology_kind(value_text);
+            continue;
+        }
         const auto value = util::parse_double(value_text);
         LEQA_REQUIRE(value.has_value(),
                      "config line " + std::to_string(line_number) + ": bad number '" +

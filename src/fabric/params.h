@@ -15,6 +15,16 @@
 
 namespace leqa::fabric {
 
+/// Interconnect topology of the ULB fabric (see fabric/topology.h).
+enum class TopologyKind {
+    Grid,  ///< a x b mesh with open boundaries (the paper's fabric)
+    Torus, ///< a x b mesh with wraparound channels on both axes
+    Line,  ///< 1D ion-trap row (height must be 1)
+};
+
+[[nodiscard]] TopologyKind parse_topology_kind(const std::string& name);
+[[nodiscard]] std::string topology_kind_name(TopologyKind kind);
+
 struct PhysicalParams {
     // --- FT operation delays (Table 1, left column) -----------------------
     double d_h_us = 5440.0;      ///< Hadamard
@@ -29,6 +39,7 @@ struct PhysicalParams {
     int width = 60;              ///< fabric width a (ULBs)
     int height = 60;             ///< fabric height b (ULBs)
     double t_move_us = 100.0;    ///< single-hop move time Tmove
+    TopologyKind topology = TopologyKind::Grid; ///< ULB interconnect shape
 
     /// Delay of one FT operation kind.  Throws InputError for non-FT kinds
     /// (Toffoli etc. must be synthesized away first).

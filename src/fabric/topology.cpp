@@ -1,0 +1,517 @@
+#include "fabric/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <set>
+
+#include "util/error.h"
+
+namespace leqa::fabric {
+
+namespace {
+
+constexpr UlbId kNoUlb = -1;
+
+/// Keep at most this many per-destination BFS next-hop tables alive; the
+/// cache is cleared wholesale when it would outgrow the cap.
+constexpr std::size_t kMaxCachedDestinations = 1024;
+
+[[nodiscard]] std::uint64_t pack_pair(UlbId a, UlbId b) {
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    return (hi << 32) | lo;
+}
+
+} // namespace
+
+// ------------------------------------------------------ CoverageHistogram --
+
+CoverageHistogram CoverageHistogram::build(int a, int b, int zone_side) {
+    LEQA_REQUIRE(a >= 1 && b >= 1, "fabric dimensions must be >= 1");
+    LEQA_REQUIRE(zone_side >= 1 && zone_side <= std::min(a, b),
+                 "zone side must be in [1, min(a, b)]");
+    const int s = zone_side;
+
+    // Along one axis of length `len`, Eq. 5's count min{x, len-x+1, s,
+    // len-s+1} takes at most min(s, len-s+1) distinct values; tally how
+    // many coordinates produce each.
+    const auto axis_counts = [s](int len) {
+        const int cap = std::min(s, len - s + 1);
+        std::vector<double> count(static_cast<std::size_t>(cap) + 1, 0.0);
+        for (int x = 1; x <= len; ++x) {
+            const int n = std::min({x, len - x + 1, s, len - s + 1});
+            count[static_cast<std::size_t>(n)] += 1.0;
+        }
+        return count;
+    };
+    const std::vector<double> cx = axis_counts(a);
+    const std::vector<double> cy = axis_counts(b);
+
+    // Cross the two axes on the integer product nx * ny, merging products
+    // that coincide (1*4 == 2*2): at most (cap_a * cap_b) <= s^2 bins.
+    const std::size_t max_product = (cx.size() - 1) * (cy.size() - 1);
+    std::vector<double> product_count(max_product + 1, 0.0);
+    for (std::size_t i = 1; i < cx.size(); ++i) {
+        if (cx[i] == 0.0) continue;
+        for (std::size_t j = 1; j < cy.size(); ++j) {
+            if (cy[j] == 0.0) continue;
+            product_count[i * j] += cx[i] * cy[j];
+        }
+    }
+
+    const double denom =
+        static_cast<double>(a - s + 1) * static_cast<double>(b - s + 1);
+    CoverageHistogram histogram;
+    histogram.cells_ = static_cast<double>(a) * static_cast<double>(b);
+    for (std::size_t product = 1; product <= max_product; ++product) {
+        if (product_count[product] == 0.0) continue;
+        histogram.bins_.push_back(
+            Bin{static_cast<double>(product) / denom, product_count[product]});
+    }
+    return histogram;
+}
+
+CoverageHistogram CoverageHistogram::from_bins(std::vector<Bin> bins, double cells) {
+    LEQA_REQUIRE(cells > 0.0, "coverage histogram needs a positive cell count");
+    CoverageHistogram histogram;
+    histogram.bins_ = std::move(bins);
+    histogram.cells_ = cells;
+    return histogram;
+}
+
+// --------------------------------------------------------------- Topology --
+
+Topology::Topology(TopologyKind kind, int width, int height)
+    : kind_(kind), width_(width), height_(height) {
+    LEQA_REQUIRE(width >= 1 && height >= 1, "fabric dimensions must be >= 1");
+}
+
+UlbId Topology::ulb_id(UlbCoord c) const {
+    LEQA_REQUIRE(in_bounds(c), "ULB coordinate out of bounds: " + c.to_string());
+    return static_cast<UlbId>(c.y) * width_ + c.x;
+}
+
+UlbCoord Topology::ulb_coord(UlbId id) const {
+    LEQA_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < num_ulbs(),
+                 "ULB id out of range");
+    return UlbCoord{id % width_, id / width_};
+}
+
+void Topology::ensure_adjacency() const {
+    std::call_once(adjacency_once_, [&] {
+        segment_ends_ = build_segments();
+        graph::CsrBuilder builder(num_ulbs());
+        builder.reserve_edges(2 * segment_ends_.size());
+        std::unordered_map<std::uint64_t, SegmentId> segment_of;
+        segment_of.reserve(segment_ends_.size());
+        for (std::size_t s = 0; s < segment_ends_.size(); ++s) {
+            const auto [u, v] = segment_ends_[s];
+            builder.add_edge(static_cast<graph::NodeId>(u),
+                             static_cast<graph::NodeId>(v));
+            builder.add_edge(static_cast<graph::NodeId>(v),
+                             static_cast<graph::NodeId>(u));
+            const bool inserted =
+                segment_of.emplace(pack_pair(u, v), static_cast<SegmentId>(s)).second;
+            LEQA_CHECK(inserted, "duplicate segment between one ULB pair");
+        }
+        adjacency_ = builder.build(/*merge_parallel=*/false);
+
+        // Align one segment id with every directed arc of the CSR.
+        arc_segments_.resize(adjacency_.num_edges());
+        for (graph::NodeId u = 0; u < adjacency_.num_nodes(); ++u) {
+            const auto successors = adjacency_.successors(u);
+            const std::size_t base =
+                static_cast<std::size_t>(successors.data() -
+                                         adjacency_.successors(0).data());
+            for (std::size_t i = 0; i < successors.size(); ++i) {
+                const auto key = pack_pair(static_cast<UlbId>(u),
+                                           static_cast<UlbId>(successors[i]));
+                arc_segments_[base + i] = segment_of.at(key);
+            }
+        }
+    });
+}
+
+const graph::CsrDigraph& Topology::adjacency() const {
+    ensure_adjacency();
+    return adjacency_;
+}
+
+std::span<const graph::NodeId> Topology::neighbors(UlbId u) const {
+    ensure_adjacency();
+    LEQA_REQUIRE(u >= 0 && static_cast<std::size_t>(u) < num_ulbs(),
+                 "ULB id out of range");
+    return adjacency_.successors(static_cast<graph::NodeId>(u));
+}
+
+std::span<const SegmentId> Topology::neighbor_segments(UlbId u) const {
+    ensure_adjacency();
+    LEQA_REQUIRE(u >= 0 && static_cast<std::size_t>(u) < num_ulbs(),
+                 "ULB id out of range");
+    const auto successors = adjacency_.successors(static_cast<graph::NodeId>(u));
+    const std::size_t base = static_cast<std::size_t>(
+        successors.data() - adjacency_.successors(0).data());
+    return {arc_segments_.data() + base, successors.size()};
+}
+
+SegmentId Topology::segment_between(UlbId a, UlbId b) const {
+    const auto nodes = neighbors(a);
+    const auto segments = neighbor_segments(a);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (static_cast<UlbId>(nodes[i]) == b) return segments[i];
+    }
+    throw util::InputError("ULBs are not adjacent: " + ulb_coord(a).to_string() +
+                           " and " + ulb_coord(b).to_string());
+}
+
+bool Topology::adjacent(UlbId a, UlbId b) const {
+    const auto nodes = neighbors(a);
+    return std::find(nodes.begin(), nodes.end(), static_cast<graph::NodeId>(b)) !=
+           nodes.end();
+}
+
+std::pair<UlbId, UlbId> Topology::segment_endpoints(SegmentId segment) const {
+    ensure_adjacency();
+    LEQA_REQUIRE(segment >= 0 &&
+                     static_cast<std::size_t>(segment) < segment_ends_.size(),
+                 "segment id out of range");
+    return segment_ends_[static_cast<std::size_t>(segment)];
+}
+
+const Topology::NextHops& Topology::next_hops_toward(UlbId destination) const {
+    // Caller holds route_mutex_.
+    const auto cached = next_hop_cache_.find(destination);
+    if (cached != next_hop_cache_.end()) return cached->second;
+    if (next_hop_cache_.size() >= kMaxCachedDestinations) next_hop_cache_.clear();
+
+    // BFS from the destination over the CSR adjacency: discovering node y
+    // from node x means x is y's next hop toward the destination.  Neighbor
+    // lists are ascending by id, so the table (and every route read off it)
+    // is deterministic.
+    NextHops table;
+    table.via_node.assign(num_ulbs(), kNoUlb);
+    table.via_segment.assign(num_ulbs(), -1);
+    table.via_node[static_cast<std::size_t>(destination)] = destination;
+    std::deque<UlbId> frontier{destination};
+    while (!frontier.empty()) {
+        const UlbId x = frontier.front();
+        frontier.pop_front();
+        const auto nodes = neighbors(x);
+        const auto segments = neighbor_segments(x);
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const auto y = static_cast<UlbId>(nodes[i]);
+            auto& via = table.via_node[static_cast<std::size_t>(y)];
+            if (via != kNoUlb) continue;
+            via = x;
+            table.via_segment[static_cast<std::size_t>(y)] = segments[i];
+            frontier.push_back(y);
+        }
+    }
+    return next_hop_cache_.emplace(destination, std::move(table)).first->second;
+}
+
+int Topology::square_zone_extent(double zone_area) const {
+    LEQA_REQUIRE(zone_area >= 0.0, "zone area must be non-negative");
+    const int side = static_cast<int>(std::ceil(std::sqrt(zone_area) - 1e-12));
+    return std::clamp(side, 1, std::min(width_, height_));
+}
+
+std::vector<SegmentId> Topology::route(UlbCoord a, UlbCoord b) const {
+    const UlbId source = ulb_id(a);
+    const UlbId target = ulb_id(b);
+    if (source == target) return {};
+
+    const std::lock_guard<std::mutex> lock(route_mutex_);
+    const NextHops& table = next_hops_toward(target);
+    std::vector<SegmentId> segments;
+    segments.reserve(static_cast<std::size_t>(distance(a, b)));
+    UlbId cursor = source;
+    while (cursor != target) {
+        const auto idx = static_cast<std::size_t>(cursor);
+        LEQA_CHECK(table.via_node[idx] != kNoUlb,
+                   "fabric topology is disconnected: no route " + a.to_string() +
+                       " -> " + b.to_string());
+        segments.push_back(table.via_segment[idx]);
+        cursor = table.via_node[idx];
+    }
+    return segments;
+}
+
+// ----------------------------------------------------------- GridTopology --
+
+GridTopology::GridTopology(int width, int height)
+    : GridTopology(TopologyKind::Grid, width, height) {}
+
+GridTopology::GridTopology(TopologyKind kind, int width, int height)
+    : Topology(kind, width, height) {}
+
+std::size_t GridTopology::num_segments() const {
+    return static_cast<std::size_t>(width() - 1) * height() +
+           static_cast<std::size_t>(width()) * (height() - 1);
+}
+
+std::vector<std::pair<UlbId, UlbId>> GridTopology::build_segments() const {
+    // Canonical numbering preserved from the pre-topology FabricGeometry:
+    // horizontal segment (x, y)-(x+1, y) has id y*(width-1) + x; vertical
+    // segments follow with id H + y*width + x for (x, y)-(x, y+1).
+    std::vector<std::pair<UlbId, UlbId>> segments;
+    segments.reserve(num_segments());
+    for (int y = 0; y < height(); ++y) {
+        for (int x = 0; x + 1 < width(); ++x) {
+            segments.emplace_back(ulb_id({x, y}), ulb_id({x + 1, y}));
+        }
+    }
+    for (int y = 0; y + 1 < height(); ++y) {
+        for (int x = 0; x < width(); ++x) {
+            segments.emplace_back(ulb_id({x, y}), ulb_id({x, y + 1}));
+        }
+    }
+    return segments;
+}
+
+int GridTopology::distance(UlbCoord a, UlbCoord b) const {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::vector<SegmentId> GridTopology::route(UlbCoord a, UlbCoord b) const {
+    LEQA_REQUIRE(in_bounds(a) && in_bounds(b), "ULB coordinate out of bounds");
+    // Legacy dimension-ordered XY walk with closed-form segment ids: grid
+    // routes (and therefore grid QSPR mappings) stay bit-exact.
+    const int horizontal_count = (width() - 1) * height();
+    std::vector<SegmentId> segments;
+    segments.reserve(static_cast<std::size_t>(distance(a, b)));
+    UlbCoord cursor = a;
+    const int step_x = b.x > a.x ? 1 : -1;
+    while (cursor.x != b.x) {
+        const int min_x = std::min(cursor.x, cursor.x + step_x);
+        segments.push_back(static_cast<SegmentId>(cursor.y) * (width() - 1) + min_x);
+        cursor.x += step_x;
+    }
+    const int step_y = b.y > a.y ? 1 : -1;
+    while (cursor.y != b.y) {
+        const int min_y = std::min(cursor.y, cursor.y + step_y);
+        segments.push_back(static_cast<SegmentId>(horizontal_count) +
+                           min_y * width() + cursor.x);
+        cursor.y += step_y;
+    }
+    return segments;
+}
+
+std::vector<UlbCoord> GridTopology::ring(UlbCoord center, int r) const {
+    LEQA_REQUIRE(r >= 0, "ring radius must be non-negative");
+    std::vector<UlbCoord> out;
+    if (r == 0) {
+        if (in_bounds(center)) out.push_back(center);
+        return out;
+    }
+    // Top and bottom rows of the ring, then the side columns.
+    for (int x = center.x - r; x <= center.x + r; ++x) {
+        const UlbCoord top{x, center.y - r};
+        if (in_bounds(top)) out.push_back(top);
+        const UlbCoord bottom{x, center.y + r};
+        if (in_bounds(bottom)) out.push_back(bottom);
+    }
+    for (int y = center.y - r + 1; y <= center.y + r - 1; ++y) {
+        const UlbCoord left{center.x - r, y};
+        if (in_bounds(left)) out.push_back(left);
+        const UlbCoord right{center.x + r, y};
+        if (in_bounds(right)) out.push_back(right);
+    }
+    return out;
+}
+
+UlbCoord GridTopology::midpoint(UlbCoord a, UlbCoord b) const {
+    return UlbCoord{(a.x + b.x) / 2, (a.y + b.y) / 2};
+}
+
+int GridTopology::zone_extent(double zone_area) const {
+    return square_zone_extent(zone_area);
+}
+
+CoverageHistogram GridTopology::coverage_histogram(int zone_extent) const {
+    return CoverageHistogram::build(width(), height(), zone_extent);
+}
+
+// ---------------------------------------------------------- TorusTopology --
+
+TorusTopology::TorusTopology(int width, int height)
+    : Topology(TopologyKind::Torus, width, height) {}
+
+std::size_t TorusTopology::num_segments() const {
+    std::size_t count = static_cast<std::size_t>(width() - 1) * height() +
+                        static_cast<std::size_t>(width()) * (height() - 1);
+    // Wrap channels only along dimensions >= 3: on a dimension of 2 the
+    // wrap would duplicate the direct segment, and on 1 it is a self loop.
+    if (width() >= 3) count += static_cast<std::size_t>(height());
+    if (height() >= 3) count += static_cast<std::size_t>(width());
+    return count;
+}
+
+std::vector<std::pair<UlbId, UlbId>> TorusTopology::build_segments() const {
+    // Grid segments first in the grid-canonical order, wrap channels after
+    // (rows, then columns), so the grid sub-numbering is stable.
+    std::vector<std::pair<UlbId, UlbId>> segments;
+    segments.reserve(num_segments());
+    for (int y = 0; y < height(); ++y) {
+        for (int x = 0; x + 1 < width(); ++x) {
+            segments.emplace_back(ulb_id({x, y}), ulb_id({x + 1, y}));
+        }
+    }
+    for (int y = 0; y + 1 < height(); ++y) {
+        for (int x = 0; x < width(); ++x) {
+            segments.emplace_back(ulb_id({x, y}), ulb_id({x, y + 1}));
+        }
+    }
+    if (width() >= 3) {
+        for (int y = 0; y < height(); ++y) {
+            segments.emplace_back(ulb_id({width() - 1, y}), ulb_id({0, y}));
+        }
+    }
+    if (height() >= 3) {
+        for (int x = 0; x < width(); ++x) {
+            segments.emplace_back(ulb_id({x, height() - 1}), ulb_id({x, 0}));
+        }
+    }
+    return segments;
+}
+
+int TorusTopology::distance(UlbCoord a, UlbCoord b) const {
+    const int dx = std::abs(a.x - b.x);
+    const int dy = std::abs(a.y - b.y);
+    return std::min(dx, width() - dx) + std::min(dy, height() - dy);
+}
+
+std::vector<UlbCoord> TorusTopology::ring(UlbCoord center, int r) const {
+    LEQA_REQUIRE(r >= 0, "ring radius must be non-negative");
+    LEQA_REQUIRE(in_bounds(center), "ULB coordinate out of bounds");
+    if (r == 0) return {center};
+
+    // Walk the grid ring's offset pattern, wrap every coordinate, and keep
+    // only cells whose *torus* L-infinity distance is exactly r: cells the
+    // wrap brings closer belong to an earlier ring, and cells reachable
+    // from two offsets are emitted once.
+    const auto wrap = [](int value, int dim) {
+        value %= dim;
+        return value < 0 ? value + dim : value;
+    };
+    const auto torus_chebyshev = [&](UlbCoord c) {
+        const int dx = std::abs(c.x - center.x);
+        const int dy = std::abs(c.y - center.y);
+        return std::max(std::min(dx, width() - dx), std::min(dy, height() - dy));
+    };
+    std::vector<UlbCoord> out;
+    std::set<std::pair<int, int>> seen;
+    const auto emit = [&](int dx, int dy) {
+        const UlbCoord c{wrap(center.x + dx, width()), wrap(center.y + dy, height())};
+        if (torus_chebyshev(c) != r) return;
+        if (!seen.insert({c.x, c.y}).second) return;
+        out.push_back(c);
+    };
+    for (int dx = -r; dx <= r; ++dx) {
+        emit(dx, -r);
+        emit(dx, r);
+    }
+    for (int dy = -r + 1; dy <= r - 1; ++dy) {
+        emit(-r, dy);
+        emit(r, dy);
+    }
+    return out;
+}
+
+int TorusTopology::wrap_delta(int d, int dim) const {
+    // Reduce a coordinate delta to the shortest wrap direction, preferring
+    // the positive direction on ties.
+    d %= dim;
+    if (d > dim / 2) d -= dim;
+    if (d < -(dim - 1) / 2) d += dim;
+    return d;
+}
+
+UlbCoord TorusTopology::midpoint(UlbCoord a, UlbCoord b) const {
+    const auto wrap = [](int value, int dim) {
+        value %= dim;
+        return value < 0 ? value + dim : value;
+    };
+    const int dx = wrap_delta(b.x - a.x, width());
+    const int dy = wrap_delta(b.y - a.y, height());
+    return UlbCoord{wrap(a.x + dx / 2, width()), wrap(a.y + dy / 2, height())};
+}
+
+int TorusTopology::zone_extent(double zone_area) const {
+    return square_zone_extent(zone_area);
+}
+
+CoverageHistogram TorusTopology::coverage_histogram(int zone_extent) const {
+    LEQA_REQUIRE(zone_extent >= 1 && zone_extent <= std::min(width(), height()),
+                 "zone extent must be in [1, min(a, b)]");
+    // Translation invariance: an s x s zone anchored uniformly over all
+    // a*b wrapped positions covers every ULB with the same probability
+    // s^2 / (a*b) -- the entire Eq. 5 table is one bin.
+    const double cells = static_cast<double>(width()) * height();
+    const double probability =
+        static_cast<double>(zone_extent) * static_cast<double>(zone_extent) / cells;
+    return CoverageHistogram::from_bins(
+        {CoverageHistogram::Bin{probability, cells}}, cells);
+}
+
+// ----------------------------------------------------------- LineTopology --
+
+LineTopology::LineTopology(int width, int height)
+    : GridTopology(TopologyKind::Line, width, height) {
+    LEQA_REQUIRE(height == 1, "line topology requires height = 1 (got height = " +
+                                  std::to_string(height) + ")");
+}
+
+int LineTopology::zone_extent(double zone_area) const {
+    LEQA_REQUIRE(zone_area >= 0.0, "zone area must be non-negative");
+    // A presence zone of area B occupies a 1 x ceil(B) interval of the row.
+    const int extent = static_cast<int>(std::ceil(zone_area - 1e-12));
+    return std::clamp(extent, 1, width());
+}
+
+CoverageHistogram LineTopology::coverage_histogram(int zone_extent) const {
+    const int a = width();
+    const int s = zone_extent;
+    LEQA_REQUIRE(s >= 1 && s <= a, "zone extent must be in [1, width]");
+    // The 1D analogue of Eq. 5: an interval of length s anchored uniformly
+    // over the a-s+1 in-bounds positions covers cell x (1-based) with
+    // probability min{x, a-x+1, s, a-s+1} / (a-s+1): at most min(s, a-s+1)
+    // distinct values.
+    const int cap = std::min(s, a - s + 1);
+    std::vector<double> count(static_cast<std::size_t>(cap) + 1, 0.0);
+    for (int x = 1; x <= a; ++x) {
+        const int n = std::min({x, a - x + 1, s, a - s + 1});
+        count[static_cast<std::size_t>(n)] += 1.0;
+    }
+    const double denom = static_cast<double>(a - s + 1);
+    std::vector<CoverageHistogram::Bin> bins;
+    for (int n = 1; n <= cap; ++n) {
+        if (count[static_cast<std::size_t>(n)] == 0.0) continue;
+        bins.push_back(CoverageHistogram::Bin{static_cast<double>(n) / denom,
+                                              count[static_cast<std::size_t>(n)]});
+    }
+    return CoverageHistogram::from_bins(std::move(bins), static_cast<double>(a));
+}
+
+// ---------------------------------------------------------------- factory --
+
+std::shared_ptr<const Topology> make_topology(TopologyKind kind, int width,
+                                              int height) {
+    switch (kind) {
+        case TopologyKind::Grid:
+            return std::make_shared<const GridTopology>(width, height);
+        case TopologyKind::Torus:
+            return std::make_shared<const TorusTopology>(width, height);
+        case TopologyKind::Line:
+            return std::make_shared<const LineTopology>(width, height);
+    }
+    throw util::InputError("unknown fabric topology kind");
+}
+
+std::shared_ptr<const Topology> make_topology(const PhysicalParams& params) {
+    return make_topology(params.topology, params.width, params.height);
+}
+
+} // namespace leqa::fabric

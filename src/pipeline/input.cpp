@@ -103,6 +103,7 @@ CircuitSource parse_source(const std::string& spec) {
 void add_param_options(util::ArgParser& parser) {
     parser.add_option("params", "physical-parameter config file (Table 1 defaults)");
     parser.add_option("fabric", "fabric size as WxH, e.g. 60x60");
+    parser.add_option("topology", "fabric topology: grid | torus | line");
     parser.add_option("nc", "routing channel capacity Nc");
     parser.add_option("v", "logical-qubit speed parameter v");
     parser.add_option("tmove", "per-hop move time in microseconds");
@@ -113,7 +114,8 @@ fabric::PhysicalParams params_from_args(const util::ArgParser& parser) {
     if (parser.option_given("params")) {
         params = fabric::PhysicalParams::load(parser.option("params"));
     }
-    if (parser.option_given("fabric")) {
+    const bool fabric_given = parser.option_given("fabric");
+    if (fabric_given) {
         const auto parts = util::split(parser.option("fabric"), 'x');
         LEQA_REQUIRE(parts.size() == 2, "--fabric expects WxH, e.g. 60x60");
         const auto w = util::parse_int(parts[0]);
@@ -121,6 +123,19 @@ fabric::PhysicalParams params_from_args(const util::ArgParser& parser) {
         LEQA_REQUIRE(w && h && *w > 0 && *h > 0, "--fabric expects positive integers");
         params.width = static_cast<int>(*w);
         params.height = static_cast<int>(*h);
+    }
+    if (parser.option_given("topology")) {
+        params.topology = fabric::parse_topology_kind(parser.option("topology"));
+        if (params.topology == fabric::TopologyKind::Line && !fabric_given &&
+            !parser.option_given("params") && params.height != 1) {
+            // Convenience: `--topology line` with the built-in default
+            // geometry flattens it to the area-equivalent row.  Geometry
+            // the user chose (--fabric or --params) is never rewritten;
+            // validate() rejects it below if it is not a row.
+            params.width = static_cast<int>(static_cast<long long>(params.width) *
+                                            params.height);
+            params.height = 1;
+        }
     }
     if (parser.option_given("nc")) params.nc = static_cast<int>(parser.option_int("nc"));
     if (parser.option_given("v")) params.v = parser.option_double("v");

@@ -87,6 +87,14 @@ std::string Pipeline::cache_key(const CircuitSource& source) const {
         if (config_.synth.keep_toffoli) key += ",toffoli";
         key += ",p=" + config_.synth.ancilla_prefix;
     }
+    // The full fabric description of the session parameters.  The cached
+    // intermediates are circuit-only today, but keying on the fabric means
+    // a session whose geometry or topology moves (set_params) can never
+    // serve a profile cached under a different fabric — per-request
+    // parameter overrides still share the session entry by design.
+    key += "|fabric:" + fabric::topology_kind_name(config_.params.topology) + ":" +
+           std::to_string(config_.params.width) + "x" +
+           std::to_string(config_.params.height);
     return key;
 }
 
@@ -95,13 +103,14 @@ CachedCircuitPtr Pipeline::resolve(const CircuitSource& source) {
 }
 
 CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* seconds) {
-    const std::string key = cache_key(source);
+    std::string key;
     synth::FtSynthOptions synth_options;
     bool auto_synthesize = true;
     std::shared_future<CachedCircuitPtr> pending;
     std::promise<CachedCircuitPtr> promise;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
+        key = cache_key(source); // reads config_: keyed under the lock
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
             ++stats_.circuit_hits;
@@ -293,6 +302,14 @@ core::SweepResult Pipeline::sweep_speed(const CircuitSource& source,
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
     return core::sweep_speed(entry->profile(), params, speeds, leqa_options);
+}
+
+core::SweepResult Pipeline::sweep_topology(
+    const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds) {
+    const CachedCircuitPtr entry = resolve(source);
+    ensure_graphs(*entry);
+    const auto [params, leqa_options] = snapshot_estimation_config();
+    return core::sweep_topology(entry->profile(), params, kinds, leqa_options);
 }
 
 // ---------------------------------------------------------- calibration --

@@ -197,6 +197,9 @@ public:
         const CircuitSource& source, const std::vector<int>& capacities);
     [[nodiscard]] core::SweepResult sweep_speed(const CircuitSource& source,
                                                 const std::vector<double>& speeds);
+    /// Sweep the fabric topology on the session's (area-fixed) geometry.
+    [[nodiscard]] core::SweepResult sweep_topology(
+        const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds);
 
     // --- calibration on the shared cache ----------------------------------
 

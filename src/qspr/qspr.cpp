@@ -58,7 +58,7 @@ public:
         : circ_(circ),
           params_(params),
           options_(options),
-          geometry_(params.width, params.height),
+          geometry_(fabric::make_topology(params)),
           channels_(geometry_.num_segments(), params.nc, params.t_move_us),
           router_(geometry_, options.maze_margin),
           qubit_free_(circ.num_qubits(), 0.0),
@@ -227,7 +227,7 @@ private:
         const auto path =
             options_.routing == RoutingAlgorithm::Maze
                 ? router_.route(from, to, depart, channels_, params_.nc, params_.t_move_us)
-                : geometry_.xy_route(from, to);
+                : geometry_.route(from, to);
         const double arrival = channels_.route(path, depart);
         stats_.total_hops += path.size();
         stats_.total_route_us += arrival - depart;

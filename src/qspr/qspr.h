@@ -12,9 +12,10 @@
 ///     op starts when all operand qubits are free and its host ULB is idle
 ///     (this is the dataflow schedule the QODG induces);
 ///   - **routing**: for a CNOT both qubits travel to a meeting ULB near the
-///     midpoint of their homes via dimension-ordered routes; every hop
-///     reserves a channel-segment slot with capacity Nc, so congested
-///     segments serialize traffic (the behaviour Eq. 8 models);
+///     topology midpoint of their homes via maze (or fixed shortest-path)
+///     routes on the fabric topology; every hop reserves a channel-segment
+///     slot with capacity Nc, so congested segments serialize traffic (the
+///     behaviour Eq. 8 models);
 ///   - one-qubit ops run in the qubit's home ULB, or hop to the nearest
 ///     free ULB when the home is occupied by an in-flight operation;
 ///   - after a CNOT the target qubit stays at the meeting ULB and the

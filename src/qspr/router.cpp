@@ -10,7 +10,7 @@ namespace leqa::qspr {
 
 RoutingAlgorithm parse_routing_algorithm(const std::string& name) {
     const std::string lowered = util::to_lower(name);
-    if (lowered == "xy") return RoutingAlgorithm::Xy;
+    if (lowered == "xy" || lowered == "shortest") return RoutingAlgorithm::Xy;
     if (lowered == "maze") return RoutingAlgorithm::Maze;
     throw util::InputError("unknown routing algorithm: " + name);
 }
@@ -40,11 +40,24 @@ std::vector<fabric::SegmentId> MazeRouter::route(fabric::UlbCoord from,
     LEQA_REQUIRE(nc >= 1, "channel capacity must be >= 1");
     LEQA_REQUIRE(t_move_us > 0.0, "hop time must be positive");
 
-    // Search window: bounding box of the endpoints plus a detour margin.
+    const fabric::Topology& topology = geometry_.topology();
+
+    // Detour window.  Grid: the legacy bounding box of the endpoints plus
+    // the margin (bit-compatible with the pre-topology router).  Other
+    // topologies: ULBs whose detour over the shortest route is at most
+    // 2 * margin hops -- the metric generalization of that box.
+    const bool is_grid = topology.kind() == fabric::TopologyKind::Grid;
     const int min_x = std::max(0, std::min(from.x, to.x) - margin_);
-    const int max_x = std::min(geometry_.width() - 1, std::max(from.x, to.x) + margin_);
+    const int max_x = std::min(topology.width() - 1, std::max(from.x, to.x) + margin_);
     const int min_y = std::max(0, std::min(from.y, to.y) - margin_);
-    const int max_y = std::min(geometry_.height() - 1, std::max(from.y, to.y) + margin_);
+    const int max_y = std::min(topology.height() - 1, std::max(from.y, to.y) + margin_);
+    const int detour_budget = topology.distance(from, to) + 2 * margin_;
+    const auto in_window = [&](fabric::UlbCoord c) {
+        if (is_grid) {
+            return c.x >= min_x && c.x <= max_x && c.y >= min_y && c.y <= max_y;
+        }
+        return topology.distance(from, c) + topology.distance(c, to) <= detour_budget;
+    };
 
     ++current_stamp_;
     if (current_stamp_ == 0) { // stamp wrap: reset
@@ -55,8 +68,8 @@ std::vector<fabric::SegmentId> MazeRouter::route(fabric::UlbCoord from,
     using Entry = std::pair<double, fabric::UlbId>; // (cost, node)
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
 
-    const fabric::UlbId source = geometry_.ulb_id(from);
-    const fabric::UlbId target = geometry_.ulb_id(to);
+    const fabric::UlbId source = topology.ulb_id(from);
+    const fabric::UlbId target = topology.ulb_id(to);
     cost_[static_cast<std::size_t>(source)] = 0.0;
     via_node_[static_cast<std::size_t>(source)] = source;
     stamp_[static_cast<std::size_t>(source)] = current_stamp_;
@@ -67,12 +80,12 @@ std::vector<fabric::SegmentId> MazeRouter::route(fabric::UlbCoord from,
         frontier.pop();
         if (node == target) break;
         if (node_cost > cost_[static_cast<std::size_t>(node)] + 1e-12) continue; // stale
-        const fabric::UlbCoord here = geometry_.ulb_coord(node);
-        for (const fabric::UlbCoord next : geometry_.neighbors(here)) {
-            if (next.x < min_x || next.x > max_x || next.y < min_y || next.y > max_y) {
-                continue;
-            }
-            const fabric::SegmentId segment = geometry_.segment_between(here, next);
+        const auto adjacent = topology.neighbors(node);
+        const auto segments = topology.neighbor_segments(node);
+        for (std::size_t i = 0; i < adjacent.size(); ++i) {
+            const auto next_id = static_cast<fabric::UlbId>(adjacent[i]);
+            if (!in_window(topology.ulb_coord(next_id))) continue;
+            const fabric::SegmentId segment = segments[i];
             // Congestion pressure: occupancy of the segment around the
             // estimated arrival time inflates the hop cost.
             const double eta = depart_us + node_cost;
@@ -80,7 +93,6 @@ std::vector<fabric::SegmentId> MazeRouter::route(fabric::UlbCoord from,
             const double hop_cost =
                 t_move_us * (1.0 + static_cast<double>(load) / static_cast<double>(nc));
             const double next_cost = node_cost + hop_cost;
-            const auto next_id = geometry_.ulb_id(next);
             const auto idx = static_cast<std::size_t>(next_id);
             if (stamp_[idx] == current_stamp_ && cost_[idx] <= next_cost + 1e-12) {
                 continue;

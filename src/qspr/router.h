@@ -1,23 +1,30 @@
 /// \file router.h
-/// \brief Congestion-aware maze routing on the TQA grid.
+/// \brief Congestion-aware maze routing on the TQA fabric.
 ///
 /// The original QSPR performs detailed routing rather than fixed
-/// dimension-ordered paths.  This router runs Dijkstra over a bounding-box
-/// region around source and destination; each segment's edge cost is the
-/// hop time inflated by the segment's current reservation pressure around
-/// the estimated arrival slot, so traffic spreads around congested
-/// channels exactly the way a detailed mapper's router would.
+/// dimension-ordered paths.  This router runs Dijkstra over the topology's
+/// CSR adjacency, restricted to a detour window around source and
+/// destination; each segment's edge cost is the hop time inflated by the
+/// segment's current reservation pressure around the estimated arrival
+/// slot, so traffic spreads around congested channels exactly the way a
+/// detailed mapper's router would.
+///
+/// On a grid the window is the legacy bounding box (bit-compatible with the
+/// pre-topology router); on other topologies it is the metric analogue:
+/// ULBs whose detour over the shortest route stays within 2 * margin hops.
 #pragma once
 
 #include <vector>
 
 #include "fabric/geometry.h"
+#include "fabric/topology.h"
 #include "qspr/channels.h"
 
 namespace leqa::qspr {
 
 enum class RoutingAlgorithm {
-    Xy,    ///< fixed dimension-ordered routing (fast, congestion-oblivious)
+    Xy,    ///< fixed shortest-path routing (XY on a grid; BFS next-hop
+           ///< tables on other topologies); fast, congestion-oblivious
     Maze,  ///< congestion-aware Dijkstra (the detailed-mapper default)
 };
 
@@ -26,8 +33,9 @@ enum class RoutingAlgorithm {
 
 class MazeRouter {
 public:
-    /// \param margin  extra ULBs around the src/dst bounding box that the
-    ///                search may use for detours.
+    /// \param margin  extra ULBs around the src/dst bounding box (grid) or
+    ///                extra detour hops (other topologies) the search may
+    ///                use.
     MazeRouter(const fabric::FabricGeometry& geometry, int margin = 4);
 
     /// Find a route from \p from to \p to departing at \p depart_us, using

@@ -11,6 +11,7 @@ namespace {
 
 void write_params(util::JsonWriter& json, const fabric::PhysicalParams& params) {
     json.key("fabric").begin_object();
+    json.kv("topology", fabric::topology_kind_name(params.topology));
     json.kv("width", static_cast<long long>(params.width));
     json.kv("height", static_cast<long long>(params.height));
     json.kv("nc", static_cast<long long>(params.nc));

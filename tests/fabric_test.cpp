@@ -77,6 +77,40 @@ TEST(Params, ValidateRejectsNonPhysical) {
     EXPECT_THROW(params.validate(), InputError);
 }
 
+TEST(Params, TopologyConfigRoundTrip) {
+    lf::PhysicalParams params;
+    params.topology = lf::TopologyKind::Torus;
+    const std::string text = params.to_config();
+    EXPECT_NE(text.find("topology = torus"), std::string::npos);
+    EXPECT_EQ(lf::PhysicalParams::from_config(text), params);
+
+    params.topology = lf::TopologyKind::Line;
+    params.width = 3600;
+    params.height = 1;
+    EXPECT_EQ(lf::PhysicalParams::from_config(params.to_config()), params);
+
+    // Defaults stay grid; unknown topologies are rejected.
+    EXPECT_EQ(lf::PhysicalParams::from_config("nc = 3\n").topology,
+              lf::TopologyKind::Grid);
+    EXPECT_THROW((void)lf::PhysicalParams::from_config("topology = klein\n"),
+                 InputError);
+}
+
+TEST(Params, LineTopologyRequiresUnitHeight) {
+    lf::PhysicalParams params;
+    params.topology = lf::TopologyKind::Line;
+    EXPECT_THROW(params.validate(), InputError); // default 60x60 is not a row
+    try {
+        (void)lf::PhysicalParams::from_config("topology = line\n");
+        FAIL() << "expected InputError";
+    } catch (const InputError& e) {
+        EXPECT_NE(std::string(e.what()).find("height = 1"), std::string::npos);
+    }
+    params.width = 3600;
+    params.height = 1;
+    EXPECT_NO_THROW(params.validate());
+}
+
 TEST(Params, FileRoundTrip) {
     lf::PhysicalParams params;
     params.height = 33;

@@ -169,6 +169,52 @@ TEST(PipelineCache, LruEvictionIsBounded) {
     EXPECT_EQ(pipe.cache_stats().circuit_misses, 4u);
 }
 
+TEST(PipelineCache, SessionFabricIsPartOfIdentity) {
+    // The cache key folds the session's full fabric description in: moving
+    // the session geometry or topology can never serve an entry cached
+    // under a different fabric.
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("ham3");
+    const auto on_grid = pipe.resolve(source);
+    EXPECT_NE(on_grid->info().cache_key.find("fabric:grid:60x60"), std::string::npos);
+
+    lf::PhysicalParams torus;
+    torus.topology = lf::TopologyKind::Torus;
+    pipe.set_params(torus);
+    const auto on_torus = pipe.resolve(source);
+    EXPECT_NE(on_grid->info().cache_key, on_torus->info().cache_key);
+
+    lf::PhysicalParams moved;
+    moved.width = 50;
+    moved.height = 50;
+    pipe.set_params(moved);
+    const auto on_moved = pipe.resolve(source);
+    EXPECT_NE(on_moved->info().cache_key, on_grid->info().cache_key);
+    EXPECT_EQ(pipe.cache_stats().circuit_misses, 3u);
+
+    // Returning to the original fabric is a pure hit again.
+    pipe.set_params(lf::PhysicalParams{});
+    (void)pipe.resolve(source);
+    EXPECT_EQ(pipe.cache_stats().circuit_misses, 3u);
+    EXPECT_EQ(pipe.cache_stats().circuit_hits, 1u);
+}
+
+TEST(PipelineSweeps, TopologySweepSharesOneEntry) {
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("ham3");
+    const auto sweep = pipe.sweep_topology(
+        source, {lf::TopologyKind::Grid, lf::TopologyKind::Torus,
+                 lf::TopologyKind::Line});
+    ASSERT_EQ(sweep.points.size(), 3u);
+    for (const auto& point : sweep.points) {
+        EXPECT_GT(point.estimate.latency_us, 0.0);
+    }
+    EXPECT_EQ(sweep.points[2].params.height, 1); // line flattened
+    const lp::CacheStats stats = pipe.cache_stats();
+    EXPECT_EQ(stats.circuit_misses, 1u);
+    EXPECT_EQ(stats.graph_misses, 1u);
+}
+
 TEST(PipelineCache, SynthOptionsChangeIdentity) {
     lp::PipelineConfig sharing;
     sharing.synth.share_ancillas = true;

@@ -15,7 +15,11 @@
 ///   - topologies: the same warm sweep and geometry-moving per-point cost
 ///     for every `fabric::Topology` (grid / torus / line on the
 ///     area-equivalent fabric), with the per-point cost ratio vs grid —
-///     the topology-generic coverage path must stay within 2x of grid.
+///     the topology-generic coverage path must stay within 2x of grid;
+///   - service overhead: warm per-request cost through the async
+///     `service::Service` (1 worker, submit-all / wait-all) against direct
+///     `Pipeline::run` on the same warm session — the scheduler must stay
+///     under ~5% per-request overhead.
 ///
 /// Environment knobs: LEQA_BENCH_FAST / LEQA_BENCH_LIMIT (see harness.h)
 /// shrink the circuit; LEQA_SWEEP_JSON overrides the artifact path.
@@ -31,6 +35,7 @@
 #include "iig/iig.h"
 #include "pipeline/pipeline.h"
 #include "qodg/qodg.h"
+#include "service/service.h"
 #include "synth/ft_synth.h"
 #include "util/env.h"
 #include "util/json.h"
@@ -182,6 +187,40 @@ int main() {
                           : 0.0;
     }
 
+    // --- service overhead: async boundary vs direct run, 1 worker ----------
+    // Same warm session on both sides; requests hit the circuit cache and
+    // the E[S_q] memo, isolating pure scheduling cost (job alloc + queue +
+    // worker handoff + result delivery) in the daemon's steady-state shape
+    // (submit a batch, then collect).
+    const int service_reps = 64;
+    auto session = std::make_shared<pipeline::Pipeline>();
+    pipeline::EstimationRequest warm_request(source);
+    (void)session->run(warm_request); // populate circuit + graphs + memo
+
+    const double direct_req_s = best_of(5, [&] {
+        for (int rep = 0; rep < service_reps; ++rep) {
+            (void)session->run(warm_request);
+        }
+    }) / service_reps;
+
+    service::ServiceOptions service_options;
+    service_options.threads = 1;
+    service::Service svc(session, service_options);
+    std::vector<service::JobHandle> handles(
+        static_cast<std::size_t>(service_reps));
+    const double service_req_s = best_of(5, [&] {
+        for (int rep = 0; rep < service_reps; ++rep) {
+            handles[static_cast<std::size_t>(rep)] = svc.submit(warm_request);
+        }
+        // Collect newest-first: one sleep on the whole batch instead of a
+        // wake/sleep ping-pong per job (jobs complete in FIFO order here).
+        for (auto it = handles.rbegin(); it != handles.rend(); ++it) {
+            (void)it->wait();
+        }
+    }) / service_reps;
+    const double service_overhead =
+        direct_req_s > 0.0 ? service_req_s / direct_req_s : 0.0;
+
     std::printf("circuit: gf2^%dmult  (%zu FT ops, %zu qubits)\n", n, ft.size(),
                 ft.num_qubits());
     std::printf("sweep over %zu fabric sides:\n", sides.size());
@@ -199,6 +238,10 @@ int main() {
         std::printf("  %-5s : %.3e s/point  (%.2fx grid), warm sweep %.4f s\n",
                     row.name.c_str(), row.point_s, row.vs_grid, row.warm_s);
     }
+    std::printf("service overhead (warm, 1 worker, %d requests):\n", service_reps);
+    std::printf("  direct Pipeline::run : %.3e s/request\n", direct_req_s);
+    std::printf("  Service submit+wait  : %.3e s/request  (%.3fx direct)\n",
+                service_req_s, service_overhead);
 
     // --- artifact ----------------------------------------------------------
     util::JsonWriter json;
@@ -232,6 +275,12 @@ int main() {
         json.end_object();
     }
     json.end_array();
+    json.key("service_overhead").begin_object();
+    json.kv("requests", static_cast<long long>(service_reps));
+    json.kv("direct_per_request_s", direct_req_s);
+    json.kv("service_per_request_s", service_req_s);
+    json.kv("overhead_ratio", service_overhead);
+    json.end_object();
     json.end_object();
 
     const std::string path =

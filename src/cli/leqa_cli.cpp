@@ -7,28 +7,93 @@
 ///   leqa_cli bench:gf2^16mult
 ///   leqa_cli path/to/circuit.qasm --fabric 80x80 --nc 3 --v 0.002
 ///   leqa_cli bench:hwb15ps --breakdown --dot qodg.dot
+///   leqa_cli bench:ham3 bench:8bitadder bench:hwb15ps --threads 4 --cache-stats
+///
+/// With more than one input the requests run as a thread-pooled batch with
+/// per-request outcomes: a failing input prints its status line (and fails
+/// the exit code) without losing the others.
 #include <cstdio>
+#include <vector>
 
 #include "cli/common.h"
 #include "parser/io.h"
 #include "pipeline/pipeline.h"
 #include "report/report.h"
 #include "util/args.h"
+#include "util/status.h"
 
 namespace {
 
 using namespace leqa;
+
+int run_batch(pipeline::Pipeline& pipe, const std::vector<std::string>& specs,
+              std::size_t threads, const util::ArgParser& parser) {
+    // A bad spec (unknown bench, missing file) must cost only its own slot:
+    // parse failures become pre-failed outcomes instead of throwing here and
+    // aborting the whole batch.
+    std::vector<pipeline::EstimationRequest> requests;
+    requests.reserve(specs.size());
+    std::vector<std::optional<util::Status>> rejected(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        try {
+            requests.emplace_back(pipeline::parse_source(specs[i]));
+            requests.back().label = specs[i];
+        } catch (...) {
+            rejected[i] = util::status_from_exception(std::current_exception(),
+                                                      "resolve");
+        }
+    }
+    std::vector<util::Result<pipeline::EstimationResult>> batch =
+        pipe.run_batch_results(requests, threads);
+
+    std::vector<util::Result<pipeline::EstimationResult>> outcomes;
+    outcomes.reserve(specs.size());
+    std::size_t next = 0;
+    for (const std::optional<util::Status>& parse_failure : rejected) {
+        if (parse_failure.has_value()) {
+            outcomes.emplace_back(*parse_failure);
+        } else {
+            outcomes.emplace_back(std::move(batch[next++]));
+        }
+    }
+
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok()) {
+            const pipeline::EstimationResult& result = outcomes[i].value();
+            std::printf("%-24s D = %.6E s  (%zu qubits, %zu FT ops, %.3f ms)\n",
+                        result.label.c_str(), result.estimate->latency_seconds(),
+                        result.circuit.qubits, result.circuit.ft_ops,
+                        result.times.total_s * 1e3);
+        } else {
+            ++failed;
+            std::printf("%-24s %s\n", specs[i].c_str(),
+                        outcomes[i].status().to_string().c_str());
+        }
+    }
+    std::printf("batch: %zu inputs, %zu failed\n", outcomes.size(), failed);
+
+    if (parser.option_given("json")) {
+        parser::write_file(parser.option("json"),
+                           report::batch_results_to_json(outcomes, specs));
+        std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
+    }
+    return failed == 0 ? 0 : 1;
+}
 
 int body(int argc, char** argv) {
     util::ArgParser parser(
         "LEQA: fast latency estimation for a quantum algorithm mapped to a "
         "tiled quantum circuit fabric (DAC 2013)");
     parser.add_positional("input", "netlist path (.qasm/.real) or bench:<name>");
+    parser.add_rest("inputs", "more inputs: run all of them as one batch");
     pipeline::add_param_options(parser);
     parser.add_option("sq-terms", "number of E[S_q] terms (paper: 20)", "20");
+    parser.add_option("threads", "batch worker threads (0 = hardware)", "0");
     parser.add_flag("exact-sq", "evaluate all Q terms of E[S_q]");
     parser.add_flag("breakdown", "print the model intermediates");
     parser.add_flag("no-synth", "input is already FT-synthesized");
+    parser.add_flag("cache-stats", "print pipeline cache statistics after the run");
     parser.add_option("dot", "write the QODG as Graphviz DOT to this path");
     parser.add_option("json", "write the estimate as JSON to this path");
     if (!parser.parse(argc, argv)) return 0;
@@ -40,60 +105,76 @@ int body(int argc, char** argv) {
     config.auto_synthesize = !parser.flag("no-synth");
     pipeline::Pipeline pipe(config);
 
-    pipeline::EstimationRequest request(
-        pipeline::parse_source(*parser.positional("input")));
-    const pipeline::EstimationResult result = pipe.run(request);
-    const core::LeqaEstimate& estimate = *result.estimate;
-    const fabric::PhysicalParams& params = result.params;
-    const pipeline::CachedCircuitPtr entry = pipe.resolve(request.source);
+    int exit_code = 0;
+    if (!parser.rest().empty()) {
+        if (parser.option_given("dot") || parser.flag("breakdown")) {
+            std::fprintf(stderr,
+                         "note: --dot/--breakdown apply to single-input runs "
+                         "and are ignored in batch mode\n");
+        }
+        std::vector<std::string> specs = {*parser.positional("input")};
+        specs.insert(specs.end(), parser.rest().begin(), parser.rest().end());
+        exit_code = run_batch(pipe, specs, parser.option_size("threads"), parser);
+    } else {
+        pipeline::EstimationRequest request(
+            pipeline::parse_source(*parser.positional("input")));
+        const pipeline::EstimationResult result = pipe.run(request);
+        const core::LeqaEstimate& estimate = *result.estimate;
+        const fabric::PhysicalParams& params = result.params;
+        const pipeline::CachedCircuitPtr entry = pipe.resolve(request.source);
 
-    if (result.circuit.synthesized) {
-        std::printf("ft synthesis: %s\n", entry->synth_stats().to_string().c_str());
-    }
-    std::printf("circuit: %s\n", result.circuit.name.c_str());
-    std::printf("  logical qubits:      %zu\n", result.circuit.qubits);
-    std::printf("  FT operations:       %zu (from %zu reversible gates)\n",
-                result.circuit.ft_ops, result.circuit.pre_ft_gates);
-    std::printf("fabric: %dx%d ULBs (%s), Nc=%d, Tmove=%.0f us, v=%g\n", params.width,
-                params.height, fabric::topology_kind_name(params.topology).c_str(),
-                params.nc, params.t_move_us, params.v);
-    std::printf("estimated latency D: %.6E s  (%.3f us)\n",
-                estimate.latency_seconds(), estimate.latency_us);
-    std::printf("leqa runtime: %.3f ms (resolve %.3f ms, graphs %.3f ms, "
-                "estimate %.3f ms)\n",
-                result.times.total_s * 1e3, result.times.resolve_s * 1e3,
-                result.times.graphs_s * 1e3, result.times.estimate_s * 1e3);
+        if (result.circuit.synthesized) {
+            std::printf("ft synthesis: %s\n", entry->synth_stats().to_string().c_str());
+        }
+        std::printf("circuit: %s\n", result.circuit.name.c_str());
+        std::printf("  logical qubits:      %zu\n", result.circuit.qubits);
+        std::printf("  FT operations:       %zu (from %zu reversible gates)\n",
+                    result.circuit.ft_ops, result.circuit.pre_ft_gates);
+        std::printf("fabric: %dx%d ULBs (%s), Nc=%d, Tmove=%.0f us, v=%g\n", params.width,
+                    params.height, fabric::topology_kind_name(params.topology).c_str(),
+                    params.nc, params.t_move_us, params.v);
+        std::printf("estimated latency D: %.6E s  (%.3f us)\n",
+                    estimate.latency_seconds(), estimate.latency_us);
+        std::printf("leqa runtime: %.3f ms (resolve %.3f ms, graphs %.3f ms, "
+                    "estimate %.3f ms)\n",
+                    result.times.total_s * 1e3, result.times.resolve_s * 1e3,
+                    result.times.graphs_s * 1e3, result.times.estimate_s * 1e3);
 
-    if (parser.flag("breakdown")) {
-        std::printf("\nmodel breakdown:\n");
-        std::printf("  B (avg zone area):      %.4f\n", estimate.zone_area_b);
-        std::printf("  d_uncongest:            %.3f us\n", estimate.d_uncongest_us);
-        std::printf("  L_CNOT^avg (Eq. 2):     %.3f us\n", estimate.l_cnot_avg_us);
-        std::printf("  L_1q^avg (2 Tmove):     %.3f us\n", estimate.l_one_qubit_avg_us);
-        std::printf("  critical path ops:      %zu (%zu CNOT, %zu one-qubit)\n",
-                    estimate.critical_census.total_ops, estimate.critical_cnots,
-                    estimate.critical_one_qubit);
-        std::printf("  critical gate delay:    %.3f us (no routing)\n",
-                    estimate.critical_gate_delay_us);
-        std::printf("  covered area sum E[Sq]: %.4f of %lld ULBs\n",
-                    estimate.covered_area, params.area());
-        std::printf("  E[S_q] / d_q terms (q = 1..%zu):\n", estimate.e_sq.size());
-        for (std::size_t i = 0; i < estimate.e_sq.size(); ++i) {
-            if (estimate.e_sq[i] < 1e-9 && i > 4) continue; // skip the flat tail
-            std::printf("    q=%2zu  E[S_q]=%10.4f  d_q=%10.3f us\n", i + 1,
-                        estimate.e_sq[i], estimate.d_q[i]);
+        if (parser.flag("breakdown")) {
+            std::printf("\nmodel breakdown:\n");
+            std::printf("  B (avg zone area):      %.4f\n", estimate.zone_area_b);
+            std::printf("  d_uncongest:            %.3f us\n", estimate.d_uncongest_us);
+            std::printf("  L_CNOT^avg (Eq. 2):     %.3f us\n", estimate.l_cnot_avg_us);
+            std::printf("  L_1q^avg (2 Tmove):     %.3f us\n", estimate.l_one_qubit_avg_us);
+            std::printf("  critical path ops:      %zu (%zu CNOT, %zu one-qubit)\n",
+                        estimate.critical_census.total_ops, estimate.critical_cnots,
+                        estimate.critical_one_qubit);
+            std::printf("  critical gate delay:    %.3f us (no routing)\n",
+                        estimate.critical_gate_delay_us);
+            std::printf("  covered area sum E[Sq]: %.4f of %lld ULBs\n",
+                        estimate.covered_area, params.area());
+            std::printf("  E[S_q] / d_q terms (q = 1..%zu):\n", estimate.e_sq.size());
+            for (std::size_t i = 0; i < estimate.e_sq.size(); ++i) {
+                if (estimate.e_sq[i] < 1e-9 && i > 4) continue; // skip the flat tail
+                std::printf("    q=%2zu  E[S_q]=%10.4f  d_q=%10.3f us\n", i + 1,
+                            estimate.e_sq[i], estimate.d_q[i]);
+            }
+        }
+
+        if (parser.option_given("dot")) {
+            parser::write_file(parser.option("dot"), entry->qodg().to_dot(entry->ft()));
+            std::printf("wrote QODG DOT to %s\n", parser.option("dot").c_str());
+        }
+        if (parser.option_given("json")) {
+            parser::write_file(parser.option("json"), report::result_to_json(result));
+            std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
         }
     }
 
-    if (parser.option_given("dot")) {
-        parser::write_file(parser.option("dot"), entry->qodg().to_dot(entry->ft()));
-        std::printf("wrote QODG DOT to %s\n", parser.option("dot").c_str());
+    if (parser.flag("cache-stats")) {
+        std::printf("cache: %s\n", pipe.cache_stats().to_string().c_str());
     }
-    if (parser.option_given("json")) {
-        parser::write_file(parser.option("json"), report::result_to_json(result));
-        std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
-    }
-    return 0;
+    return exit_code;
 }
 
 } // namespace

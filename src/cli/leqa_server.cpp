@@ -1,0 +1,196 @@
+/// \file leqa_server.cpp
+/// \brief LEQA as a long-lived stdio daemon: NDJSON requests in, NDJSON
+///        responses out, backed by the async service::Service.
+///
+/// One JSON object per input line (see service/wire.h for the format);
+/// responses are written in order of completion, correlated by "id".
+/// Estimate/map/sweep/calibrate requests run on the service's worker pool
+/// with per-request priority and deadline; "cancel" and "stats" are
+/// answered inline.  EOF on stdin drains the queue gracefully (every
+/// accepted request still gets its response) and exits 0.  No request --
+/// however malformed -- can crash the daemon: failures come back as
+/// {"error":{"code":...,...}} lines.
+///
+/// Examples:
+///   printf '{"id":1,"op":"estimate","source":"bench:ham3"}\n' | leqa_server
+///   leqa_server --threads 8 --max-queue 256 --fabric 80x80 < requests.ndjson
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cli/common.h"
+#include "pipeline/pipeline.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace leqa;
+
+int body(int argc, char** argv) {
+    util::ArgParser parser(
+        "LEQA NDJSON daemon: one JSON request per stdin line, one JSON "
+        "response per stdout line (id-correlated, completion order)");
+    pipeline::add_param_options(parser);
+    parser.add_option("threads", "service worker threads (0 = hardware)", "0");
+    parser.add_option("max-queue", "queued-job bound (submit blocks when full)",
+                      "1024");
+    parser.add_flag("no-synth", "inputs are already FT-synthesized");
+    if (!parser.parse(argc, argv)) return 0;
+
+#ifdef SIGPIPE
+    // A client that stops reading must not kill the daemon mid-drain: let
+    // writes fail with EPIPE instead of raising the default-fatal signal.
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+    pipeline::PipelineConfig config;
+    config.params = pipeline::params_from_args(parser);
+    config.auto_synthesize = !parser.flag("no-synth");
+
+    service::ServiceOptions service_options;
+    service_options.threads = parser.option_size("threads");
+    service_options.max_queue = parser.option_size("max-queue");
+
+    // Everything the worker callbacks touch (emit, the jobs map and their
+    // mutexes) must outlive the Service: declare them first so unwinding
+    // destroys the Service -- joining its workers -- before them.
+    // Workers complete jobs concurrently; one mutex keeps response lines whole.
+    std::mutex out_mutex;
+    const auto emit = [&out_mutex](const std::string& line) {
+        const std::lock_guard<std::mutex> lock(out_mutex);
+        std::fputs(line.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    };
+
+    // Wire id -> handle, so "cancel" can reach in-flight jobs.  Entries are
+    // erased on completion (a cancel for a finished job answers NotFound), so
+    // the map stays bounded by the number of in-flight requests.
+    std::mutex jobs_mutex;
+    std::unordered_map<std::uint64_t, service::JobHandle> jobs;
+    const auto track = [&jobs_mutex, &jobs](std::uint64_t id,
+                                            service::JobHandle handle) {
+        const std::lock_guard<std::mutex> lock(jobs_mutex);
+        // The job may have completed (and fired its erase) before this
+        // insert ran; only track handles that are still in flight.
+        const service::JobState state = handle.poll();
+        if (state != service::JobState::Done && state != service::JobState::Cancelled) {
+            jobs[id] = std::move(handle);
+        }
+    };
+
+    service::Service service(config, service_options);
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (util::trim(line).empty()) continue;
+        const util::Result<service::wire::WireRequest> parsed =
+            service::wire::parse_request(line);
+        if (!parsed.ok()) {
+            // Best-effort correlation -- but never duplicate an in-flight
+            // id: if the recovered id already names a pending job, answer
+            // as unidentifiable (id 0) so that job's eventual response
+            // stays the only line with its id.
+            std::uint64_t recovered = service::wire::extract_id(line);
+            if (recovered != 0) {
+                const std::lock_guard<std::mutex> lock(jobs_mutex);
+                if (jobs.count(recovered) != 0) recovered = 0;
+            }
+            emit(service::wire::serialize_error(recovered, parsed.status()));
+            continue;
+        }
+        const service::wire::WireRequest& request = parsed.value();
+        const std::uint64_t id = request.id;
+        {
+            // Ids must be unique among in-flight requests for every op: a
+            // reused job id would make the older job uncancellable and let
+            // its completion erase the newer entry, and even an inline op
+            // (cancel/stats) reusing one would put two responses with the
+            // same id on the wire.
+            const std::lock_guard<std::mutex> lock(jobs_mutex);
+            if (jobs.count(id) != 0) {
+                emit(service::wire::serialize_error(
+                    id, util::Status(util::StatusCode::InvalidArgument,
+                                     "request id " + std::to_string(id) +
+                                         " is already in flight",
+                                     "wire")));
+                continue;
+            }
+        }
+        service::SubmitOptions options = service::wire::submit_options(request);
+        options.on_complete = [id, &emit, &jobs_mutex,
+                               &jobs](const service::JobHandle& handle) {
+            emit(service::wire::serialize_result(id, handle.wait()));
+            const std::lock_guard<std::mutex> lock(jobs_mutex);
+            jobs.erase(id);
+        };
+
+        switch (request.op) {
+            case service::wire::WireRequest::Op::Estimate:
+            case service::wire::WireRequest::Op::Map:
+            case service::wire::WireRequest::Op::Both: {
+                std::optional<fabric::PhysicalParams> params;
+                if (!request.params.empty()) {
+                    params = request.params.apply(service.pipeline().config().params);
+                }
+                track(id, service.submit(request.source,
+                                         service::wire::run_mode_of(request.op),
+                                         std::move(params), std::move(options)));
+                break;
+            }
+            case service::wire::WireRequest::Op::Sweep: {
+                service::SweepRequest sweep;
+                sweep.source = request.source;
+                sweep.axis = request.axis;
+                sweep.values = request.values;
+                sweep.kinds = request.kinds;
+                track(id, service.submit_sweep(std::move(sweep), std::move(options)));
+                break;
+            }
+            case service::wire::WireRequest::Op::Calibrate: {
+                service::CalibrationRequest calibrate;
+                calibrate.sources = request.sources;
+                calibrate.apply = request.apply_calibration;
+                track(id,
+                      service.submit_calibration(std::move(calibrate), std::move(options)));
+                break;
+            }
+            case service::wire::WireRequest::Op::Cancel: {
+                service::JobHandle target;
+                {
+                    const std::lock_guard<std::mutex> lock(jobs_mutex);
+                    const auto it = jobs.find(request.target);
+                    if (it != jobs.end()) target = it->second;
+                }
+                if (!target.valid()) {
+                    emit(service::wire::serialize_error(
+                        id, util::Status(util::StatusCode::NotFound,
+                                         "no job with id " +
+                                             std::to_string(request.target),
+                                         "queue")));
+                } else {
+                    emit(service::wire::serialize_cancel_ack(id, request.target,
+                                                             target.cancel()));
+                }
+                break;
+            }
+            case service::wire::WireRequest::Op::Stats:
+                emit(service::wire::serialize_stats(id, service.stats()));
+                break;
+        }
+    }
+
+    // EOF: graceful drain -- every accepted job still answers, then exit.
+    service.drain();
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) { return leqa::cli::run_main(argc, argv, body); }

@@ -8,12 +8,14 @@ namespace {
 
 SweepResult run_sweep(const CircuitProfile& profile,
                       const std::vector<fabric::PhysicalParams>& configurations,
-                      const LeqaOptions& options) {
+                      const LeqaOptions& options,
+                      const std::function<void()>& between_points = {}) {
     LEQA_REQUIRE(!configurations.empty(), "sweep has no feasible configurations");
     SweepResult result;
     result.points.reserve(configurations.size());
     EstimationEngine engine(configurations.front(), options);
     for (const auto& params : configurations) {
+        if (between_points) between_points();
         engine.set_params(params);
         SweepPoint point{params, engine.estimate(profile)};
         result.points.push_back(std::move(point));
@@ -95,30 +97,37 @@ std::vector<fabric::PhysicalParams> speed_configurations(
 SweepResult sweep_fabric_sides(const CircuitProfile& profile,
                                const fabric::PhysicalParams& base,
                                const std::vector<int>& sides,
-                               const LeqaOptions& options) {
+                               const LeqaOptions& options,
+                               const std::function<void()>& between_points) {
     return run_sweep(profile, side_configurations(profile.num_qubits, base, sides),
-                     options);
+                     options, between_points);
 }
 
 SweepResult sweep_topology(const CircuitProfile& profile,
                            const fabric::PhysicalParams& base,
                            const std::vector<fabric::TopologyKind>& kinds,
-                           const LeqaOptions& options) {
-    return run_sweep(profile, topology_configurations(base, kinds), options);
+                           const LeqaOptions& options,
+                           const std::function<void()>& between_points) {
+    return run_sweep(profile, topology_configurations(base, kinds), options,
+                     between_points);
 }
 
 SweepResult sweep_channel_capacity(const CircuitProfile& profile,
                                    const fabric::PhysicalParams& base,
                                    const std::vector<int>& capacities,
-                                   const LeqaOptions& options) {
-    return run_sweep(profile, capacity_configurations(base, capacities), options);
+                                   const LeqaOptions& options,
+                                   const std::function<void()>& between_points) {
+    return run_sweep(profile, capacity_configurations(base, capacities), options,
+                     between_points);
 }
 
 SweepResult sweep_speed(const CircuitProfile& profile,
                         const fabric::PhysicalParams& base,
                         const std::vector<double>& speeds,
-                        const LeqaOptions& options) {
-    return run_sweep(profile, speed_configurations(base, speeds), options);
+                        const LeqaOptions& options,
+                        const std::function<void()>& between_points) {
+    return run_sweep(profile, speed_configurations(base, speeds), options,
+                     between_points);
 }
 
 SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,

@@ -14,6 +14,7 @@
 /// overloads build the profile internally and delegate.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/engine.h"
@@ -42,29 +43,32 @@ struct SweepResult {
 /// means an s x s fabric; on a line it means the area-equivalent s*s x 1
 /// row, so points stay comparable across topologies.  Sides too small to
 /// host the circuit's qubits are skipped; throws InputError if none remain.
-[[nodiscard]] SweepResult sweep_fabric_sides(const CircuitProfile& profile,
-                                             const fabric::PhysicalParams& base,
-                                             const std::vector<int>& sides,
-                                             const LeqaOptions& options = {});
+/// `between_points` (here and in the other profile-based sweeps) is called
+/// before each point -- cancellation/deadline checkpoints may throw out of
+/// it to abort the sweep.
+[[nodiscard]] SweepResult sweep_fabric_sides(
+    const CircuitProfile& profile, const fabric::PhysicalParams& base,
+    const std::vector<int>& sides, const LeqaOptions& options = {},
+    const std::function<void()>& between_points = {});
 
 /// Sweep the fabric topology itself on a fixed area: grid/torus keep the
 /// base geometry, line flattens it to the area-equivalent (a*b) x 1 row.
-[[nodiscard]] SweepResult sweep_topology(const CircuitProfile& profile,
-                                         const fabric::PhysicalParams& base,
-                                         const std::vector<fabric::TopologyKind>& kinds,
-                                         const LeqaOptions& options = {});
+[[nodiscard]] SweepResult sweep_topology(
+    const CircuitProfile& profile, const fabric::PhysicalParams& base,
+    const std::vector<fabric::TopologyKind>& kinds, const LeqaOptions& options = {},
+    const std::function<void()>& between_points = {});
 
 /// Sweep channel capacities Nc.
-[[nodiscard]] SweepResult sweep_channel_capacity(const CircuitProfile& profile,
-                                                 const fabric::PhysicalParams& base,
-                                                 const std::vector<int>& capacities,
-                                                 const LeqaOptions& options = {});
+[[nodiscard]] SweepResult sweep_channel_capacity(
+    const CircuitProfile& profile, const fabric::PhysicalParams& base,
+    const std::vector<int>& capacities, const LeqaOptions& options = {},
+    const std::function<void()>& between_points = {});
 
 /// Sweep the qubit-speed parameter v.
-[[nodiscard]] SweepResult sweep_speed(const CircuitProfile& profile,
-                                      const fabric::PhysicalParams& base,
-                                      const std::vector<double>& speeds,
-                                      const LeqaOptions& options = {});
+[[nodiscard]] SweepResult sweep_speed(
+    const CircuitProfile& profile, const fabric::PhysicalParams& base,
+    const std::vector<double>& speeds, const LeqaOptions& options = {},
+    const std::function<void()>& between_points = {});
 
 // --- graph-based convenience overloads (profile built once, internally) ----
 

@@ -7,6 +7,6 @@ std::string SourceLoc::to_string() const {
 }
 
 ParseError::ParseError(const SourceLoc& loc, const std::string& message)
-    : util::InputError(loc.to_string() + ": " + message), loc_(loc) {}
+    : util::ParseError(loc.to_string() + ": " + message), loc_(loc) {}
 
 } // namespace leqa::parser

@@ -17,7 +17,9 @@ struct SourceLoc {
 };
 
 /// Error raised by the netlist parsers; message carries "<file>:<line>".
-class ParseError : public util::InputError {
+/// Derives util::ParseError so the service boundary maps it to
+/// StatusCode::ParseError rather than the generic InvalidArgument.
+class ParseError : public util::ParseError {
 public:
     ParseError(const SourceLoc& loc, const std::string& message);
 

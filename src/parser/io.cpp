@@ -13,7 +13,7 @@ namespace leqa::parser {
 
 std::string read_file(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
-    if (!in) throw util::InputError("cannot open file: " + path);
+    if (!in) throw util::NotFoundError("cannot open file: " + path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();

@@ -50,7 +50,9 @@ CircuitSource CircuitSource::from_path(std::string path) {
 }
 
 CircuitSource CircuitSource::from_bench(std::string name) {
-    LEQA_REQUIRE(is_bench_name(name), "unknown suite benchmark \"" + name + "\"");
+    if (!is_bench_name(name)) {
+        throw util::NotFoundError("unknown suite benchmark \"" + name + "\"");
+    }
     std::string identity = "bench:" + name;
     return CircuitSource(Kind::Bench, std::move(name), std::move(identity));
 }
@@ -92,12 +94,12 @@ CircuitSource parse_source(const std::string& spec) {
         return CircuitSource::from_path(spec);
     }
     if (is_bench_name(spec)) {
-        throw util::InputError("no such file \"" + spec +
-                               "\"; generated suite benchmarks use the bench: "
-                               "namespace -- did you mean \"bench:" +
-                               spec + "\"?");
+        throw util::NotFoundError("no such file \"" + spec +
+                                  "\"; generated suite benchmarks use the bench: "
+                                  "namespace -- did you mean \"bench:" +
+                                  spec + "\"?");
     }
-    throw util::InputError("no such file or bench: benchmark: \"" + spec + "\"");
+    throw util::NotFoundError("no such file or bench: benchmark: \"" + spec + "\"");
 }
 
 void add_param_options(util::ArgParser& parser) {

@@ -8,6 +8,18 @@
 
 namespace leqa::pipeline {
 
+// ---------------------------------------------------------- RunControl --
+
+void RunControl::checkpoint(const char* stage) const {
+    if (cancel.load(std::memory_order_relaxed)) {
+        throw util::CancelledError(std::string("run cancelled before stage ") + stage);
+    }
+    if (deadline.has_value() && std::chrono::steady_clock::now() > *deadline) {
+        throw util::DeadlineError(std::string("deadline exceeded before stage ") +
+                                  stage);
+    }
+}
+
 // ---------------------------------------------------------- CacheStats --
 
 std::string CacheStats::to_string() const {
@@ -195,8 +207,10 @@ void Pipeline::ensure_graphs(const CachedCircuit& entry) {
     }
 }
 
-EstimationResult Pipeline::run(const EstimationRequest& request) {
+EstimationResult Pipeline::run_impl(const EstimationRequest& request,
+                                    const RunControl* control, const char*& stage) {
     const util::Stopwatch total;
+    stage = "config";
     fabric::PhysicalParams params;
     core::LeqaOptions leqa_options;
     qspr::QsprOptions qspr_options;
@@ -212,10 +226,14 @@ EstimationResult Pipeline::run(const EstimationRequest& request) {
     result.label = request.label.empty() ? request.source.display_name() : request.label;
     result.params = params;
 
+    stage = "resolve";
+    if (control != nullptr) control->checkpoint(stage);
     const CachedCircuitPtr entry = resolve_timed(request.source, &result.times.resolve_s);
     result.circuit = entry->info();
 
     if (request.mode != RunMode::Map) {
+        stage = "estimate";
+        if (control != nullptr) control->checkpoint(stage);
         const util::Stopwatch graphs_clock;
         ensure_graphs(*entry);
         result.times.graphs_s = graphs_clock.seconds();
@@ -226,6 +244,8 @@ EstimationResult Pipeline::run(const EstimationRequest& request) {
         result.times.estimate_s = estimate_clock.seconds();
     }
     if (request.mode != RunMode::Estimate) {
+        stage = "map";
+        if (control != nullptr) control->checkpoint(stage);
         const qspr::QsprMapper mapper(params, qspr_options);
         const util::Stopwatch map_clock;
         result.mapping = mapper.map(entry->ft());
@@ -235,8 +255,25 @@ EstimationResult Pipeline::run(const EstimationRequest& request) {
     return result;
 }
 
-std::vector<EstimationResult> Pipeline::run_batch(
-    const std::vector<EstimationRequest>& requests, std::size_t threads) {
+EstimationResult Pipeline::run(const EstimationRequest& request,
+                               const RunControl* control) {
+    const char* stage = "config";
+    return run_impl(request, control, stage);
+}
+
+util::Result<EstimationResult> Pipeline::run_result(const EstimationRequest& request,
+                                                    const RunControl* control) {
+    const char* stage = "config";
+    try {
+        return run_impl(request, control, stage);
+    } catch (...) {
+        return util::status_from_exception(std::current_exception(), stage);
+    }
+}
+
+std::vector<util::Result<EstimationResult>> Pipeline::run_batch_results(
+    const std::vector<EstimationRequest>& requests, std::size_t threads,
+    const RunControl* control) {
     const std::size_t count = requests.size();
     if (threads == 0) {
         const std::size_t hardware =
@@ -244,19 +281,16 @@ std::vector<EstimationResult> Pipeline::run_batch(
         threads = std::min(hardware, std::max<std::size_t>(count, 1));
     }
 
-    std::vector<std::optional<EstimationResult>> slots(count);
+    std::vector<std::optional<util::Result<EstimationResult>>> slots(count);
     if (threads <= 1 || count <= 1) {
-        for (std::size_t i = 0; i < count; ++i) slots[i] = run(requests[i]);
+        for (std::size_t i = 0; i < count; ++i) {
+            slots[i] = run_result(requests[i], control);
+        }
     } else {
-        std::vector<std::exception_ptr> errors(count);
         std::atomic<std::size_t> next{0};
         const auto worker = [&] {
             for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-                try {
-                    slots[i] = run(requests[i]);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
+                slots[i] = run_result(requests[i], control);
             }
         };
         std::vector<std::thread> pool;
@@ -264,58 +298,91 @@ std::vector<EstimationResult> Pipeline::run_batch(
         for (std::size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
         worker();
         for (std::thread& t : pool) t.join();
-        for (const std::exception_ptr& error : errors) {
-            if (error) std::rethrow_exception(error); // lowest index first
-        }
     }
 
-    std::vector<EstimationResult> results;
+    std::vector<util::Result<EstimationResult>> results;
     results.reserve(count);
-    for (std::optional<EstimationResult>& slot : slots) {
+    for (std::optional<util::Result<EstimationResult>>& slot : slots) {
         results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+std::vector<EstimationResult> Pipeline::run_batch(
+    const std::vector<EstimationRequest>& requests, std::size_t threads) {
+    std::vector<util::Result<EstimationResult>> outcomes =
+        run_batch_results(requests, threads);
+    for (const util::Result<EstimationResult>& outcome : outcomes) {
+        if (!outcome.ok()) util::throw_status(outcome.status()); // lowest index first
+    }
+    std::vector<EstimationResult> results;
+    results.reserve(outcomes.size());
+    for (util::Result<EstimationResult>& outcome : outcomes) {
+        results.push_back(std::move(outcome).value());
     }
     return results;
 }
 
 // --------------------------------------------------------------- sweeps --
 
+namespace {
+
+/// Adapt an optional RunControl to the core sweeps' between-points hook.
+std::function<void()> point_checkpoint(const RunControl* control) {
+    if (control == nullptr) return {};
+    return [control] { control->checkpoint("sweep"); };
+}
+
+} // namespace
+
 core::SweepResult Pipeline::sweep_fabric_sides(const CircuitSource& source,
-                                               const std::vector<int>& sides) {
+                                               const std::vector<int>& sides,
+                                               const RunControl* control) {
+    if (control != nullptr) control->checkpoint("resolve");
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_fabric_sides(entry->profile(), params, sides, leqa_options);
+    return core::sweep_fabric_sides(entry->profile(), params, sides, leqa_options,
+                                    point_checkpoint(control));
 }
 
 core::SweepResult Pipeline::sweep_channel_capacity(const CircuitSource& source,
-                                                   const std::vector<int>& capacities) {
+                                                   const std::vector<int>& capacities,
+                                                   const RunControl* control) {
+    if (control != nullptr) control->checkpoint("resolve");
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
     return core::sweep_channel_capacity(entry->profile(), params, capacities,
-                                        leqa_options);
+                                        leqa_options, point_checkpoint(control));
 }
 
 core::SweepResult Pipeline::sweep_speed(const CircuitSource& source,
-                                        const std::vector<double>& speeds) {
+                                        const std::vector<double>& speeds,
+                                        const RunControl* control) {
+    if (control != nullptr) control->checkpoint("resolve");
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_speed(entry->profile(), params, speeds, leqa_options);
+    return core::sweep_speed(entry->profile(), params, speeds, leqa_options,
+                             point_checkpoint(control));
 }
 
 core::SweepResult Pipeline::sweep_topology(
-    const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds) {
+    const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds,
+    const RunControl* control) {
+    if (control != nullptr) control->checkpoint("resolve");
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_topology(entry->profile(), params, kinds, leqa_options);
+    return core::sweep_topology(entry->profile(), params, kinds, leqa_options,
+                                point_checkpoint(control));
 }
 
 // ---------------------------------------------------------- calibration --
 
 Pipeline::TrainingSet Pipeline::training_samples(
-    const std::vector<CircuitSource>& sources) {
+    const std::vector<CircuitSource>& sources, const RunControl* control) {
     fabric::PhysicalParams params;
     qspr::QsprOptions qspr_options;
     {
@@ -329,6 +396,7 @@ Pipeline::TrainingSet Pipeline::training_samples(
     training.samples.reserve(sources.size());
     training.graph_samples.reserve(sources.size());
     for (const CircuitSource& source : sources) {
+        if (control != nullptr) control->checkpoint("calibrate");
         CachedCircuitPtr entry = resolve(source);
         ensure_graphs(*entry);
         const double actual_us = mapper.map(entry->ft()).latency_us;
@@ -340,8 +408,9 @@ Pipeline::TrainingSet Pipeline::training_samples(
 }
 
 core::CalibrationResult Pipeline::calibrate(const std::vector<CircuitSource>& training,
-                                            const core::CalibratorOptions& options) {
-    return calibrate(training_samples(training), options);
+                                            const core::CalibratorOptions& options,
+                                            const RunControl* control) {
+    return calibrate(training_samples(training, control), options);
 }
 
 core::CalibrationResult Pipeline::calibrate(const TrainingSet& training,

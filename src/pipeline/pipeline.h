@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <list>
 #include <memory>
@@ -44,6 +45,7 @@
 #include "qodg/qodg.h"
 #include "qspr/qspr.h"
 #include "synth/ft_synth.h"
+#include "util/status.h"
 
 namespace leqa::pipeline {
 
@@ -75,6 +77,19 @@ struct EstimationRequest {
 
     explicit EstimationRequest(CircuitSource src, RunMode run_mode = RunMode::Estimate)
         : source(std::move(src)), mode(run_mode) {}
+};
+
+/// Cooperative cancellation + deadline control for one run.  The pipeline
+/// checks it at the stage boundaries (before resolve, before estimate,
+/// before map): a set cancel flag raises util::CancelledError, a passed
+/// deadline raises util::DeadlineError.  A running stage is never aborted
+/// mid-flight -- cached intermediates stay consistent by construction.
+struct RunControl {
+    std::atomic<bool> cancel{false};
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /// Throws CancelledError / DeadlineError when the run must stop.
+    void checkpoint(const char* stage) const;
 };
 
 /// Wall-clock seconds per pipeline stage.  Cached stages report ~0.
@@ -179,27 +194,50 @@ public:
     /// synthesizing on first use).
     [[nodiscard]] CachedCircuitPtr resolve(const CircuitSource& source);
 
-    /// Run one request.
-    [[nodiscard]] EstimationResult run(const EstimationRequest& request);
+    /// Run one request.  With a non-null \p control the run observes its
+    /// cancel flag / deadline at the stage boundaries.
+    [[nodiscard]] EstimationResult run(const EstimationRequest& request,
+                                       const RunControl* control = nullptr);
 
-    /// Run a batch.  `threads` = 0 picks min(hardware threads, batch size);
-    /// 1 forces sequential.  Results are index-aligned with `requests` and
-    /// identical to sequential `run` calls; the first (lowest-index) failed
-    /// request's exception is rethrown after the pool drains.
+    /// Run one request without letting an exception escape: failures come
+    /// back as a non-OK Status whose origin names the stage that failed
+    /// ("config", "resolve", "estimate", "map").  This is the service
+    /// boundary's entry point.
+    [[nodiscard]] util::Result<EstimationResult> run_result(
+        const EstimationRequest& request, const RunControl* control = nullptr);
+
+    /// Run a batch with *per-request* outcomes: results are index-aligned
+    /// with `requests`, successes identical to sequential `run` calls, and
+    /// every failed request carries its own Status (nothing is swallowed).
+    /// `threads` = 0 picks min(hardware threads, batch size); 1 forces
+    /// sequential.
+    [[nodiscard]] std::vector<util::Result<EstimationResult>> run_batch_results(
+        const std::vector<EstimationRequest>& requests, std::size_t threads = 0,
+        const RunControl* control = nullptr);
+
+    /// Thin throwing wrapper over run_batch_results for back-compat: the
+    /// first (lowest-index) failed request's Status is rethrown as the
+    /// matching exception type after the pool drains.
     [[nodiscard]] std::vector<EstimationResult> run_batch(
         const std::vector<EstimationRequest>& requests, std::size_t threads = 0);
 
     // --- design-space sweeps on the shared cache --------------------------
 
-    [[nodiscard]] core::SweepResult sweep_fabric_sides(const CircuitSource& source,
-                                                       const std::vector<int>& sides);
+    /// The sweeps observe an optional RunControl before the resolve and
+    /// before every point, so a cancel/deadline aborts mid-sweep.
+    [[nodiscard]] core::SweepResult sweep_fabric_sides(
+        const CircuitSource& source, const std::vector<int>& sides,
+        const RunControl* control = nullptr);
     [[nodiscard]] core::SweepResult sweep_channel_capacity(
-        const CircuitSource& source, const std::vector<int>& capacities);
+        const CircuitSource& source, const std::vector<int>& capacities,
+        const RunControl* control = nullptr);
     [[nodiscard]] core::SweepResult sweep_speed(const CircuitSource& source,
-                                                const std::vector<double>& speeds);
+                                                const std::vector<double>& speeds,
+                                                const RunControl* control = nullptr);
     /// Sweep the fabric topology on the session's (area-fixed) geometry.
     [[nodiscard]] core::SweepResult sweep_topology(
-        const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds);
+        const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds,
+        const RunControl* control = nullptr);
 
     // --- calibration on the shared cache ----------------------------------
 
@@ -213,12 +251,17 @@ public:
         std::vector<core::CalibrationSample> samples;
         std::vector<core::GraphSample> graph_samples;
     };
-    [[nodiscard]] TrainingSet training_samples(const std::vector<CircuitSource>& sources);
+    [[nodiscard]] TrainingSet training_samples(const std::vector<CircuitSource>& sources,
+                                               const RunControl* control = nullptr);
 
-    /// Fit v against the session mapper on the given training circuits.
+    /// Fit v against the session mapper on the given training circuits.  An
+    /// optional RunControl is observed before each training circuit is
+    /// resolved and mapped (the slow part), so a cancel/deadline aborts
+    /// between circuits.
     [[nodiscard]] core::CalibrationResult calibrate(
         const std::vector<CircuitSource>& training,
-        const core::CalibratorOptions& options = {});
+        const core::CalibratorOptions& options = {},
+        const RunControl* control = nullptr);
 
     /// Fit v on an already-built training set (no re-mapping): the path for
     /// callers that also need the samples themselves (e.g. error curves).
@@ -242,6 +285,11 @@ private:
                                                  double* seconds);
     /// Force graphs and account the hit/miss.
     void ensure_graphs(const CachedCircuit& entry);
+    /// The throwing core of run()/run_result(); \p stage tracks the stage
+    /// in flight so run_result can attribute a failure's origin.
+    [[nodiscard]] EstimationResult run_impl(const EstimationRequest& request,
+                                            const RunControl* control,
+                                            const char*& stage);
 
     PipelineConfig config_;
 

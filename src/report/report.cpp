@@ -7,9 +7,7 @@
 
 namespace leqa::report {
 
-namespace {
-
-void write_params(util::JsonWriter& json, const fabric::PhysicalParams& params) {
+void write_params_json(util::JsonWriter& json, const fabric::PhysicalParams& params) {
     json.key("fabric").begin_object();
     json.kv("topology", fabric::topology_kind_name(params.topology));
     json.kv("width", static_cast<long long>(params.width));
@@ -26,6 +24,8 @@ void write_params(util::JsonWriter& json, const fabric::PhysicalParams& params) 
     json.end_object();
     json.end_object();
 }
+
+namespace {
 
 void write_census(util::JsonWriter& json, const qodg::PathCensus& census) {
     json.begin_object();
@@ -103,7 +103,7 @@ void write_result_object(util::JsonWriter& json,
     json.kv("synthesized", result.circuit.synthesized);
     json.end_object();
 
-    write_params(json, result.params);
+    write_params_json(json, result.params);
 
     json.key("stage_times_s").begin_object();
     json.kv("resolve", result.times.resolve_s);
@@ -144,7 +144,7 @@ std::string estimate_to_json(const core::LeqaEstimate& estimate,
     json.kv("circuit", circuit_name);
     json.kv("num_qubits", estimate.num_qubits);
     json.kv("num_ops", estimate.num_ops);
-    write_params(json, params);
+    write_params_json(json, params);
     write_estimate_body(json, estimate);
     json.end_object();
     return json.str();
@@ -157,7 +157,7 @@ std::string qspr_result_to_json(const qspr::QsprResult& result,
     json.begin_object();
     json.kv("tool", "qspr");
     json.kv("circuit", circuit_name);
-    write_params(json, params);
+    write_params_json(json, params);
     write_qspr_body(json, result);
     json.end_object();
     return json.str();
@@ -193,6 +193,75 @@ std::string batch_to_json(const std::vector<pipeline::EstimationResult>& results
         write_result_object(json, result);
     }
     json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string status_to_json(const util::Status& status) {
+    LEQA_REQUIRE(!status.ok(), "status_to_json: OK statuses have no error object");
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("code", util::status_code_name(status.code()));
+    json.kv("message", status.message());
+    if (!status.origin().empty()) json.kv("origin", status.origin());
+    json.end_object();
+    return json.str();
+}
+
+std::string batch_results_to_json(
+    const std::vector<util::Result<pipeline::EstimationResult>>& outcomes,
+    const std::vector<std::string>& labels) {
+    std::size_t failed = 0;
+    for (const auto& outcome : outcomes) {
+        if (!outcome.ok()) ++failed;
+    }
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("tool", "leqa-pipeline");
+    json.kv("count", outcomes.size());
+    json.kv("failed", failed);
+    json.key("results").begin_array();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& outcome = outcomes[i];
+        if (outcome.ok()) {
+            write_result_object(json, outcome.value());
+        } else {
+            // Failed slots carry their input label too: without it the
+            // report could not say *which* request the error belongs to.
+            json.begin_object();
+            if (i < labels.size()) json.kv("label", labels[i]);
+            json.key("error").raw_value(status_to_json(outcome.status()));
+            json.end_object();
+        }
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string sweep_to_json(const core::SweepResult& sweep) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("best_index", sweep.best_index);
+    json.key("points").begin_array();
+    for (const core::SweepPoint& point : sweep.points) {
+        json.begin_object();
+        write_params_json(json, point.params);
+        json.kv("latency_us", point.estimate.latency_us);
+        json.kv("latency_s", point.estimate.latency_seconds());
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string calibration_to_json(const core::CalibrationResult& result) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("v", result.v);
+    json.kv("mean_abs_rel_error", result.mean_abs_rel_error);
+    json.kv("evaluations", result.evaluations);
     json.end_object();
     return json.str();
 }

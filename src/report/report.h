@@ -11,12 +11,20 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "core/calibrate.h"
 #include "core/leqa.h"
+#include "core/sweep.h"
 #include "fabric/params.h"
 #include "pipeline/pipeline.h"
 #include "qspr/qspr.h"
+#include "util/json.h"
+#include "util/status.h"
 
 namespace leqa::report {
+
+/// Write the fabric-parameter object (the "fabric" key) into an open JSON
+/// object.  Shared by every document in this module and by service::wire.
+void write_params_json(util::JsonWriter& json, const fabric::PhysicalParams& params);
 
 /// Full LEQA estimate as a JSON document: inputs (fabric parameters,
 /// circuit identity), the model intermediates (B, d_uncongest, L_CNOT,
@@ -45,5 +53,24 @@ namespace leqa::report {
 /// "results": [...]}.
 [[nodiscard]] std::string batch_to_json(
     const std::vector<pipeline::EstimationResult>& results);
+
+/// A non-OK Status as {"code": "...", "message": "...", "origin": "..."}
+/// (origin omitted when empty) -- the error object of the wire format.
+[[nodiscard]] std::string status_to_json(const util::Status& status);
+
+/// A per-request batch outcome document: each entry is either the result
+/// object or {"label": ..., "error": {...}}; {"tool": "leqa-pipeline",
+/// "failed": N}.  \p labels names each slot's input (same indexing as
+/// \p outcomes) so failed entries stay attributable; pass empty to omit.
+[[nodiscard]] std::string batch_results_to_json(
+    const std::vector<util::Result<pipeline::EstimationResult>>& outcomes,
+    const std::vector<std::string>& labels = {});
+
+/// A design-space sweep as JSON: per-point parameters + latency and the
+/// index of the latency-minimal point.
+[[nodiscard]] std::string sweep_to_json(const core::SweepResult& sweep);
+
+/// A calibration fit as JSON (v, error at v, evaluations spent).
+[[nodiscard]] std::string calibration_to_json(const core::CalibrationResult& result);
 
 } // namespace leqa::report

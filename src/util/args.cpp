@@ -29,6 +29,12 @@ void ArgParser::add_positional(const std::string& name, const std::string& help,
     positionals_.push_back(Positional{name, help, required, std::nullopt});
 }
 
+void ArgParser::add_rest(const std::string& name, const std::string& help) {
+    LEQA_REQUIRE(rest_name_.empty(), "add_rest may only be called once");
+    rest_name_ = name;
+    rest_help_ = help;
+}
+
 bool ArgParser::parse(int argc, const char* const* argv) {
     std::size_t next_positional = 0;
     for (int i = 1; i < argc; ++i) {
@@ -63,9 +69,12 @@ bool ArgParser::parse(int argc, const char* const* argv) {
             oit->second.given = true;
             continue;
         }
-        LEQA_REQUIRE(next_positional < positionals_.size(),
-                     "unexpected positional argument: " + arg);
-        positionals_[next_positional++].value = std::move(arg);
+        if (next_positional < positionals_.size()) {
+            positionals_[next_positional++].value = std::move(arg);
+            continue;
+        }
+        LEQA_REQUIRE(!rest_name_.empty(), "unexpected positional argument: " + arg);
+        rest_values_.push_back(std::move(arg));
     }
     for (const auto& pos : positionals_) {
         LEQA_REQUIRE(!pos.required || pos.value.has_value(),
@@ -106,6 +115,13 @@ long long ArgParser::option_int(const std::string& name) const {
     return *value;
 }
 
+std::size_t ArgParser::option_size(const std::string& name) const {
+    const long long value = option_int(name);
+    LEQA_REQUIRE(value >= 0, "option --" + name + " must be non-negative, got " +
+                                 std::to_string(value));
+    return static_cast<std::size_t>(value);
+}
+
 double ArgParser::option_double(const std::string& name) const {
     const auto text = option(name);
     const auto value = parse_double(text);
@@ -119,11 +135,15 @@ std::string ArgParser::help_text(const std::string& program_name) const {
     for (const auto& pos : positionals_) {
         out << ' ' << (pos.required ? "<" : "[") << pos.name << (pos.required ? ">" : "]");
     }
+    if (!rest_name_.empty()) out << " [" << rest_name_ << "...]";
     out << " [options]\n\n";
-    if (!positionals_.empty()) {
+    if (!positionals_.empty() || !rest_name_.empty()) {
         out << "Arguments:\n";
         for (const auto& pos : positionals_) {
             out << "  " << pos.name << "  " << pos.help << '\n';
+        }
+        if (!rest_name_.empty()) {
+            out << "  " << rest_name_ << "...  " << rest_help_ << '\n';
         }
         out << '\n';
     }

@@ -2,6 +2,7 @@
 /// \brief Tiny declarative command-line argument parser for the CLI tools.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
@@ -26,6 +27,10 @@ public:
     void add_positional(const std::string& name, const std::string& help,
                         bool required = true);
 
+    /// Accept any number of extra positionals after the declared ones
+    /// (e.g. a batch of circuit specs); they are collected into rest().
+    void add_rest(const std::string& name, const std::string& help);
+
     /// Parse argv; throws InputError on unknown/malformed arguments.
     /// Returns false if "--help" was requested (help text printed to stdout).
     bool parse(int argc, const char* const* argv);
@@ -34,9 +39,13 @@ public:
     [[nodiscard]] std::string option(const std::string& name) const;
     [[nodiscard]] bool option_given(const std::string& name) const;
     [[nodiscard]] std::optional<std::string> positional(const std::string& name) const;
+    /// Extra positionals collected by add_rest (empty when none given).
+    [[nodiscard]] const std::vector<std::string>& rest() const { return rest_values_; }
 
     /// Option parsed as long long / double, with validation.
     [[nodiscard]] long long option_int(const std::string& name) const;
+    /// option_int that additionally rejects negatives (sizes/counts).
+    [[nodiscard]] std::size_t option_size(const std::string& name) const;
     [[nodiscard]] double option_double(const std::string& name) const;
 
     [[nodiscard]] std::string help_text(const std::string& program_name) const;
@@ -50,6 +59,9 @@ private:
     std::map<std::string, Flag> flags_;
     std::map<std::string, Option> options_;
     std::vector<Positional> positionals_;
+    std::string rest_name_; ///< non-empty once add_rest was called
+    std::string rest_help_;
+    std::vector<std::string> rest_values_;
 };
 
 } // namespace leqa::util

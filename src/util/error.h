@@ -24,6 +24,36 @@ public:
     explicit InputError(std::string message) : Error(std::move(message)) {}
 };
 
+/// Raised when input *text* is malformed (netlist syntax, wire JSON).  A
+/// subclass of InputError so existing catch sites keep working; the service
+/// boundary maps it to StatusCode::ParseError.
+class ParseError : public InputError {
+public:
+    explicit ParseError(std::string message) : InputError(std::move(message)) {}
+};
+
+/// Raised when a named thing does not exist (file, suite benchmark, job id).
+/// A subclass of InputError; the service boundary maps it to
+/// StatusCode::NotFound.
+class NotFoundError : public InputError {
+public:
+    explicit NotFoundError(std::string message) : InputError(std::move(message)) {}
+};
+
+/// Raised at a pipeline cancellation checkpoint when the run's control flag
+/// was set.  The service boundary maps it to StatusCode::Cancelled.
+class CancelledError : public Error {
+public:
+    explicit CancelledError(std::string message) : Error(std::move(message)) {}
+};
+
+/// Raised at a pipeline cancellation checkpoint when the run's deadline has
+/// passed.  The service boundary maps it to StatusCode::DeadlineExceeded.
+class DeadlineError : public Error {
+public:
+    explicit DeadlineError(std::string message) : Error(std::move(message)) {}
+};
+
 /// Raised when an internal invariant is violated.  Indicates a bug in this
 /// library rather than bad input.
 class InternalError : public Error {

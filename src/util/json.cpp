@@ -130,6 +130,12 @@ JsonWriter& JsonWriter::null() {
     return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+    LEQA_CHECK(!json.empty(), "JsonWriter: raw_value requires a document");
+    raw(json);
+    return *this;
+}
+
 std::string JsonWriter::str() const {
     LEQA_CHECK(stack_.empty() && done_, "JsonWriter: document incomplete");
     return out_;

@@ -33,6 +33,11 @@ public:
     JsonWriter& value(bool flag);
     JsonWriter& null();
 
+    /// Embed an already-serialized JSON document as the next value.  The
+    /// caller vouches for its well-formedness (e.g. report::result_to_json
+    /// output embedded into a wire response).
+    JsonWriter& raw_value(const std::string& json);
+
     /// Convenience: key + value.
     template <typename T>
     JsonWriter& kv(const std::string& name, const T& v) {

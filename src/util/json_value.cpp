@@ -1,0 +1,408 @@
+#include "util/json_value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace leqa::util {
+
+// ------------------------------------------------------------- JsonValue --
+
+JsonValue JsonValue::make_bool(bool flag) {
+    JsonValue value;
+    value.type_ = Type::Bool;
+    value.bool_ = flag;
+    return value;
+}
+
+JsonValue JsonValue::make_number(double number) {
+    JsonValue value;
+    value.type_ = Type::Number;
+    value.number_ = number;
+    return value;
+}
+
+JsonValue JsonValue::make_string(std::string text) {
+    JsonValue value;
+    value.type_ = Type::String;
+    value.string_ = std::move(text);
+    return value;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+    JsonValue value;
+    value.type_ = Type::Array;
+    value.items_ = std::move(items);
+    return value;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+    JsonValue value;
+    value.type_ = Type::Object;
+    value.members_ = std::move(members);
+    return value;
+}
+
+namespace {
+
+const char* type_name(JsonValue::Type type) {
+    switch (type) {
+        case JsonValue::Type::Null: return "null";
+        case JsonValue::Type::Bool: return "bool";
+        case JsonValue::Type::Number: return "number";
+        case JsonValue::Type::String: return "string";
+        case JsonValue::Type::Array: return "array";
+        case JsonValue::Type::Object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void type_error(const char* wanted, JsonValue::Type got) {
+    throw InputError(std::string("json: expected ") + wanted + ", got " +
+                     type_name(got));
+}
+
+} // namespace
+
+bool JsonValue::as_bool() const {
+    if (type_ != Type::Bool) type_error("bool", type_);
+    return bool_;
+}
+
+double JsonValue::as_number() const {
+    if (type_ != Type::Number) type_error("number", type_);
+    return number_;
+}
+
+long long JsonValue::as_int() const {
+    const double number = as_number();
+    const double rounded = std::nearbyint(number);
+    if (rounded != number) {
+        throw InputError("json: expected an integer, got " + format_double(number, 12));
+    }
+    // 2^63 is exactly representable as a double; a value at or past either
+    // bound would make the cast undefined behaviour.
+    constexpr double kTwo63 = 9223372036854775808.0;
+    if (rounded < -kTwo63 || rounded >= kTwo63) {
+        throw InputError("json: integer out of range, got " + format_double(number, 12));
+    }
+    return static_cast<long long>(rounded);
+}
+
+const std::string& JsonValue::as_string() const {
+    if (type_ != Type::String) type_error("string", type_);
+    return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+    if (type_ != Type::Array) type_error("array", type_);
+    return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+    if (type_ != Type::Object) type_error("object", type_);
+    return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (type_ != Type::Object) return nullptr;
+    for (const Member& member : members_) {
+        if (member.first == key) return &member.second;
+    }
+    return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const JsonValue* value = find(key);
+    if (value == nullptr) throw InputError("json: missing key \"" + key + "\"");
+    return *value;
+}
+
+namespace {
+
+void dump_value(const JsonValue& value, std::string& out) {
+    switch (value.type()) {
+        case JsonValue::Type::Null:
+            out += "null";
+            return;
+        case JsonValue::Type::Bool:
+            out += value.as_bool() ? "true" : "false";
+            return;
+        case JsonValue::Type::Number:
+            out += format_double(value.as_number(), 12);
+            return;
+        case JsonValue::Type::String:
+            out += '"';
+            out += JsonWriter::escape(value.as_string());
+            out += '"';
+            return;
+        case JsonValue::Type::Array: {
+            out += '[';
+            bool first = true;
+            for (const JsonValue& item : value.items()) {
+                if (!first) out += ',';
+                first = false;
+                dump_value(item, out);
+            }
+            out += ']';
+            return;
+        }
+        case JsonValue::Type::Object: {
+            out += '{';
+            bool first = true;
+            for (const auto& [key, member] : value.members()) {
+                if (!first) out += ',';
+                first = false;
+                out += '"';
+                out += JsonWriter::escape(key);
+                out += "\":";
+                dump_value(member, out);
+            }
+            out += '}';
+            return;
+        }
+    }
+}
+
+} // namespace
+
+std::string JsonValue::dump() const {
+    std::string out;
+    dump_value(*this, out);
+    return out;
+}
+
+// ---------------------------------------------------------------- parser --
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue value = parse_value();
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ParseError("json: " + what + " at offset " + std::to_string(pos_));
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* literal) {
+        const std::size_t length = std::string_view(literal).size();
+        if (text_.compare(pos_, length, literal) != 0) return false;
+        pos_ += length;
+        return true;
+    }
+
+    JsonValue parse_value() {
+        skip_whitespace();
+        const char c = peek();
+        switch (c) {
+            case '{': return descend([this] { return parse_object(); });
+            case '[': return descend([this] { return parse_array(); });
+            case '"': return JsonValue::make_string(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return JsonValue::make_bool(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return JsonValue::make_bool(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return JsonValue{};
+            default:
+                return parse_number();
+        }
+    }
+
+    /// Containers recurse one stack frame per nesting level; cap the depth
+    /// so a hostile line is a ParseError, not a stack overflow.
+    template <typename Fn>
+    JsonValue descend(const Fn& parse) {
+        static constexpr int kMaxDepth = 128;
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        JsonValue value = parse();
+        --depth_;
+        return value;
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        std::vector<JsonValue::Member> members;
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::make_object(std::move(members));
+        }
+        while (true) {
+            skip_whitespace();
+            std::string key = parse_string();
+            skip_whitespace();
+            expect(':');
+            members.emplace_back(std::move(key), parse_value());
+            skip_whitespace();
+            const char next = peek();
+            ++pos_;
+            if (next == '}') break;
+            if (next != ',') fail("expected ',' or '}' in object");
+        }
+        return JsonValue::make_object(std::move(members));
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        std::vector<JsonValue> items;
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::make_array(std::move(items));
+        }
+        while (true) {
+            items.push_back(parse_value());
+            skip_whitespace();
+            const char next = peek();
+            ++pos_;
+            if (next == ']') break;
+            if (next != ',') fail("expected ',' or ']' in array");
+        }
+        return JsonValue::make_array(std::move(items));
+    }
+
+    unsigned parse_hex4() {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("bad \\u escape");
+            }
+        }
+        return code;
+    }
+
+    static void append_utf8(std::string& out, unsigned code) {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    /// One \u escape, combining a surrogate pair into its code point.
+    unsigned parse_unicode_escape() {
+        const unsigned code = parse_hex4();
+        if (code >= 0xDC00 && code <= 0xDFFF) fail("unpaired low surrogate");
+        if (code < 0xD800 || code > 0xDBFF) return code;
+        if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+            fail("unpaired high surrogate");
+        }
+        pos_ += 2;
+        const unsigned low = parse_hex4();
+        if (low < 0xDC00 || low > 0xDFFF) fail("unpaired high surrogate");
+        return 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') break;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': append_utf8(out, parse_unicode_escape()); break;
+                default: fail("bad escape character");
+            }
+        }
+        return out;
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                c == '+' || c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) fail("expected a value");
+        const auto number = parse_double(text_.substr(start, pos_ - start));
+        if (!number.has_value()) fail("malformed number");
+        return JsonValue::make_number(*number);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+JsonValue json_parse(const std::string& text) {
+    Parser parser(text);
+    return parser.parse_document();
+}
+
+} // namespace leqa::util

@@ -1,0 +1,73 @@
+/// \file json_value.h
+/// \brief Minimal JSON document model + parser (no external dependencies).
+///
+/// The counterpart of util/json.h's JsonWriter: `json_parse` turns a JSON
+/// text into a JsonValue tree, and `dump()` re-serializes it with the same
+/// formatting rules the writer uses (numbers via format_double with 12
+/// significant digits, object keys in insertion order), so
+/// parse -> dump -> parse is a fixed point.  Used by the service wire layer
+/// to decode NDJSON requests and by tests to round-trip responses.
+///
+/// Supported: objects, arrays, strings (with \uXXXX escapes, encoded as
+/// UTF-8), numbers (as double), true/false/null.  Malformed input throws
+/// util::ParseError with a byte offset.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leqa::util {
+
+class JsonValue {
+public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /// Object members in document order (order-preserving round trips).
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default; ///< null
+    static JsonValue make_bool(bool flag);
+    static JsonValue make_number(double number);
+    static JsonValue make_string(std::string text);
+    static JsonValue make_array(std::vector<JsonValue> items);
+    static JsonValue make_object(std::vector<Member> members);
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+    [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+    [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+    [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+    /// Typed accessors; throw util::InputError on a type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] long long as_int() const; ///< requires an integral number
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const std::vector<JsonValue>& items() const;   ///< array
+    [[nodiscard]] const std::vector<Member>& members() const;    ///< object
+
+    /// Object member lookup; nullptr when absent (or not an object).
+    [[nodiscard]] const JsonValue* find(const std::string& key) const;
+    /// Object member lookup; throws util::InputError when absent.
+    [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+    /// Re-serialize (compact, writer-compatible formatting).
+    [[nodiscard]] std::string dump() const;
+
+private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+/// Throws util::ParseError on malformed input.
+[[nodiscard]] JsonValue json_parse(const std::string& text);
+
+} // namespace leqa::util

@@ -1,0 +1,84 @@
+#include "util/status.h"
+
+#include <array>
+
+namespace leqa::util {
+
+namespace {
+
+constexpr std::size_t kCodeCount = 7;
+
+const std::array<std::string, kCodeCount>& code_names() {
+    static const std::array<std::string, kCodeCount> names = {
+        "Ok",        "InvalidArgument",  "ParseError", "NotFound",
+        "Cancelled", "DeadlineExceeded", "Internal",
+    };
+    return names;
+}
+
+} // namespace
+
+const std::string& status_code_name(StatusCode code) {
+    const auto index = static_cast<std::size_t>(code);
+    if (index >= kCodeCount) {
+        throw InternalError("status_code_name: unknown code " + std::to_string(index));
+    }
+    return code_names()[index];
+}
+
+std::optional<StatusCode> parse_status_code(const std::string& name) {
+    for (std::size_t i = 0; i < kCodeCount; ++i) {
+        if (code_names()[i] == name) return static_cast<StatusCode>(i);
+    }
+    return std::nullopt;
+}
+
+std::string Status::to_string() const {
+    if (ok()) return "Ok";
+    std::string text = status_code_name(code_) + ": " + message_;
+    if (!origin_.empty()) text += " (at " + origin_ + ")";
+    return text;
+}
+
+Status status_from_exception(const std::exception_ptr& error, std::string origin) {
+    // Most-derived first: ParseError/NotFoundError are InputErrors too.
+    try {
+        std::rethrow_exception(error);
+    } catch (const ParseError& e) {
+        return {StatusCode::ParseError, e.what(), std::move(origin)};
+    } catch (const NotFoundError& e) {
+        return {StatusCode::NotFound, e.what(), std::move(origin)};
+    } catch (const InputError& e) {
+        return {StatusCode::InvalidArgument, e.what(), std::move(origin)};
+    } catch (const CancelledError& e) {
+        return {StatusCode::Cancelled, e.what(), std::move(origin)};
+    } catch (const DeadlineError& e) {
+        return {StatusCode::DeadlineExceeded, e.what(), std::move(origin)};
+    } catch (const std::exception& e) {
+        return {StatusCode::Internal, e.what(), std::move(origin)};
+    } catch (...) {
+        return {StatusCode::Internal, "unknown exception", std::move(origin)};
+    }
+}
+
+void throw_status(const Status& status) {
+    switch (status.code()) {
+        case StatusCode::Ok:
+            throw InternalError("throw_status called with an OK status");
+        case StatusCode::InvalidArgument:
+            throw InputError(status.message());
+        case StatusCode::ParseError:
+            throw ParseError(status.message());
+        case StatusCode::NotFound:
+            throw NotFoundError(status.message());
+        case StatusCode::Cancelled:
+            throw CancelledError(status.message());
+        case StatusCode::DeadlineExceeded:
+            throw DeadlineError(status.message());
+        case StatusCode::Internal:
+            break;
+    }
+    throw InternalError(status.message());
+}
+
+} // namespace leqa::util

@@ -1,0 +1,121 @@
+/// \file status.h
+/// \brief Non-throwing boundary error model: Status codes and Result<T>.
+///
+/// The library core stays exception-based (util/error.h); the *service*
+/// boundary never lets an exception escape.  `Status` carries a coarse
+/// machine-readable code, a human-readable message, and the origin stage
+/// that failed ("resolve", "estimate", "map", ...).  `Result<T>` is either
+/// a value or a non-OK Status.  `status_from_exception` performs the single
+/// exception-to-code mapping the whole boundary shares:
+///
+///   ParseError            -> ParseError          (malformed netlist / JSON)
+///   NotFoundError         -> NotFound            (missing file / bench / job)
+///   InputError            -> InvalidArgument     (failed validation)
+///   CancelledError        -> Cancelled
+///   DeadlineError         -> DeadlineExceeded
+///   anything else         -> Internal
+#pragma once
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace leqa::util {
+
+/// Machine-readable failure class carried across the service boundary.
+enum class StatusCode {
+    Ok,
+    InvalidArgument,  ///< input failed validation (bad params, bad request)
+    ParseError,       ///< malformed text (netlist syntax, wire JSON)
+    NotFound,         ///< named thing does not exist (file, bench, job id)
+    Cancelled,        ///< the job was cancelled before or between stages
+    DeadlineExceeded, ///< the job's deadline passed before it finished
+    Internal,         ///< invariant violation or unexpected exception
+};
+
+/// Stable wire name of a code (e.g. "InvalidArgument").
+[[nodiscard]] const std::string& status_code_name(StatusCode code);
+
+/// Inverse of status_code_name; nullopt for unknown names.
+[[nodiscard]] std::optional<StatusCode> parse_status_code(const std::string& name);
+
+/// Code + message + origin stage.  Default-constructed Status is OK.
+class Status {
+public:
+    Status() = default;
+    Status(StatusCode code, std::string message, std::string origin = "")
+        : code_(code), message_(std::move(message)), origin_(std::move(origin)) {}
+
+    [[nodiscard]] bool ok() const { return code_ == StatusCode::Ok; }
+    [[nodiscard]] StatusCode code() const { return code_; }
+    [[nodiscard]] const std::string& message() const { return message_; }
+    /// Pipeline/service stage the failure originated in ("resolve",
+    /// "estimate", "map", "queue", "wire", ...); empty when unknown.
+    [[nodiscard]] const std::string& origin() const { return origin_; }
+
+    /// "Ok" or "<Code>: <message> [at <origin>]".
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] bool operator==(const Status&) const = default;
+
+private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+    std::string origin_;
+};
+
+/// The boundary's exception-to-Status mapping (see file comment).
+[[nodiscard]] Status status_from_exception(const std::exception_ptr& error,
+                                           std::string origin = "");
+
+/// Rethrow a non-OK Status as the closest matching util exception type
+/// (the inverse mapping, for thin throwing back-compat wrappers).
+[[noreturn]] void throw_status(const Status& status);
+
+/// Either a T or a non-OK Status.  Accessing value() on a failed Result
+/// throws InternalError (a misuse bug, not a recoverable condition).
+template <typename T>
+class Result {
+public:
+    Result(T value) : value_(std::move(value)) {} // NOLINT(google-explicit-constructor)
+    Result(Status status) : status_(std::move(status)) { // NOLINT
+        if (status_.ok()) {
+            throw InternalError("Result constructed from an OK Status without a value");
+        }
+    }
+
+    [[nodiscard]] bool ok() const { return status_.ok(); }
+    [[nodiscard]] const Status& status() const { return status_; }
+
+    [[nodiscard]] const T& value() const& {
+        require_ok();
+        return *value_;
+    }
+    [[nodiscard]] T& value() & {
+        require_ok();
+        return *value_;
+    }
+    [[nodiscard]] T&& value() && {
+        require_ok();
+        return std::move(*value_);
+    }
+
+    [[nodiscard]] const T& operator*() const& { return value(); }
+    [[nodiscard]] const T* operator->() const { return &value(); }
+
+private:
+    void require_ok() const {
+        if (!status_.ok()) {
+            throw InternalError("Result::value() on failed result: " +
+                                status_.to_string());
+        }
+    }
+
+    Status status_;          ///< OK iff value_ holds the payload
+    std::optional<T> value_;
+};
+
+} // namespace leqa::util

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -265,6 +267,39 @@ TEST(PipelineBatch, ParallelMatchesSequential) {
     EXPECT_EQ(parallel_pipe.cached_circuits(), 3u);
 }
 
+TEST(PipelineBatch, ResultsCarryEveryFailureIndividually) {
+    // The historical run_batch swallowed all failures but the first; the
+    // per-request API must report each one, with the right codes, without
+    // losing the successes around them.
+    lp::Pipeline pipe;
+    std::vector<lp::EstimationRequest> requests;
+    requests.emplace_back(lp::CircuitSource::from_bench("ham3"));
+    requests.emplace_back(lp::CircuitSource::from_path("/nonexistent/a.qasm"));
+    requests.emplace_back(lp::CircuitSource::from_bench("8bitadder"));
+    requests.emplace_back(lp::CircuitSource::from_path("/nonexistent/b.qasm"));
+    lf::PhysicalParams bad;
+    bad.width = -1;
+    requests.emplace_back(lp::CircuitSource::from_bench("ham3"));
+    requests.back().params = bad;
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+        const auto outcomes = pipe.run_batch_results(requests, threads);
+        ASSERT_EQ(outcomes.size(), 5u);
+        EXPECT_TRUE(outcomes[0].ok());
+        EXPECT_TRUE(outcomes[2].ok());
+        ASSERT_FALSE(outcomes[1].ok());
+        ASSERT_FALSE(outcomes[3].ok());
+        ASSERT_FALSE(outcomes[4].ok());
+        // Two distinct failure kinds survive side by side.
+        EXPECT_EQ(outcomes[1].status().code(), leqa::util::StatusCode::NotFound);
+        EXPECT_EQ(outcomes[1].status().origin(), "resolve");
+        EXPECT_EQ(outcomes[3].status().code(), leqa::util::StatusCode::NotFound);
+        EXPECT_EQ(outcomes[4].status().code(), leqa::util::StatusCode::InvalidArgument);
+        EXPECT_EQ(outcomes[4].status().origin(), "config");
+        EXPECT_GT(outcomes[0].value().estimate->latency_us, 0.0);
+    }
+}
+
 TEST(PipelineBatch, ColdConcurrentBatchBuildsOnce) {
     // Concurrent requests for the same uncached circuit must not duplicate
     // parse + synthesis: late arrivals wait on the in-flight builder.
@@ -281,6 +316,39 @@ TEST(PipelineBatch, ColdConcurrentBatchBuildsOnce) {
     EXPECT_EQ(stats.graph_misses, 1u);
 }
 
+TEST(PipelineBatch, InFlightDeduplicationUnderDirectContention) {
+    // N threads resolving the same cold bench: source concurrently must
+    // converge to exactly one parse+synthesis (one circuit_miss); the other
+    // N-1 resolvers wait on the in-flight builder and count as hits.
+    constexpr std::size_t kThreads = 8;
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("gf2^16mult");
+
+    std::promise<void> go;
+    std::shared_future<void> start = go.get_future().share();
+    std::vector<lp::CachedCircuitPtr> entries(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            start.wait(); // line every thread up on the cold cache
+            entries[t] = pipe.resolve(source);
+        });
+    }
+    go.set_value();
+    for (std::thread& thread : threads) thread.join();
+
+    const lp::CacheStats stats = pipe.cache_stats();
+    EXPECT_EQ(stats.circuit_misses, 1u);
+    EXPECT_EQ(stats.circuit_hits, kThreads - 1);
+    // Every thread got the same cached object -- no duplicate synthesis.
+    for (const auto& entry : entries) {
+        ASSERT_NE(entry, nullptr);
+        EXPECT_EQ(entry.get(), entries.front().get());
+    }
+    EXPECT_EQ(pipe.cached_circuits(), 1u);
+}
+
 TEST(PipelineBatch, MapModeProducesMapping) {
     lp::Pipeline pipe;
     lp::EstimationRequest request(lp::CircuitSource::from_bench("ham3"),
@@ -294,6 +362,43 @@ TEST(PipelineBatch, MapModeProducesMapping) {
 }
 
 // ------------------------------------------------------------------ errors --
+
+TEST(PipelineSweeps, RunControlCancelsBeforeWork) {
+    // A pre-set cancel flag aborts at the checkpoint before resolve: no
+    // circuit is ever parsed or synthesized.
+    lp::Pipeline pipe;
+    lp::RunControl control;
+    control.cancel.store(true);
+    EXPECT_THROW((void)pipe.sweep_fabric_sides(lp::CircuitSource::from_bench("ham3"),
+                                               {40, 50, 60}, &control),
+                 leqa::util::CancelledError);
+    EXPECT_EQ(pipe.cache_stats().circuit_misses, 0u);
+    EXPECT_THROW((void)pipe.calibrate({lp::CircuitSource::from_bench("ham3")}, {},
+                                      &control),
+                 leqa::util::CancelledError);
+    EXPECT_EQ(pipe.cache_stats().circuit_misses, 0u);
+}
+
+TEST(PipelineSweeps, BetweenPointsHookAbortsMidSweep) {
+    // The core sweeps call the between-points hook before every point, so a
+    // cancellation/deadline raised there stops a long sweep mid-way.
+    lp::Pipeline pipe;
+    const auto source = lp::CircuitSource::from_bench("ham3");
+    const auto full = pipe.sweep_fabric_sides(source, {40, 50, 60});
+    ASSERT_EQ(full.points.size(), 3u);
+
+    const lp::CachedCircuitPtr entry = pipe.resolve(source);
+    int calls = 0;
+    EXPECT_THROW((void)leqa::core::sweep_fabric_sides(
+                     entry->profile(), lf::PhysicalParams{}, {40, 50, 60}, {},
+                     [&] {
+                         if (++calls == 3) {
+                             throw leqa::util::CancelledError("stop mid-sweep");
+                         }
+                     }),
+                 leqa::util::CancelledError);
+    EXPECT_EQ(calls, 3); // one call per point; the third aborted the sweep
+}
 
 TEST(PipelineErrors, MalformedNetlistPathPropagates) {
     lp::Pipeline pipe;

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""NDJSON smoke test for leqa_server (used by CI's server-smoke job).
+
+Pipes a six-step script -- estimate, map, sweep, a bad source, a cancel,
+then EOF -- into the daemon and validates:
+  * every request id gets exactly one response (completion order is free);
+  * the bad source comes back as {"error":{"code":"NotFound",...}};
+  * the cancelled queued job comes back as code Cancelled and its cancel
+    request is acked with {"cancelled":true};
+  * successful responses carry the expected payloads;
+  * the daemon drains on EOF and exits 0.
+
+Usage: server_smoke.py path/to/leqa_server
+"""
+import json
+import subprocess
+import sys
+
+SERVER = sys.argv[1] if len(sys.argv) > 1 else "./build/leqa_server"
+
+# Job 1 is big enough (~0.1 s) to pin the single worker while the reader
+# ingests the rest of the script, so job 2 is still queued when the cancel
+# for it arrives.
+REQUESTS = [
+    {"id": 1, "op": "estimate", "source": "bench:gf2^128mult"},
+    {"id": 2, "op": "estimate", "source": "bench:hwb15ps"},
+    {"id": 3, "op": "map", "source": "bench:ham3"},
+    {"id": 4, "op": "sweep", "source": "bench:ham3", "axis": "fabric_sides",
+     "values": [40, 50, 60]},
+    {"id": 5, "op": "estimate", "source": "bench:nosuchbench"},
+    {"id": 6, "op": "cancel", "target": 2},
+]
+
+script = "".join(json.dumps(request) + "\n" for request in REQUESTS)
+proc = subprocess.run([SERVER, "--threads", "1"], input=script,
+                      capture_output=True, text=True, timeout=300)
+assert proc.returncode == 0, f"exit {proc.returncode}: {proc.stderr}"
+
+responses = {}
+for line in proc.stdout.splitlines():
+    response = json.loads(line)
+    assert response["id"] not in responses, f"duplicate response id: {line}"
+    responses[response["id"]] = response
+
+assert set(responses) == {1, 2, 3, 4, 5, 6}, sorted(responses)
+
+assert responses[1]["result"]["estimate"]["latency_us"] > 0.0
+assert responses[1]["result"]["mapping"] is None
+
+cancelled = responses[2]["error"]
+assert cancelled["code"] == "Cancelled", cancelled
+assert cancelled["origin"] == "queue", cancelled
+
+assert responses[3]["result"]["mapping"]["latency_us"] > 0.0
+assert responses[3]["result"]["estimate"] is None
+
+sweep = responses[4]["result"]["sweep"]
+assert len(sweep["points"]) == 3, sweep
+assert all(point["latency_us"] > 0.0 for point in sweep["points"])
+
+not_found = responses[5]["error"]
+assert not_found["code"] == "NotFound", not_found
+assert "nosuchbench" in not_found["message"], not_found
+
+ack = responses[6]["result"]
+assert ack == {"target": 2, "cancelled": True}, ack
+
+print("server smoke OK:", {k: ("error" if "error" in v else "result")
+                           for k, v in sorted(responses.items())})

@@ -1,0 +1,127 @@
+// Tests for the boundary error model: Status codes, Result<T>, the
+// exception-to-Status mapping, and its throwing inverse.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "parser/diagnostics.h"
+#include "util/status.h"
+
+namespace lu = leqa::util;
+
+namespace {
+
+lu::Status capture(const std::function<void()>& thrower, const char* origin) {
+    try {
+        thrower();
+    } catch (...) {
+        return lu::status_from_exception(std::current_exception(), origin);
+    }
+    return {};
+}
+
+} // namespace
+
+TEST(Status, DefaultIsOk) {
+    const lu::Status status;
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(status.code(), lu::StatusCode::Ok);
+    EXPECT_EQ(status.to_string(), "Ok");
+}
+
+TEST(Status, CodeNamesRoundTrip) {
+    for (const auto code :
+         {lu::StatusCode::Ok, lu::StatusCode::InvalidArgument, lu::StatusCode::ParseError,
+          lu::StatusCode::NotFound, lu::StatusCode::Cancelled,
+          lu::StatusCode::DeadlineExceeded, lu::StatusCode::Internal}) {
+        const std::string& name = lu::status_code_name(code);
+        const auto parsed = lu::parse_status_code(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, code);
+    }
+    EXPECT_FALSE(lu::parse_status_code("NoSuchCode").has_value());
+}
+
+TEST(Status, ToStringCarriesCodeMessageOrigin) {
+    const lu::Status status(lu::StatusCode::NotFound, "no such bench", "resolve");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.to_string(), "NotFound: no such bench (at resolve)");
+    const lu::Status originless(lu::StatusCode::Internal, "boom");
+    EXPECT_EQ(originless.to_string(), "Internal: boom");
+}
+
+TEST(Status, ExceptionMappingDiscriminatesTheTaxonomy) {
+    using SC = lu::StatusCode;
+    EXPECT_EQ(capture([] { throw lu::ParseError("bad syntax"); }, "wire").code(),
+              SC::ParseError);
+    // The netlist parsers' located ParseError is a util::ParseError too.
+    EXPECT_EQ(capture([] {
+                  throw leqa::parser::ParseError({"f.qasm", 3}, "bad gate");
+              },
+                      "resolve")
+                  .code(),
+              SC::ParseError);
+    EXPECT_EQ(capture([] { throw lu::NotFoundError("missing"); }, "resolve").code(),
+              SC::NotFound);
+    EXPECT_EQ(capture([] { throw lu::InputError("invalid"); }, "config").code(),
+              SC::InvalidArgument);
+    EXPECT_EQ(capture([] { throw lu::CancelledError("stop"); }, "estimate").code(),
+              SC::Cancelled);
+    EXPECT_EQ(capture([] { throw lu::DeadlineError("late"); }, "map").code(),
+              SC::DeadlineExceeded);
+    EXPECT_EQ(capture([] { throw lu::InternalError("bug"); }, "job").code(),
+              SC::Internal);
+    EXPECT_EQ(capture([] { throw std::runtime_error("misc"); }, "job").code(),
+              SC::Internal);
+
+    const lu::Status status = capture([] { throw lu::NotFoundError("gone"); }, "stage");
+    EXPECT_EQ(status.message(), "gone");
+    EXPECT_EQ(status.origin(), "stage");
+}
+
+TEST(Status, ThrowStatusIsTheInverseMapping) {
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::ParseError, "x"}), lu::ParseError);
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::NotFound, "x"}), lu::NotFoundError);
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::InvalidArgument, "x"}),
+                 lu::InputError);
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::Cancelled, "x"}), lu::CancelledError);
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::DeadlineExceeded, "x"}),
+                 lu::DeadlineError);
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::Internal, "x"}), lu::InternalError);
+    EXPECT_THROW(lu::throw_status(lu::Status{}), lu::InternalError);
+
+    // Round trip: throw, map back, same code and message.
+    try {
+        lu::throw_status({lu::StatusCode::NotFound, "lost", "resolve"});
+        FAIL() << "expected NotFoundError";
+    } catch (...) {
+        const lu::Status back =
+            lu::status_from_exception(std::current_exception(), "resolve");
+        EXPECT_EQ(back.code(), lu::StatusCode::NotFound);
+        EXPECT_EQ(back.message(), "lost");
+    }
+}
+
+TEST(Result, HoldsValueOrStatus) {
+    const lu::Result<int> ok_result(42);
+    EXPECT_TRUE(ok_result.ok());
+    EXPECT_EQ(ok_result.value(), 42);
+    EXPECT_EQ(*ok_result, 42);
+
+    const lu::Result<int> failed(lu::Status(lu::StatusCode::NotFound, "gone"));
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), lu::StatusCode::NotFound);
+    EXPECT_THROW((void)failed.value(), lu::InternalError);
+}
+
+TEST(Result, RejectsOkStatusWithoutValue) {
+    EXPECT_THROW(lu::Result<int>{lu::Status{}}, lu::InternalError);
+}
+
+TEST(Result, MoveExtractsTheValue) {
+    lu::Result<std::string> result(std::string("payload"));
+    const std::string moved = std::move(result).value();
+    EXPECT_EQ(moved, "payload");
+}

@@ -1,4 +1,5 @@
-// Unit tests for the util module: strings, rng, table, args, env, logging.
+// Unit tests for the util module: strings, rng, table, args, env, logging,
+// and the JSON value parser backing the service wire format.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -7,6 +8,8 @@
 #include "util/args.h"
 #include "util/env.h"
 #include "util/error.h"
+#include "util/json.h"
+#include "util/json_value.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -255,6 +258,146 @@ TEST(Args, MalformedIntegerOptionThrows) {
     const char* argv[] = {"tool"};
     ASSERT_TRUE(parser.parse(1, argv));
     EXPECT_THROW((void)parser.option_int("nc"), lu::InputError);
+}
+
+TEST(Args, RestCollectsExtraPositionals) {
+    lu::ArgParser parser("test tool");
+    parser.add_positional("input", "first input");
+    parser.add_rest("inputs", "more inputs");
+    const char* argv[] = {"tool", "a.qasm", "b.qasm", "bench:ham3"};
+    ASSERT_TRUE(parser.parse(4, argv));
+    EXPECT_EQ(parser.positional("input").value(), "a.qasm");
+    ASSERT_EQ(parser.rest().size(), 2u);
+    EXPECT_EQ(parser.rest()[0], "b.qasm");
+    EXPECT_EQ(parser.rest()[1], "bench:ham3");
+
+    // Without add_rest, extras are still rejected.
+    lu::ArgParser strict("test tool");
+    strict.add_positional("input", "only input");
+    const char* argv2[] = {"tool", "a", "b"};
+    EXPECT_THROW(strict.parse(3, argv2), lu::InputError);
+}
+
+TEST(Args, OptionSizeRejectsNegatives) {
+    lu::ArgParser parser("test tool");
+    parser.add_option("threads", "worker threads", "0");
+    const char* argv[] = {"tool", "--threads", "-1"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_EQ(parser.option_int("threads"), -1); // the raw accessor still works
+    EXPECT_THROW((void)parser.option_size("threads"), lu::InputError);
+
+    const char* argv2[] = {"tool", "--threads", "8"};
+    lu::ArgParser ok("test tool");
+    ok.add_option("threads", "worker threads", "0");
+    ASSERT_TRUE(ok.parse(3, argv2));
+    EXPECT_EQ(ok.option_size("threads"), 8u);
+}
+
+// ------------------------------------------------------------- json value --
+
+TEST(JsonValue, ParsesScalarsAndContainers) {
+    const lu::JsonValue root = lu::json_parse(
+        R"({"a":1,"b":-2.5e3,"s":"x\ny","t":true,"f":false,"n":null,)"
+        R"("arr":[1,2,3],"nested":{"k":"v"}})");
+    EXPECT_EQ(root.at("a").as_int(), 1);
+    EXPECT_DOUBLE_EQ(root.at("b").as_number(), -2500.0);
+    EXPECT_EQ(root.at("s").as_string(), "x\ny");
+    EXPECT_TRUE(root.at("t").as_bool());
+    EXPECT_FALSE(root.at("f").as_bool());
+    EXPECT_TRUE(root.at("n").is_null());
+    ASSERT_EQ(root.at("arr").items().size(), 3u);
+    EXPECT_EQ(root.at("arr").items()[2].as_int(), 3);
+    EXPECT_EQ(root.at("nested").at("k").as_string(), "v");
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonValue, UnicodeEscapesDecodeToUtf8) {
+    const lu::JsonValue value = lu::json_parse(R"("Aé€")");
+    EXPECT_EQ(value.as_string(), "A\xC3\xA9\xE2\x82\xAC");
+
+    // \u escapes, including an RFC 8259 surrogate pair for U+1F600.
+    const lu::JsonValue escaped =
+        lu::json_parse(R"("\u0041\u00e9\u20AC\uD83D\uDE00")");
+    EXPECT_EQ(escaped.as_string(), "A\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+
+    // Unpaired surrogates are malformed, not silently emitted as CESU-8.
+    EXPECT_THROW((void)lu::json_parse(R"("\uD83D")"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse(R"("\uD83Dx")"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse(R"("\uD83DA")"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse(R"("\uDE00")"), lu::ParseError);
+}
+
+TEST(JsonValue, DeeplyNestedInputIsAParseErrorNotAStackOverflow) {
+    // One container per nesting level recurses the parser; a hostile line
+    // must come back as ParseError instead of exhausting the stack.
+    const std::string deep(100000, '[');
+    EXPECT_THROW((void)lu::json_parse(deep), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse(std::string(100000, '[') +
+                                      std::string(100000, ']')),
+                 lu::ParseError);
+
+    // Reasonable nesting still parses.
+    const lu::JsonValue ok = lu::json_parse(
+        std::string(64, '[') + "1" + std::string(64, ']'));
+    EXPECT_TRUE(ok.is_array());
+}
+
+TEST(JsonValue, AsIntRejectsOutOfRangeIntegers) {
+    // 1e19 is integral but exceeds LLONG_MAX: the cast would be UB.
+    EXPECT_THROW((void)lu::json_parse("1e19").as_int(), lu::InputError);
+    EXPECT_THROW((void)lu::json_parse("-1e19").as_int(), lu::InputError);
+    EXPECT_EQ(lu::json_parse("-9e18").as_int(), -9000000000000000000LL);
+}
+
+TEST(JsonValue, MalformedInputThrowsParseError) {
+    EXPECT_THROW((void)lu::json_parse("{"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse("{\"a\":}"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse("[1,2"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse("\"unterminated"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse("nul"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse("{} trailing"), lu::ParseError);
+    EXPECT_THROW((void)lu::json_parse("1.2.3"), lu::ParseError);
+}
+
+TEST(JsonValue, TypeMismatchThrowsInputError) {
+    const lu::JsonValue root = lu::json_parse(R"({"a":1.5})");
+    EXPECT_THROW((void)root.at("a").as_string(), lu::InputError);
+    EXPECT_THROW((void)root.at("a").as_int(), lu::InputError); // non-integral
+    EXPECT_THROW((void)root.at("missing"), lu::InputError);
+}
+
+TEST(JsonValue, DumpIsAFixedPointOfParse) {
+    // Writer-produced text (format_double numbers, escaped strings) must
+    // survive parse -> dump unchanged: the wire's losslessness rests on it.
+    lu::JsonWriter writer;
+    writer.begin_object();
+    writer.kv("name", "gf2^16mult \"quoted\"\n");
+    writer.kv("latency", 1.23456789012e-4);
+    writer.kv("count", static_cast<std::size_t>(12345));
+    writer.kv("flag", true);
+    writer.key("null_field").null();
+    writer.key("series").begin_array();
+    for (const double v : {0.5, 6.02214076e23, -17.0}) writer.value(v);
+    writer.end_array();
+    writer.end_object();
+    const std::string text = writer.str();
+
+    const std::string once = lu::json_parse(text).dump();
+    EXPECT_EQ(once, text);
+    EXPECT_EQ(lu::json_parse(once).dump(), once);
+}
+
+TEST(JsonValue, WriterRawValueEmbedsDocument) {
+    lu::JsonWriter inner;
+    inner.begin_object();
+    inner.kv("x", static_cast<long long>(1));
+    inner.end_object();
+
+    lu::JsonWriter outer;
+    outer.begin_object();
+    outer.key("embedded").raw_value(inner.str());
+    outer.end_object();
+    EXPECT_EQ(outer.str(), R"({"embedded":{"x":1}})");
 }
 
 // -------------------------------------------------------------------- env --

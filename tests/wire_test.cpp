@@ -1,0 +1,267 @@
+// Tests for the NDJSON wire layer: request parse/serialize round trips for
+// every op, response serialize/parse round trips (lossless, per the wire
+// guarantee), error mapping for malformed lines, and end-to-end agreement
+// between wire-transported results and direct Pipeline::run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "report/report.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/json_value.h"
+
+namespace lw = leqa::service::wire;
+namespace ls = leqa::service;
+namespace lp = leqa::pipeline;
+namespace lu = leqa::util;
+namespace lf = leqa::fabric;
+
+namespace {
+
+lw::WireRequest parse_ok(const std::string& line) {
+    const auto parsed = lw::parse_request(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+    return parsed.value();
+}
+
+/// parse -> serialize -> parse -> serialize: both serializations and both
+/// parses must agree (the request round-trip invariant).
+void expect_request_roundtrip(const std::string& line) {
+    const lw::WireRequest first = parse_ok(line);
+    const std::string serialized = lw::serialize_request(first);
+    const lw::WireRequest second = parse_ok(serialized);
+    EXPECT_EQ(first, second) << serialized;
+    EXPECT_EQ(lw::serialize_request(second), serialized);
+}
+
+} // namespace
+
+// -------------------------------------------------------------- requests --
+
+TEST(Wire, ParsesEveryRunModeOp) {
+    for (const auto& [op_text, mode] :
+         std::vector<std::pair<std::string, lp::RunMode>>{
+             {"estimate", lp::RunMode::Estimate},
+             {"map", lp::RunMode::Map},
+             {"both", lp::RunMode::Both}}) {
+        const lw::WireRequest request = parse_ok(
+            R"({"id":7,"op":")" + op_text + R"(","source":"bench:ham3"})");
+        EXPECT_EQ(request.id, 7u);
+        EXPECT_EQ(request.source, "bench:ham3");
+        EXPECT_EQ(lw::run_mode_of(request.op), mode);
+    }
+}
+
+TEST(Wire, RequestRoundTripsAreLosslessForAllOps) {
+    expect_request_roundtrip(R"({"id":1,"op":"estimate","source":"bench:ham3"})");
+    expect_request_roundtrip(
+        R"({"id":2,"op":"map","source":"a dir/c.qasm","priority":-3,)"
+        R"("deadline_s":0.25,"label":"what if \"50x50\""})");
+    expect_request_roundtrip(
+        R"({"id":3,"op":"both","source":"bench:ham3","params":)"
+        R"({"width":50,"height":49,"nc":3,"v":0.002,"t_move_us":80,"topology":"torus"}})");
+    expect_request_roundtrip(
+        R"({"id":4,"op":"sweep","source":"bench:ham3","axis":"fabric_sides",)"
+        R"("values":[40,50,60]})");
+    expect_request_roundtrip(
+        R"({"id":5,"op":"sweep","source":"bench:ham3","axis":"v",)"
+        R"("values":[0.001,0.01]})");
+    expect_request_roundtrip(
+        R"({"id":6,"op":"sweep","source":"bench:ham3","axis":"topology",)"
+        R"("kinds":["grid","torus","line"]})");
+    expect_request_roundtrip(
+        R"({"id":7,"op":"calibrate","sources":["bench:ham3","x.qasm"],"apply":true})");
+    expect_request_roundtrip(R"({"id":8,"op":"cancel","target":3})");
+    expect_request_roundtrip(R"({"id":9,"op":"stats"})");
+}
+
+TEST(Wire, ParamsPatchAppliesOverBase) {
+    const lw::WireRequest request = parse_ok(
+        R"({"id":1,"op":"estimate","source":"bench:ham3",)"
+        R"("params":{"width":50,"topology":"torus"}})");
+    lf::PhysicalParams base;
+    const lf::PhysicalParams patched = request.params.apply(base);
+    EXPECT_EQ(patched.width, 50);
+    EXPECT_EQ(patched.topology, lf::TopologyKind::Torus);
+    EXPECT_EQ(patched.height, base.height); // untouched fields keep defaults
+    EXPECT_EQ(patched.nc, base.nc);
+    EXPECT_FALSE(request.params.empty());
+    EXPECT_TRUE(lw::ParamsPatch{}.empty());
+}
+
+TEST(Wire, MalformedLinesComeBackAsStatusesNotThrows) {
+    // Broken JSON -> ParseError.
+    const auto broken = lw::parse_request("{\"id\":1,");
+    ASSERT_FALSE(broken.ok());
+    EXPECT_EQ(broken.status().code(), lu::StatusCode::ParseError);
+    EXPECT_EQ(broken.status().origin(), "wire");
+
+    // Structurally valid JSON with bad fields -> InvalidArgument.
+    for (const char* line : {
+             R"({"op":"estimate","source":"bench:ham3"})",          // no id
+             R"({"id":1})",                                          // no op
+             R"({"id":1,"op":"frobnicate"})",                        // bad op
+             R"({"id":1,"op":"estimate"})",                          // no source
+             R"({"id":1,"op":"estimate","source":""})",              // empty source
+             R"({"id":-2,"op":"stats"})",                            // negative id
+             R"({"id":0,"op":"stats"})",                             // 0 is reserved
+             R"({"id":1,"op":"sweep","source":"x"})",                // no axis
+             R"({"id":1,"op":"sweep","source":"x","axis":"bogus"})", // bad axis
+             R"({"id":1,"op":"sweep","source":"x","axis":"nc","values":[]})",
+             R"({"id":1,"op":"cancel"})",                            // no target
+             R"({"id":1,"op":"calibrate","sources":[]})",            // empty sources
+             R"({"id":1,"op":"estimate","source":"x","deadline_s":0})",
+             R"({"id":1,"op":"estimate","source":"x","params":{"bogus":1}})",
+             // ids beyond 2^53 lose double precision: reject, don't round.
+             R"({"id":9007199254740993,"op":"stats"})",
+             R"({"id":1,"op":"cancel","target":9007199254740994})",
+             // int fields must fit an int, not silently wrap.
+             R"({"id":1,"op":"estimate","source":"x","params":{"width":4294967346}})",
+             R"({"id":1,"op":"estimate","source":"x","priority":2147483648})",
+             R"([1,2,3])",                                           // not an object
+         }) {
+        const auto parsed = lw::parse_request(line);
+        ASSERT_FALSE(parsed.ok()) << line;
+        EXPECT_EQ(parsed.status().code(), lu::StatusCode::InvalidArgument) << line;
+    }
+}
+
+TEST(Wire, ExtractIdRecoversCorrelationFromRejectedLines) {
+    EXPECT_EQ(lw::extract_id(R"({"id":41,"op":"frobnicate"})"), 41u);
+    EXPECT_EQ(lw::extract_id("{{{"), 0u);
+    EXPECT_EQ(lw::extract_id(R"({"op":"stats"})"), 0u);
+}
+
+TEST(Wire, SubmitOptionsCarrySchedulingFields) {
+    const lw::WireRequest request = parse_ok(
+        R"({"id":1,"op":"estimate","source":"x","priority":9,)"
+        R"("deadline_s":1.5,"label":"hot"})");
+    const ls::SubmitOptions options = lw::submit_options(request);
+    EXPECT_EQ(options.priority, 9);
+    ASSERT_TRUE(options.deadline_s.has_value());
+    EXPECT_DOUBLE_EQ(*options.deadline_s, 1.5);
+    EXPECT_EQ(options.label, "hot");
+}
+
+// ------------------------------------------------------------- responses --
+
+TEST(Wire, SuccessResponsesRoundTripLosslesslyForAllRunModes) {
+    lp::Pipeline pipe;
+    for (const auto mode :
+         {lp::RunMode::Estimate, lp::RunMode::Map, lp::RunMode::Both}) {
+        lp::EstimationRequest request(lp::CircuitSource::from_bench("ham3"), mode);
+        const ls::JobResult result{ls::JobOutput{pipe.run(request)}};
+        const std::string line = lw::serialize_result(11, result);
+
+        const auto parsed = lw::parse_response(line);
+        ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+        EXPECT_EQ(parsed.value().id, 11u);
+        EXPECT_TRUE(parsed.value().status.ok());
+        // Lossless: re-serializing the parsed response reproduces the line.
+        EXPECT_EQ(lw::serialize_response(parsed.value()), line);
+    }
+}
+
+TEST(Wire, ErrorResponsesRoundTripLosslessly) {
+    const lu::Status status(lu::StatusCode::NotFound, "unknown bench \"x\"", "resolve");
+    const std::string line = lw::serialize_error(4, status);
+    EXPECT_NE(line.find("\"error\":{\"code\":\"NotFound\""), std::string::npos);
+
+    const auto parsed = lw::parse_response(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+    EXPECT_EQ(parsed.value().id, 4u);
+    EXPECT_EQ(parsed.value().status, status);
+    EXPECT_EQ(lw::serialize_response(parsed.value()), line);
+
+    // An originless error round-trips too.
+    const lu::Status bare(lu::StatusCode::Internal, "boom");
+    const auto reparsed = lw::parse_response(lw::serialize_error(9, bare));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed.value().status, bare);
+
+    // id 0 is invalid in requests but valid in responses: it is what the
+    // daemon answers for lines whose own id could not be recovered.
+    const auto fallback = lw::parse_response(lw::serialize_error(0, bare));
+    ASSERT_TRUE(fallback.ok());
+    EXPECT_EQ(fallback.value().id, 0u);
+}
+
+TEST(Wire, WireResultIsBitIdenticalToDirectPipelineRun) {
+    // The acceptance bar: a result transported over the wire carries the
+    // exact estimate document a direct Pipeline::run caller serializes
+    // (stage wall-times aside, which are nondeterministic by nature).
+    lp::Pipeline direct;
+    lp::EstimationRequest request(lp::CircuitSource::from_bench("8bitadder"));
+    const lp::EstimationResult expected = direct.run(request);
+
+    ls::Service service;
+    const ls::JobResult& result =
+        service.submit("bench:8bitadder", lp::RunMode::Estimate).wait();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+    const auto transported =
+        lw::parse_response(lw::serialize_result(1, result));
+    ASSERT_TRUE(transported.ok());
+    const lu::JsonValue direct_doc =
+        lu::json_parse(leqa::report::result_to_json(expected));
+    EXPECT_EQ(transported.value().result.at("estimate").dump(),
+              direct_doc.at("estimate").dump());
+    EXPECT_EQ(transported.value().result.at("circuit").dump(),
+              direct_doc.at("circuit").dump());
+    EXPECT_EQ(transported.value().result.at("fabric").dump(),
+              direct_doc.at("fabric").dump());
+}
+
+TEST(Wire, SweepAndCalibrationPayloadsSerialize) {
+    ls::Service service;
+    ls::SweepRequest sweep;
+    sweep.source = "bench:ham3";
+    sweep.axis = ls::SweepAxis::Topology;
+    sweep.kinds = {lf::TopologyKind::Grid, lf::TopologyKind::Torus};
+    const ls::JobResult& result = service.submit_sweep(sweep).wait();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const std::string line = lw::serialize_result(2, result);
+    const auto parsed = lw::parse_response(line);
+    ASSERT_TRUE(parsed.ok());
+    const lu::JsonValue& payload = parsed.value().result;
+    ASSERT_NE(payload.find("sweep"), nullptr);
+    EXPECT_EQ(payload.at("sweep").at("points").items().size(), 2u);
+    EXPECT_EQ(lw::serialize_response(parsed.value()), line);
+
+    ls::CalibrationRequest calibrate;
+    calibrate.sources = {"bench:ham3"};
+    const ls::JobResult& fit = service.submit_calibration(calibrate).wait();
+    ASSERT_TRUE(fit.ok()) << fit.status().to_string();
+    const auto fit_parsed = lw::parse_response(lw::serialize_result(3, fit));
+    ASSERT_TRUE(fit_parsed.ok());
+    EXPECT_GT(fit_parsed.value().result.at("calibration").at("v").as_number(), 0.0);
+}
+
+TEST(Wire, CancelAckAndStatsSerialize) {
+    const std::string ack = lw::serialize_cancel_ack(5, 2, true);
+    const auto parsed = lw::parse_response(ack);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().id, 5u);
+    EXPECT_EQ(parsed.value().result.at("target").as_int(), 2);
+    EXPECT_TRUE(parsed.value().result.at("cancelled").as_bool());
+
+    ls::Service service;
+    (void)service.submit("bench:ham3", lp::RunMode::Estimate).wait();
+    const std::string stats_line = lw::serialize_stats(6, service.stats());
+    const auto stats = lw::parse_response(stats_line);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().result.at("stats").at("submitted").as_int(), 1);
+    EXPECT_EQ(stats.value().result.at("stats").at("cache").at("circuit_misses").as_int(),
+              1);
+}
+
+TEST(Wire, MalformedResponsesAreStatuses) {
+    EXPECT_FALSE(lw::parse_response("nonsense").ok());
+    EXPECT_FALSE(lw::parse_response(R"({"id":1})").ok());
+    EXPECT_FALSE(
+        lw::parse_response(R"({"id":1,"error":{"code":"Nope","message":"x"}})").ok());
+    EXPECT_FALSE(
+        lw::parse_response(R"({"id":1,"error":{"code":"Ok","message":"x"}})").ok());
+}

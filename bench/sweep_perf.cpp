@@ -19,17 +19,24 @@
 ///   - service overhead: warm per-request cost through the async
 ///     `service::Service` (1 worker, submit-all / wait-all) against direct
 ///     `Pipeline::run` on the same warm session — the scheduler must stay
-///     under ~5% per-request overhead.
+///     under ~5% per-request overhead;
+///   - explore: the parallel multi-dimensional explorer on a 200-point
+///     topology x side x Nc x v cross-product at 1/2/4 worker threads —
+///     points/sec, speedup vs the serial evaluation, and a bit-identity
+///     check of the 4-thread result against serial.  `hardware_threads`
+///     qualifies the scaling numbers (a 1-core box cannot speed up).
 ///
 /// Environment knobs: LEQA_BENCH_FAST / LEQA_BENCH_LIMIT (see harness.h)
 /// shrink the circuit; LEQA_SWEEP_JSON overrides the artifact path.
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchgen/gf2_mult.h"
 #include "core/engine.h"
+#include "core/explore.h"
 #include "core/leqa.h"
 #include "harness.h"
 #include "iig/iig.h"
@@ -221,6 +228,54 @@ int main() {
     const double service_overhead =
         direct_req_s > 0.0 ? service_req_s / direct_req_s : 0.0;
 
+    // --- parallel explore: cross-product scaling at 1/2/4 threads ----------
+    // 2 topologies x 10 sides x 2 capacities x 5 speeds = 200 points, the
+    // acceptance-bar shape.  The serial result is the bit-identity baseline.
+    core::ExplorationSpec explore_spec;
+    explore_spec.topologies = {fabric::TopologyKind::Grid, fabric::TopologyKind::Torus};
+    explore_spec.sides = {40, 44, 48, 50, 52, 56, 60, 64, 72, 80};
+    explore_spec.capacities = {3, 5};
+    explore_spec.speeds = {0.0005, 0.001, 0.002, 0.004, 0.008};
+
+    fabric::PhysicalParams explore_base; // Table 1 defaults, grid 60x60
+    const std::vector<fabric::PhysicalParams> explore_points =
+        core::exploration_configurations(profile.num_qubits, explore_base,
+                                         explore_spec);
+    const auto serial_explore =
+        core::evaluate_configurations(profile, explore_points, {}, 1);
+
+    struct ExploreRow {
+        std::size_t threads = 1;
+        double seconds = 0.0;
+        double points_per_s = 0.0;
+        double speedup = 0.0;    ///< serial seconds / this row's seconds
+        bool bit_identical = false; ///< all latencies == the serial run's
+    };
+    std::vector<ExploreRow> explore_rows;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        ExploreRow row;
+        row.threads = threads;
+        core::ExplorationResult last;
+        row.seconds = best_of(3, [&] {
+            last = core::evaluate_configurations(profile, explore_points, {}, threads);
+        });
+        row.points_per_s = row.seconds > 0.0
+                               ? static_cast<double>(explore_points.size()) / row.seconds
+                               : 0.0;
+        row.bit_identical = last.points.size() == serial_explore.points.size() &&
+                            last.best_index == serial_explore.best_index;
+        for (std::size_t i = 0; row.bit_identical && i < last.points.size(); ++i) {
+            row.bit_identical = last.points[i].estimate.latency_us ==
+                                serial_explore.points[i].estimate.latency_us;
+        }
+        explore_rows.push_back(row);
+    }
+    for (auto& row : explore_rows) {
+        row.speedup = row.seconds > 0.0 ? explore_rows.front().seconds / row.seconds
+                                        : 0.0;
+    }
+    const unsigned hardware_threads = std::thread::hardware_concurrency();
+
     std::printf("circuit: gf2^%dmult  (%zu FT ops, %zu qubits)\n", n, ft.size(),
                 ft.num_qubits());
     std::printf("sweep over %zu fabric sides:\n", sides.size());
@@ -242,6 +297,14 @@ int main() {
     std::printf("  direct Pipeline::run : %.3e s/request\n", direct_req_s);
     std::printf("  Service submit+wait  : %.3e s/request  (%.3fx direct)\n",
                 service_req_s, service_overhead);
+    std::printf("parallel explore (%zu-point cross-product, %u hardware threads):\n",
+                explore_points.size(), hardware_threads);
+    for (const auto& row : explore_rows) {
+        std::printf("  %zu thread%s : %.4f s  (%.0f points/s, %.2fx serial, "
+                    "bit-identical %s)\n",
+                    row.threads, row.threads == 1 ? " " : "s", row.seconds,
+                    row.points_per_s, row.speedup, row.bit_identical ? "yes" : "NO");
+    }
 
     // --- artifact ----------------------------------------------------------
     util::JsonWriter json;
@@ -280,6 +343,23 @@ int main() {
     json.kv("direct_per_request_s", direct_req_s);
     json.kv("service_per_request_s", service_req_s);
     json.kv("overhead_ratio", service_overhead);
+    json.end_object();
+    json.key("explore").begin_object();
+    json.kv("points", explore_points.size());
+    json.kv("hardware_threads", static_cast<long long>(hardware_threads));
+    json.key("threads").begin_array();
+    for (const auto& row : explore_rows) {
+        json.begin_object();
+        json.kv("threads", row.threads);
+        json.kv("seconds", row.seconds);
+        json.kv("points_per_s", row.points_per_s);
+        json.kv("speedup", row.speedup);
+        json.kv("bit_identical", row.bit_identical);
+        json.end_object();
+    }
+    json.end_array();
+    json.kv("speedup_4t", explore_rows.back().speedup);
+    json.kv("bit_identical_4t", explore_rows.back().bit_identical);
     json.end_object();
     json.end_object();
 

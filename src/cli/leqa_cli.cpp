@@ -8,23 +8,126 @@
 ///   leqa_cli path/to/circuit.qasm --fabric 80x80 --nc 3 --v 0.002
 ///   leqa_cli bench:hwb15ps --breakdown --dot qodg.dot
 ///   leqa_cli bench:ham3 bench:8bitadder bench:hwb15ps --threads 4 --cache-stats
+///   leqa_cli bench:gf2^16mult --explore --topologies grid,torus
+///            --sides 40,50,60 --capacities 3,5 --speeds 0.001,0.002 --threads 4
 ///
 /// With more than one input the requests run as a thread-pooled batch with
 /// per-request outcomes: a failing input prints its status line (and fails
-/// the exit code) without losing the others.
+/// the exit code) without losing the others.  With --explore the single
+/// input is evaluated over the full cross-product of the given axes on
+/// --threads workers (see core/explore.h).
 #include <cstdio>
+#include <limits>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "cli/common.h"
+#include "core/explore.h"
 #include "parser/io.h"
 #include "pipeline/pipeline.h"
 #include "report/report.h"
 #include "util/args.h"
 #include "util/status.h"
+#include "util/strings.h"
 
 namespace {
 
 using namespace leqa;
+
+/// Parse one comma-separated axis list with \p parse_item; empty option ->
+/// empty axis (keep the session default).
+template <typename T, typename ParseItem>
+std::vector<T> axis_values(const util::ArgParser& parser, const std::string& name,
+                           ParseItem&& parse_item) {
+    std::vector<T> values;
+    if (!parser.option_given(name)) return values;
+    for (const std::string& item : util::split(parser.option(name), ',')) {
+        values.push_back(parse_item(item));
+    }
+    if (values.empty()) {
+        throw util::InputError("--" + name + " needs a comma-separated list");
+    }
+    return values;
+}
+
+core::ExplorationSpec explore_spec_from_args(const util::ArgParser& parser) {
+    core::ExplorationSpec spec;
+    spec.topologies = axis_values<fabric::TopologyKind>(
+        parser, "topologies",
+        [](const std::string& item) { return fabric::parse_topology_kind(item); });
+    const auto parse_int_item = [](const char* axis) {
+        return [axis](const std::string& item) {
+            const std::optional<long long> parsed = util::parse_int(item);
+            if (!parsed.has_value() || *parsed < 1 ||
+                *parsed > std::numeric_limits<int>::max()) {
+                throw util::InputError(std::string("--") + axis +
+                                       ": bad value \"" + item + "\"");
+            }
+            return static_cast<int>(*parsed);
+        };
+    };
+    spec.sides = axis_values<int>(parser, "sides", parse_int_item("sides"));
+    spec.capacities = axis_values<int>(parser, "capacities", parse_int_item("capacities"));
+    spec.speeds = axis_values<double>(parser, "speeds", [](const std::string& item) {
+        const std::optional<double> parsed = util::parse_double(item);
+        if (!parsed.has_value()) {
+            throw util::InputError("--speeds: bad value \"" + item + "\"");
+        }
+        return *parsed;
+    });
+    if (spec.topologies.empty() && spec.sides.empty() && spec.capacities.empty() &&
+        spec.speeds.empty()) {
+        throw util::InputError(
+            "--explore needs at least one axis "
+            "(--topologies/--sides/--capacities/--speeds)");
+    }
+    spec.threads = parser.option_size("threads");
+    return spec;
+}
+
+int run_explore(pipeline::Pipeline& pipe, const std::string& spec_text,
+                const util::ArgParser& parser) {
+    const core::ExplorationSpec spec = explore_spec_from_args(parser);
+    const core::ExplorationResult result =
+        pipe.explore(pipeline::parse_source(spec_text), spec);
+
+    std::printf("explored %zu points on %zu thread%s\n", result.points.size(),
+                result.threads_used, result.threads_used == 1 ? "" : "s");
+    if (result.non_finite_points > 0) {
+        std::printf("  %zu point(s) came back non-finite and were skipped\n",
+                    result.non_finite_points);
+    }
+    if (result.has_best()) {
+        const core::SweepPoint& best = result.best();
+        std::printf("best: %s %dx%d, Nc=%d, v=%g -> D = %.6E s\n",
+                    fabric::topology_kind_name(best.params.topology).c_str(),
+                    best.params.width, best.params.height, best.params.nc,
+                    best.params.v, best.estimate.latency_seconds());
+    }
+    for (const core::TopologyBest& best : result.best_per_topology) {
+        const core::SweepPoint& point = result.points[best.index];
+        std::printf("  best %-5s : %dx%d, Nc=%d, v=%g -> D = %.6E s\n",
+                    fabric::topology_kind_name(best.kind).c_str(), point.params.width,
+                    point.params.height, point.params.nc, point.params.v,
+                    point.estimate.latency_seconds());
+    }
+    std::printf("latency/area pareto front (%zu points):\n",
+                result.pareto_front.size());
+    for (const std::size_t index : result.pareto_front) {
+        const core::SweepPoint& point = result.points[index];
+        std::printf("  area %8lld (%s %dx%d)  D = %.6E s\n", point.params.area(),
+                    fabric::topology_kind_name(point.params.topology).c_str(),
+                    point.params.width, point.params.height,
+                    point.estimate.latency_seconds());
+    }
+    if (parser.option_given("json")) {
+        parser::write_file(parser.option("json"),
+                           report::exploration_to_json(result));
+        std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
+    }
+    return 0;
+}
 
 int run_batch(pipeline::Pipeline& pipe, const std::vector<std::string>& specs,
               std::size_t threads, const util::ArgParser& parser) {
@@ -89,7 +192,15 @@ int body(int argc, char** argv) {
     parser.add_rest("inputs", "more inputs: run all of them as one batch");
     pipeline::add_param_options(parser);
     parser.add_option("sq-terms", "number of E[S_q] terms (paper: 20)", "20");
-    parser.add_option("threads", "batch worker threads (0 = hardware)", "0");
+    parser.add_option("threads", "batch / explore worker threads (0 = hardware)", "0");
+    parser.add_flag("explore",
+                    "evaluate the cross-product of the axis options below");
+    parser.add_option("topologies",
+                      "explore axis: comma-separated topologies (grid,torus,line)");
+    parser.add_option("sides", "explore axis: comma-separated fabric sides");
+    parser.add_option("capacities",
+                      "explore axis: comma-separated channel capacities Nc");
+    parser.add_option("speeds", "explore axis: comma-separated qubit speeds v");
     parser.add_flag("exact-sq", "evaluate all Q terms of E[S_q]");
     parser.add_flag("breakdown", "print the model intermediates");
     parser.add_flag("no-synth", "input is already FT-synthesized");
@@ -106,6 +217,21 @@ int body(int argc, char** argv) {
     pipeline::Pipeline pipe(config);
 
     int exit_code = 0;
+    if (parser.flag("explore")) {
+        if (!parser.rest().empty()) {
+            throw util::InputError("--explore runs on a single input");
+        }
+        if (parser.option_given("dot") || parser.flag("breakdown")) {
+            std::fprintf(stderr,
+                         "note: --dot/--breakdown apply to single-estimate runs "
+                         "and are ignored with --explore\n");
+        }
+        exit_code = run_explore(pipe, *parser.positional("input"), parser);
+        if (parser.flag("cache-stats")) {
+            std::printf("cache: %s\n", pipe.cache_stats().to_string().c_str());
+        }
+        return exit_code;
+    }
     if (!parser.rest().empty()) {
         if (parser.option_given("dot") || parser.flag("breakdown")) {
             std::fprintf(stderr,

@@ -4,7 +4,7 @@
 ///
 /// One JSON object per input line (see service/wire.h for the format);
 /// responses are written in order of completion, correlated by "id".
-/// Estimate/map/sweep/calibrate requests run on the service's worker pool
+/// Estimate/map/sweep/explore/calibrate requests run on the service's worker pool
 /// with per-request priority and deadline; "cancel" and "stats" are
 /// answered inline.  EOF on stdin drains the queue gracefully (every
 /// accepted request still gets its response) and exits 0.  No request --
@@ -151,6 +151,13 @@ int body(int argc, char** argv) {
                 sweep.values = request.values;
                 sweep.kinds = request.kinds;
                 track(id, service.submit_sweep(std::move(sweep), std::move(options)));
+                break;
+            }
+            case service::wire::WireRequest::Op::Explore: {
+                service::ExploreRequest explore;
+                explore.source = request.source;
+                explore.spec = request.explore;
+                track(id, service.submit_explore(std::move(explore), std::move(options)));
                 break;
             }
             case service::wire::WireRequest::Op::Calibrate: {

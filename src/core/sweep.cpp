@@ -1,106 +1,65 @@
 #include "core/sweep.h"
 
+#include <cmath>
+#include <utility>
+
+#include "core/explore.h"
 #include "util/error.h"
 
 namespace leqa::core {
 
 namespace {
 
-SweepResult run_sweep(const CircuitProfile& profile,
-                      const std::vector<fabric::PhysicalParams>& configurations,
-                      const LeqaOptions& options,
-                      const std::function<void()>& between_points = {}) {
-    LEQA_REQUIRE(!configurations.empty(), "sweep has no feasible configurations");
+/// Every 1-D sweep is a single-axis exploration; the extras (Pareto front,
+/// per-topology best) are dropped, the points and best selection carry over.
+SweepResult from_exploration(ExplorationResult&& explored) {
     SweepResult result;
-    result.points.reserve(configurations.size());
-    EstimationEngine engine(configurations.front(), options);
-    for (const auto& params : configurations) {
-        if (between_points) between_points();
-        engine.set_params(params);
-        SweepPoint point{params, engine.estimate(profile)};
-        result.points.push_back(std::move(point));
-        if (result.points.back().estimate.latency_us <
-            result.points[result.best_index].estimate.latency_us) {
-            result.best_index = result.points.size() - 1;
-        }
-    }
+    result.points = std::move(explored.points);
+    result.best_index = explored.best_index;
+    result.non_finite_points = explored.non_finite_points;
     return result;
 }
 
-std::vector<fabric::PhysicalParams> side_configurations(
-    std::size_t num_qubits, const fabric::PhysicalParams& base,
-    const std::vector<int>& sides) {
-    std::vector<fabric::PhysicalParams> configurations;
-    for (const int side : sides) {
-        LEQA_REQUIRE(side >= 1, "fabric side must be >= 1");
-        if (static_cast<std::size_t>(side) * static_cast<std::size_t>(side) <
-            num_qubits) {
-            continue; // cannot host the circuit
-        }
-        fabric::PhysicalParams params = base;
-        if (base.topology == fabric::TopologyKind::Line) {
-            // Area-equivalent row: a "side s" point is the s*s x 1 fabric.
-            params.width = side * side;
-            params.height = 1;
-        } else {
-            params.width = side;
-            params.height = side;
-        }
-        configurations.push_back(params);
-    }
-    return configurations;
-}
-
-std::vector<fabric::PhysicalParams> topology_configurations(
-    const fabric::PhysicalParams& base, const std::vector<fabric::TopologyKind>& kinds) {
-    std::vector<fabric::PhysicalParams> configurations;
-    const long long area = static_cast<long long>(base.width) * base.height;
-    for (const fabric::TopologyKind kind : kinds) {
-        fabric::PhysicalParams params = base;
-        params.topology = kind;
-        if (kind == fabric::TopologyKind::Line) {
-            params.width = static_cast<int>(area);
-            params.height = 1;
-        }
-        params.validate();
-        configurations.push_back(params);
-    }
-    return configurations;
-}
-
-std::vector<fabric::PhysicalParams> capacity_configurations(
-    const fabric::PhysicalParams& base, const std::vector<int>& capacities) {
-    std::vector<fabric::PhysicalParams> configurations;
-    for (const int nc : capacities) {
-        LEQA_REQUIRE(nc >= 1, "channel capacity must be >= 1");
-        fabric::PhysicalParams params = base;
-        params.nc = nc;
-        configurations.push_back(params);
-    }
-    return configurations;
-}
-
-std::vector<fabric::PhysicalParams> speed_configurations(
-    const fabric::PhysicalParams& base, const std::vector<double>& speeds) {
-    std::vector<fabric::PhysicalParams> configurations;
-    for (const double v : speeds) {
-        LEQA_REQUIRE(v > 0.0, "speed must be positive");
-        fabric::PhysicalParams params = base;
-        params.v = v;
-        configurations.push_back(params);
-    }
-    return configurations;
+/// An explicitly empty axis list never was a valid sweep; keep the historic
+/// error text instead of falling through to a one-point base evaluation.
+void require_axis_values(bool non_empty) {
+    LEQA_REQUIRE(non_empty, "sweep has no feasible configurations");
 }
 
 } // namespace
+
+std::size_t best_point_index(const std::vector<SweepPoint>& points,
+                             std::size_t* non_finite) {
+    std::size_t best = kNoBestPoint;
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double latency = points[i].estimate.latency_us;
+        if (!std::isfinite(latency)) {
+            ++bad;
+            continue;
+        }
+        if (best == kNoBestPoint || latency < points[best].estimate.latency_us) {
+            best = i;
+        }
+    }
+    if (non_finite != nullptr) *non_finite = bad;
+    return best;
+}
+
+const SweepPoint& SweepResult::best() const {
+    LEQA_REQUIRE(has_best(), "sweep has no finite-latency point");
+    return points.at(best_index);
+}
 
 SweepResult sweep_fabric_sides(const CircuitProfile& profile,
                                const fabric::PhysicalParams& base,
                                const std::vector<int>& sides,
                                const LeqaOptions& options,
                                const std::function<void()>& between_points) {
-    return run_sweep(profile, side_configurations(profile.num_qubits, base, sides),
-                     options, between_points);
+    require_axis_values(!sides.empty());
+    ExplorationSpec spec;
+    spec.sides = sides;
+    return from_exploration(explore(profile, base, spec, options, between_points));
 }
 
 SweepResult sweep_topology(const CircuitProfile& profile,
@@ -108,8 +67,10 @@ SweepResult sweep_topology(const CircuitProfile& profile,
                            const std::vector<fabric::TopologyKind>& kinds,
                            const LeqaOptions& options,
                            const std::function<void()>& between_points) {
-    return run_sweep(profile, topology_configurations(base, kinds), options,
-                     between_points);
+    require_axis_values(!kinds.empty());
+    ExplorationSpec spec;
+    spec.topologies = kinds;
+    return from_exploration(explore(profile, base, spec, options, between_points));
 }
 
 SweepResult sweep_channel_capacity(const CircuitProfile& profile,
@@ -117,8 +78,10 @@ SweepResult sweep_channel_capacity(const CircuitProfile& profile,
                                    const std::vector<int>& capacities,
                                    const LeqaOptions& options,
                                    const std::function<void()>& between_points) {
-    return run_sweep(profile, capacity_configurations(base, capacities), options,
-                     between_points);
+    require_axis_values(!capacities.empty());
+    ExplorationSpec spec;
+    spec.capacities = capacities;
+    return from_exploration(explore(profile, base, spec, options, between_points));
 }
 
 SweepResult sweep_speed(const CircuitProfile& profile,
@@ -126,8 +89,10 @@ SweepResult sweep_speed(const CircuitProfile& profile,
                         const std::vector<double>& speeds,
                         const LeqaOptions& options,
                         const std::function<void()>& between_points) {
-    return run_sweep(profile, speed_configurations(base, speeds), options,
-                     between_points);
+    require_axis_values(!speeds.empty());
+    ExplorationSpec spec;
+    spec.speeds = speeds;
+    return from_exploration(explore(profile, base, spec, options, between_points));
 }
 
 SweepResult sweep_fabric_sides(const qodg::Qodg& graph, const iig::Iig& iig,

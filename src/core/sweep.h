@@ -12,6 +12,10 @@
 /// runs per point, so a sweep costs O(points) parameter-stage evaluations
 /// rather than O(points x circuit) table rebuilds.  The graph-based
 /// overloads build the profile internally and delegate.
+///
+/// Since the multi-dimensional explorer (core/explore.h) these are thin
+/// wrappers over single-axis `ExplorationSpec`s: one evaluation loop serves
+/// the 1-D sweeps and the parallel cross-product exploration.
 #pragma once
 
 #include <functional>
@@ -30,11 +34,28 @@ struct SweepPoint {
     LeqaEstimate estimate;
 };
 
+/// Sentinel best-point index: no point has a finite latency.
+inline constexpr std::size_t kNoBestPoint = static_cast<std::size_t>(-1);
+
+/// Index of the latency-minimal point among points with *finite* latency.
+/// Non-finite estimates (NaN or infinity) never stick as the best: a NaN
+/// first point would defeat every subsequent `<` comparison and shadow the
+/// real minimum forever.  Returns kNoBestPoint when no point is finite;
+/// \p non_finite (optional) receives the number of non-finite points.
+[[nodiscard]] std::size_t best_point_index(const std::vector<SweepPoint>& points,
+                                           std::size_t* non_finite = nullptr);
+
 struct SweepResult {
     std::vector<SweepPoint> points;
-    std::size_t best_index = 0; ///< index of the minimum-latency point
+    /// Index of the minimum-latency point among finite-latency points;
+    /// kNoBestPoint when every point came back non-finite.
+    std::size_t best_index = kNoBestPoint;
+    /// Points whose latency was NaN/infinite (skipped for best selection).
+    std::size_t non_finite_points = 0;
 
-    [[nodiscard]] const SweepPoint& best() const { return points.at(best_index); }
+    [[nodiscard]] bool has_best() const { return best_index != kNoBestPoint; }
+    /// Throws InputError when no point has a finite latency.
+    [[nodiscard]] const SweepPoint& best() const;
 };
 
 // --- profile-based fast path ------------------------------------------------

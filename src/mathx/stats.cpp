@@ -46,6 +46,24 @@ double percentile(std::vector<double> values, double p) {
     return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double nearest_rank_percentile(std::vector<double> values, double fraction) {
+    return nearest_rank_percentile_inplace(values, fraction);
+}
+
+double nearest_rank_percentile_inplace(std::vector<double>& scratch, double fraction) {
+    LEQA_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "nearest_rank_percentile: fraction must be in [0, 1]");
+    if (scratch.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(scratch.size())));
+    // Clamp to [1, N]: fraction 0 yields rank 0 (the minimum is the answer),
+    // and rounding noise in fraction * N must never index past the end.
+    const std::size_t index = std::min(std::max<std::size_t>(rank, 1), scratch.size()) - 1;
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(index), scratch.end());
+    return scratch[index];
+}
+
 LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
     LEQA_REQUIRE(x.size() == y.size(), "linear_fit: size mismatch");
     LEQA_REQUIRE(x.size() >= 2, "linear_fit: need at least two points");

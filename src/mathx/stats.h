@@ -17,6 +17,26 @@ namespace leqa::mathx {
 /// Linear interpolated percentile; p in [0, 100].
 [[nodiscard]] double percentile(std::vector<double> values, double p);
 
+/// Nearest-rank percentile over \p values for \p fraction in [0, 1] (the
+/// service latency summaries).  The pinned formula: over N samples, rank =
+/// ceil(fraction * N) clamped to [1, N], and the result is the rank-th
+/// smallest sample (1-based).  Consequences worth spelling out:
+///   - empty input returns 0.0 (no samples, no latency);
+///   - a single sample is returned for every fraction, including 0 and 1;
+///   - fraction 0 returns the minimum (rank clamps up to 1);
+///   - fraction 1 returns the maximum (rank = N exactly; the clamp also
+///     keeps a fraction > 1 from indexing past the end);
+///   - small windows saturate high fractions: with N < 100, fraction 0.99
+///     has ceil(0.99 N) = N, i.e. p99 *is* the maximum until the ring
+///     holds at least 100 samples.
+[[nodiscard]] double nearest_rank_percentile(std::vector<double> values,
+                                             double fraction);
+
+/// In-place variant for callers extracting several ranks from one window:
+/// reorders \p scratch (nth_element) instead of copying it per call.
+[[nodiscard]] double nearest_rank_percentile_inplace(std::vector<double>& scratch,
+                                                     double fraction);
+
 /// Ordinary least squares fit  y = slope * x + intercept.
 struct LinearFit {
     double slope = 0.0;

@@ -328,9 +328,10 @@ std::vector<EstimationResult> Pipeline::run_batch(
 namespace {
 
 /// Adapt an optional RunControl to the core sweeps' between-points hook.
-std::function<void()> point_checkpoint(const RunControl* control) {
+std::function<void()> point_checkpoint(const RunControl* control,
+                                       const char* stage = "sweep") {
     if (control == nullptr) return {};
-    return [control] { control->checkpoint("sweep"); };
+    return [control, stage] { control->checkpoint(stage); };
 }
 
 } // namespace
@@ -377,6 +378,17 @@ core::SweepResult Pipeline::sweep_topology(
     const auto [params, leqa_options] = snapshot_estimation_config();
     return core::sweep_topology(entry->profile(), params, kinds, leqa_options,
                                 point_checkpoint(control));
+}
+
+core::ExplorationResult Pipeline::explore(const CircuitSource& source,
+                                          const core::ExplorationSpec& spec,
+                                          const RunControl* control) {
+    if (control != nullptr) control->checkpoint("resolve");
+    const CachedCircuitPtr entry = resolve(source);
+    ensure_graphs(*entry);
+    const auto [params, leqa_options] = snapshot_estimation_config();
+    return core::explore(entry->profile(), params, spec, leqa_options,
+                         point_checkpoint(control, "explore"));
 }
 
 // ---------------------------------------------------------- calibration --

@@ -37,6 +37,7 @@
 #include "circuit/circuit.h"
 #include "core/calibrate.h"
 #include "core/engine.h"
+#include "core/explore.h"
 #include "core/leqa.h"
 #include "core/sweep.h"
 #include "fabric/params.h"
@@ -238,6 +239,15 @@ public:
     [[nodiscard]] core::SweepResult sweep_topology(
         const CircuitSource& source, const std::vector<fabric::TopologyKind>& kinds,
         const RunControl* control = nullptr);
+
+    /// Multi-dimensional design-space exploration on the shared cache: the
+    /// circuit profile is resolved (and reused) from the session cache, then
+    /// the cross-product of \p spec evaluates on spec.threads workers (see
+    /// core/explore.h).  An optional RunControl is observed before the
+    /// resolve and between points — on whichever worker owns the point.
+    [[nodiscard]] core::ExplorationResult explore(const CircuitSource& source,
+                                                  const core::ExplorationSpec& spec,
+                                                  const RunControl* control = nullptr);
 
     // --- calibration on the shared cache ----------------------------------
 

@@ -239,12 +239,12 @@ std::string batch_results_to_json(
     return json.str();
 }
 
-std::string sweep_to_json(const core::SweepResult& sweep) {
-    util::JsonWriter json;
-    json.begin_object();
-    json.kv("best_index", sweep.best_index);
+namespace {
+
+void write_sweep_points(util::JsonWriter& json,
+                        const std::vector<core::SweepPoint>& points) {
     json.key("points").begin_array();
-    for (const core::SweepPoint& point : sweep.points) {
+    for (const core::SweepPoint& point : points) {
         json.begin_object();
         write_params_json(json, point.params);
         json.kv("latency_us", point.estimate.latency_us);
@@ -252,6 +252,52 @@ std::string sweep_to_json(const core::SweepResult& sweep) {
         json.end_object();
     }
     json.end_array();
+}
+
+} // namespace
+
+std::string sweep_to_json(const core::SweepResult& sweep) {
+    util::JsonWriter json;
+    json.begin_object();
+    if (sweep.has_best()) json.kv("best_index", sweep.best_index);
+    if (sweep.non_finite_points > 0) {
+        json.kv("non_finite_points", sweep.non_finite_points);
+    }
+    write_sweep_points(json, sweep.points);
+    json.end_object();
+    return json.str();
+}
+
+std::string exploration_to_json(const core::ExplorationResult& exploration) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("points_total", exploration.points.size());
+    json.kv("threads_used", exploration.threads_used);
+    if (exploration.has_best()) json.kv("best_index", exploration.best_index);
+    if (exploration.non_finite_points > 0) {
+        json.kv("non_finite_points", exploration.non_finite_points);
+    }
+    json.key("best_per_topology").begin_array();
+    for (const core::TopologyBest& best : exploration.best_per_topology) {
+        json.begin_object();
+        json.kv("topology", fabric::topology_kind_name(best.kind));
+        json.kv("index", best.index);
+        json.kv("latency_us",
+                exploration.points[best.index].estimate.latency_us);
+        json.end_object();
+    }
+    json.end_array();
+    json.key("pareto_front").begin_array();
+    for (const std::size_t index : exploration.pareto_front) {
+        const core::SweepPoint& point = exploration.points[index];
+        json.begin_object();
+        json.kv("index", index);
+        json.kv("area", point.params.area());
+        json.kv("latency_us", point.estimate.latency_us);
+        json.end_object();
+    }
+    json.end_array();
+    write_sweep_points(json, exploration.points);
     json.end_object();
     return json.str();
 }

@@ -12,6 +12,7 @@
 
 #include "circuit/circuit.h"
 #include "core/calibrate.h"
+#include "core/explore.h"
 #include "core/leqa.h"
 #include "core/sweep.h"
 #include "fabric/params.h"
@@ -67,8 +68,15 @@ void write_params_json(util::JsonWriter& json, const fabric::PhysicalParams& par
     const std::vector<std::string>& labels = {});
 
 /// A design-space sweep as JSON: per-point parameters + latency and the
-/// index of the latency-minimal point.
+/// index of the latency-minimal point ("best_index" is omitted when no
+/// point has a finite latency; "non_finite_points" appears when > 0).
 [[nodiscard]] std::string sweep_to_json(const core::SweepResult& sweep);
+
+/// A multi-dimensional exploration as JSON: every cross-product point, the
+/// global best, the per-topology bests, and the latency/fabric-area Pareto
+/// front (each front entry carries its point index, area, and latency).
+[[nodiscard]] std::string exploration_to_json(
+    const core::ExplorationResult& exploration);
 
 /// A calibration fit as JSON (v, error at v, evaluations spent).
 [[nodiscard]] std::string calibration_to_json(const core::CalibrationResult& result);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <queue>
 
+#include "mathx/stats.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -32,25 +33,17 @@ double seconds_between(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double>(to - from).count();
 }
 
-/// Nearest-rank percentile over a scratch copy.
-double percentile(std::vector<double>& scratch, double fraction) {
-    if (scratch.empty()) return 0.0;
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(fraction * static_cast<double>(scratch.size())));
-    const std::size_t index = rank == 0 ? 0 : rank - 1;
-    std::nth_element(scratch.begin(),
-                     scratch.begin() + static_cast<std::ptrdiff_t>(index), scratch.end());
-    return scratch[index];
-}
-
 LatencySummary summarize(std::vector<double> samples) {
+    // Nearest-rank percentiles; the exact rank formula (and its small-window
+    // saturation: p99 == max until the ring holds >= 100 samples) is pinned
+    // in mathx::nearest_rank_percentile and its unit tests.
     LatencySummary summary;
     summary.count = samples.size();
     if (samples.empty()) return summary;
     summary.max_s = *std::max_element(samples.begin(), samples.end());
-    summary.p50_s = percentile(samples, 0.50);
-    summary.p90_s = percentile(samples, 0.90);
-    summary.p99_s = percentile(samples, 0.99);
+    summary.p50_s = mathx::nearest_rank_percentile_inplace(samples, 0.50);
+    summary.p90_s = mathx::nearest_rank_percentile_inplace(samples, 0.90);
+    summary.p99_s = mathx::nearest_rank_percentile_inplace(samples, 0.99);
     return summary;
 }
 
@@ -369,6 +362,22 @@ JobHandle Service::submit_sweep(SweepRequest request, SubmitOptions options) {
                 return JobOutput{std::move(sweep)};
             } catch (...) {
                 return util::status_from_exception(std::current_exception(), "sweep");
+            }
+        },
+        std::move(options));
+}
+
+JobHandle Service::submit_explore(ExploreRequest request, SubmitOptions options) {
+    if (options.label.empty()) options.label = "explore:" + request.source;
+    return submit_fn(
+        [request = std::move(request)](pipeline::Pipeline& pipe,
+                                       const pipeline::RunControl& control) -> JobResult {
+            try {
+                control.checkpoint("explore");
+                return JobOutput{pipe.explore(pipeline::parse_source(request.source),
+                                              request.spec, &control)};
+            } catch (...) {
+                return util::status_from_exception(std::current_exception(), "explore");
             }
         },
         std::move(options));

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/calibrate.h"
+#include "core/explore.h"
 #include "core/sweep.h"
 #include "pipeline/pipeline.h"
 #include "util/status.h"
@@ -51,10 +52,10 @@ struct ServiceOptions {
     std::size_t max_queue = 1024; ///< queued-job bound; submit blocks when full
 };
 
-/// What a job can produce: one pipeline run, a design-space sweep, or a
-/// calibration fit.
-using JobOutput =
-    std::variant<pipeline::EstimationResult, core::SweepResult, core::CalibrationResult>;
+/// What a job can produce: one pipeline run, a design-space sweep, a
+/// calibration fit, or a multi-dimensional exploration.
+using JobOutput = std::variant<pipeline::EstimationResult, core::SweepResult,
+                               core::CalibrationResult, core::ExplorationResult>;
 
 /// Every job completes with exactly one of these: a JobOutput or a non-OK
 /// Status.  Nothing throws across the boundary.
@@ -137,6 +138,14 @@ struct SweepRequest {
     std::vector<fabric::TopologyKind> kinds; ///< for SweepAxis::Topology
 };
 
+/// A multi-dimensional design-space exploration (the cross-product axes and
+/// worker count live in the spec; see core/explore.h).  As with sweeps, the
+/// source spec is resolved inside the job.
+struct ExploreRequest {
+    std::string source; ///< circuit spec ("bench:<name>" or a path)
+    core::ExplorationSpec spec;
+};
+
 /// A calibration fit against the session mapper.
 struct CalibrationRequest {
     std::vector<std::string> sources; ///< training circuit specs
@@ -205,6 +214,10 @@ public:
 
     /// Enqueue a design-space sweep.
     [[nodiscard]] JobHandle submit_sweep(SweepRequest request, SubmitOptions options = {});
+
+    /// Enqueue a multi-dimensional design-space exploration.
+    [[nodiscard]] JobHandle submit_explore(ExploreRequest request,
+                                           SubmitOptions options = {});
 
     /// Enqueue a calibration fit.
     [[nodiscard]] JobHandle submit_calibration(CalibrationRequest request,

@@ -101,7 +101,8 @@ WireRequest parse_request_object(const JsonValue& root) {
     const bool needs_source = request.op == WireRequest::Op::Estimate ||
                               request.op == WireRequest::Op::Map ||
                               request.op == WireRequest::Op::Both ||
-                              request.op == WireRequest::Op::Sweep;
+                              request.op == WireRequest::Op::Sweep ||
+                              request.op == WireRequest::Op::Explore;
     if (needs_source) {
         const JsonValue* source = root.find("source");
         if (source == nullptr || source->as_string().empty()) {
@@ -169,6 +170,48 @@ WireRequest parse_request_object(const JsonValue& root) {
             request.target = static_cast<std::uint64_t>(value);
             break;
         }
+        case WireRequest::Op::Explore: {
+            if (const JsonValue* topologies = root.find("topologies")) {
+                for (const JsonValue& kind : topologies->items()) {
+                    request.explore.topologies.push_back(
+                        fabric::parse_topology_kind(kind.as_string()));
+                }
+            }
+            if (const JsonValue* sides = root.find("sides")) {
+                for (const JsonValue& side : sides->items()) {
+                    request.explore.sides.push_back(as_int32(side, "sides"));
+                }
+            }
+            if (const JsonValue* capacities = root.find("nc")) {
+                for (const JsonValue& nc : capacities->items()) {
+                    request.explore.capacities.push_back(as_int32(nc, "nc"));
+                }
+            }
+            if (const JsonValue* speeds = root.find("v")) {
+                for (const JsonValue& v : speeds->items()) {
+                    request.explore.speeds.push_back(v.as_number());
+                }
+            }
+            if (request.explore.topologies.empty() && request.explore.sides.empty() &&
+                request.explore.capacities.empty() && request.explore.speeds.empty()) {
+                bad_request("op \"explore\" requires at least one non-empty axis "
+                            "(\"topologies\"/\"sides\"/\"nc\"/\"v\")");
+            }
+            if (const JsonValue* threads = root.find("threads")) {
+                const int parsed = as_int32(*threads, "threads");
+                // Bounded like every other wire integer: one hostile line
+                // must not make the daemon spawn an arbitrary thread count
+                // (0 = hardware concurrency remains the "as parallel as the
+                // box allows" spelling).
+                constexpr int kMaxExploreThreads = 256;
+                if (parsed < 0 || parsed > kMaxExploreThreads) {
+                    bad_request("\"threads\" must be in [0, " +
+                                std::to_string(kMaxExploreThreads) + "]");
+                }
+                request.explore.threads = static_cast<std::size_t>(parsed);
+            }
+            break;
+        }
         case WireRequest::Op::Stats:
             break;
     }
@@ -197,8 +240,8 @@ fabric::PhysicalParams ParamsPatch::apply(fabric::PhysicalParams base) const {
 // ------------------------------------------------------------------- ops --
 
 const std::string& op_name(WireRequest::Op op) {
-    static const std::string names[] = {"estimate",  "map",    "both", "sweep",
-                                        "calibrate", "cancel", "stats"};
+    static const std::string names[] = {"estimate",  "map",    "both",  "sweep",
+                                        "calibrate", "cancel", "stats", "explore"};
     return names[static_cast<std::size_t>(op)];
 }
 
@@ -206,7 +249,7 @@ std::optional<WireRequest::Op> parse_op(const std::string& name) {
     for (const auto op :
          {WireRequest::Op::Estimate, WireRequest::Op::Map, WireRequest::Op::Both,
           WireRequest::Op::Sweep, WireRequest::Op::Calibrate, WireRequest::Op::Cancel,
-          WireRequest::Op::Stats}) {
+          WireRequest::Op::Stats, WireRequest::Op::Explore}) {
         if (op_name(op) == name) return op;
     }
     return std::nullopt;
@@ -274,6 +317,37 @@ std::string serialize_request(const WireRequest& request) {
         if (request.apply_calibration) json.kv("apply", true);
     }
     if (request.op == WireRequest::Op::Cancel) json.kv("target", request.target);
+    if (request.op == WireRequest::Op::Explore) {
+        if (!request.explore.topologies.empty()) {
+            json.key("topologies").begin_array();
+            for (const auto kind : request.explore.topologies) {
+                json.value(fabric::topology_kind_name(kind));
+            }
+            json.end_array();
+        }
+        if (!request.explore.sides.empty()) {
+            json.key("sides").begin_array();
+            for (const int side : request.explore.sides) {
+                json.value(static_cast<long long>(side));
+            }
+            json.end_array();
+        }
+        if (!request.explore.capacities.empty()) {
+            json.key("nc").begin_array();
+            for (const int nc : request.explore.capacities) {
+                json.value(static_cast<long long>(nc));
+            }
+            json.end_array();
+        }
+        if (!request.explore.speeds.empty()) {
+            json.key("v").begin_array();
+            for (const double v : request.explore.speeds) json.value(v);
+            json.end_array();
+        }
+        if (request.explore.threads != 1) {
+            json.kv("threads", request.explore.threads);
+        }
+    }
     json.end_object();
     return json.str();
 }
@@ -316,6 +390,11 @@ std::string serialize_result(std::uint64_t id, const JobResult& result) {
     } else if (const auto* sweep = std::get_if<core::SweepResult>(&result.value())) {
         json.begin_object();
         json.key("sweep").raw_value(report::sweep_to_json(*sweep));
+        json.end_object();
+    } else if (const auto* exploration =
+                   std::get_if<core::ExplorationResult>(&result.value())) {
+        json.begin_object();
+        json.key("exploration").raw_value(report::exploration_to_json(*exploration));
         json.end_object();
     } else {
         const auto& fit = std::get<core::CalibrationResult>(result.value());

@@ -18,11 +18,16 @@
 ///   {"id":5,"op":"calibrate","sources":["bench:ham3"],"apply":true}
 ///   {"id":6,"op":"cancel","target":2}
 ///   {"id":7,"op":"stats"}
+///   {"id":8,"op":"explore","source":"bench:ham3",
+///    "topologies":["grid","torus"],"sides":[40,50,60],"nc":[3,5],
+///    "v":[0.001,0.002],"threads":4}
 ///
 /// Responses (order of completion, correlated by id):
 ///
 ///   {"id":1,"result":{...report::result_to_json object...}}
 ///   {"id":4,"result":{"sweep":{"best_index":1,"points":[...]}}}
+///   {"id":8,"result":{"exploration":{"best_index":2,"pareto_front":[...],
+///    "points":[...]}}}
 ///   {"id":2,"error":{"code":"Cancelled","message":"...","origin":"queue"}}
 ///
 /// `parse_request` never throws: malformed lines come back as a non-OK
@@ -64,11 +69,11 @@ struct ParamsPatch {
 
 /// One decoded request line.
 struct WireRequest {
-    enum class Op { Estimate, Map, Both, Sweep, Calibrate, Cancel, Stats };
+    enum class Op { Estimate, Map, Both, Sweep, Calibrate, Cancel, Stats, Explore };
 
     std::uint64_t id = 0;
     Op op = Op::Estimate;
-    std::string source;       ///< estimate/map/both/sweep
+    std::string source;       ///< estimate/map/both/sweep/explore
     ParamsPatch params;       ///< estimate/map/both
     int priority = 0;
     std::optional<double> deadline_s;
@@ -79,6 +84,9 @@ struct WireRequest {
     std::vector<std::string> sources;        ///< calibrate
     bool apply_calibration = false;          ///< calibrate
     std::uint64_t target = 0;                ///< cancel
+    /// Explore cross-product axes + worker threads ("topologies"/"sides"/
+    /// "nc"/"v"/"threads" keys; at least one axis must be non-empty).
+    core::ExplorationSpec explore;
 
     [[nodiscard]] bool operator==(const WireRequest&) const = default;
 };

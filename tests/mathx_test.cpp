@@ -215,6 +215,46 @@ TEST(Stats, Percentile) {
     EXPECT_DOUBLE_EQ(lm::percentile(values, 50.0), 2.5);
 }
 
+TEST(Stats, NearestRankPercentileBoundaries) {
+    // The pinned formula: rank = ceil(fraction * N) clamped to [1, N], the
+    // result is the rank-th smallest sample (1-based).
+    // Empty window: no samples, 0.0 by definition (the service's idle stats).
+    EXPECT_EQ(lm::nearest_rank_percentile({}, 0.0), 0.0);
+    EXPECT_EQ(lm::nearest_rank_percentile({}, 0.5), 0.0);
+    EXPECT_EQ(lm::nearest_rank_percentile({}, 0.99), 0.0);
+
+    // A single sample answers every fraction.
+    for (const double fraction : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_EQ(lm::nearest_rank_percentile({7.5}, fraction), 7.5) << fraction;
+    }
+
+    // Small rings saturate high fractions: ceil(0.99 N) == N for N < 100,
+    // so p99 is the maximum until the window holds 100 samples.
+    EXPECT_EQ(lm::nearest_rank_percentile({2.0, 1.0}, 0.99), 2.0);
+    EXPECT_EQ(lm::nearest_rank_percentile({3.0, 1.0, 2.0}, 0.99), 3.0);
+    std::vector<double> ninety_nine;
+    for (int i = 1; i <= 99; ++i) ninety_nine.push_back(i);
+    EXPECT_EQ(lm::nearest_rank_percentile(ninety_nine, 0.99), 99.0);
+    std::vector<double> one_hundred = ninety_nine;
+    one_hundred.push_back(100.0);
+    // N = 100 is the first window where p99 drops off the maximum.
+    EXPECT_EQ(lm::nearest_rank_percentile(one_hundred, 0.99), 99.0);
+
+    // Exact ranks, both parities: N=4 p50 -> rank ceil(2) = 2; N=5 p50 ->
+    // rank ceil(2.5) = 3 (the true median).
+    EXPECT_EQ(lm::nearest_rank_percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.0);
+    EXPECT_EQ(lm::nearest_rank_percentile({5.0, 4.0, 1.0, 3.0, 2.0}, 0.5), 3.0);
+
+    // Fraction 0 clamps the rank up to 1 (minimum); fraction 1 is rank N.
+    EXPECT_EQ(lm::nearest_rank_percentile({4.0, 1.0, 3.0}, 0.0), 1.0);
+    EXPECT_EQ(lm::nearest_rank_percentile({4.0, 1.0, 3.0}, 1.0), 4.0);
+
+    EXPECT_THROW((void)lm::nearest_rank_percentile({1.0}, -0.1),
+                 leqa::util::InputError);
+    EXPECT_THROW((void)lm::nearest_rank_percentile({1.0}, 1.5),
+                 leqa::util::InputError);
+}
+
 TEST(Stats, LinearFitRecoversLine) {
     std::vector<double> x, y;
     for (int i = 0; i < 20; ++i) {

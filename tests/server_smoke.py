@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """NDJSON smoke test for leqa_server (used by CI's server-smoke job).
 
-Pipes a six-step script -- estimate, map, sweep, a bad source, a cancel,
-then EOF -- into the daemon and validates:
+Pipes a seven-step script -- estimate, map, sweep, a bad source, a cancel,
+a design-space explore, then EOF -- into the daemon and validates:
   * every request id gets exactly one response (completion order is free);
   * the bad source comes back as {"error":{"code":"NotFound",...}};
   * the cancelled queued job comes back as code Cancelled and its cancel
@@ -29,6 +29,9 @@ REQUESTS = [
      "values": [40, 50, 60]},
     {"id": 5, "op": "estimate", "source": "bench:nosuchbench"},
     {"id": 6, "op": "cancel", "target": 2},
+    {"id": 7, "op": "explore", "source": "bench:ham3",
+     "topologies": ["grid", "torus"], "sides": [8, 10], "nc": [3, 5],
+     "threads": 2},
 ]
 
 script = "".join(json.dumps(request) + "\n" for request in REQUESTS)
@@ -42,7 +45,7 @@ for line in proc.stdout.splitlines():
     assert response["id"] not in responses, f"duplicate response id: {line}"
     responses[response["id"]] = response
 
-assert set(responses) == {1, 2, 3, 4, 5, 6}, sorted(responses)
+assert set(responses) == {1, 2, 3, 4, 5, 6, 7}, sorted(responses)
 
 assert responses[1]["result"]["estimate"]["latency_us"] > 0.0
 assert responses[1]["result"]["mapping"] is None
@@ -64,6 +67,17 @@ assert "nosuchbench" in not_found["message"], not_found
 
 ack = responses[6]["result"]
 assert ack == {"target": 2, "cancelled": True}, ack
+
+exploration = responses[7]["result"]["exploration"]
+assert exploration["points_total"] == 8, exploration["points_total"]
+assert len(exploration["points"]) == 8
+assert all(point["latency_us"] > 0.0 for point in exploration["points"])
+assert 0 <= exploration["best_index"] < 8
+assert {entry["topology"] for entry in exploration["best_per_topology"]} == \
+    {"grid", "torus"}
+assert len(exploration["pareto_front"]) >= 1
+best = exploration["points"][exploration["best_index"]]["latency_us"]
+assert all(entry["latency_us"] >= best for entry in exploration["pareto_front"])
 
 print("server smoke OK:", {k: ("error" if "error" in v else "result")
                            for k, v in sorted(responses.items())})

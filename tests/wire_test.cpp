@@ -75,6 +75,52 @@ TEST(Wire, RequestRoundTripsAreLosslessForAllOps) {
         R"({"id":7,"op":"calibrate","sources":["bench:ham3","x.qasm"],"apply":true})");
     expect_request_roundtrip(R"({"id":8,"op":"cancel","target":3})");
     expect_request_roundtrip(R"({"id":9,"op":"stats"})");
+    expect_request_roundtrip(
+        R"({"id":10,"op":"explore","source":"bench:ham3",)"
+        R"("topologies":["grid","torus"],"sides":[40,50],"nc":[3,5],)"
+        R"("v":[0.001,0.002],"threads":4})");
+    expect_request_roundtrip(
+        R"({"id":11,"op":"explore","source":"bench:ham3","sides":[40]})");
+}
+
+TEST(Wire, ExploreRequestsDecodeIntoSpecs) {
+    const lw::WireRequest request = parse_ok(
+        R"({"id":1,"op":"explore","source":"bench:ham3",)"
+        R"("topologies":["grid","line"],"sides":[8,10],"nc":[3],)"
+        R"("v":[0.001],"threads":2})");
+    EXPECT_EQ(request.op, lw::WireRequest::Op::Explore);
+    EXPECT_EQ(request.explore.topologies,
+              (std::vector<lf::TopologyKind>{lf::TopologyKind::Grid,
+                                             lf::TopologyKind::Line}));
+    EXPECT_EQ(request.explore.sides, (std::vector<int>{8, 10}));
+    EXPECT_EQ(request.explore.capacities, (std::vector<int>{3}));
+    EXPECT_EQ(request.explore.speeds, (std::vector<double>{0.001}));
+    EXPECT_EQ(request.explore.threads, 2u);
+
+    // Defaults: threads 1, axes empty except the one given.
+    const lw::WireRequest minimal =
+        parse_ok(R"({"id":2,"op":"explore","source":"bench:ham3","nc":[3,5]})");
+    EXPECT_EQ(minimal.explore.threads, 1u);
+    EXPECT_TRUE(minimal.explore.topologies.empty());
+    EXPECT_TRUE(minimal.explore.sides.empty());
+
+    // Missing source / no axis at all / bad kinds are InvalidArgument.
+    EXPECT_FALSE(lw::parse_request(R"({"id":3,"op":"explore","nc":[3]})").ok());
+    EXPECT_FALSE(
+        lw::parse_request(R"({"id":4,"op":"explore","source":"bench:ham3"})").ok());
+    EXPECT_FALSE(lw::parse_request(
+                     R"({"id":5,"op":"explore","source":"bench:ham3",)"
+                     R"("topologies":["moebius"]})")
+                     .ok());
+    EXPECT_FALSE(lw::parse_request(
+                     R"({"id":6,"op":"explore","source":"bench:ham3",)"
+                     R"("sides":[40.5]})")
+                     .ok());
+    // The daemon never spawns an unbounded thread count off one line.
+    EXPECT_FALSE(lw::parse_request(
+                     R"({"id":7,"op":"explore","source":"bench:ham3",)"
+                     R"("sides":[40],"threads":20000})")
+                     .ok());
 }
 
 TEST(Wire, ParamsPatchAppliesOverBase) {
@@ -237,6 +283,27 @@ TEST(Wire, SweepAndCalibrationPayloadsSerialize) {
     const auto fit_parsed = lw::parse_response(lw::serialize_result(3, fit));
     ASSERT_TRUE(fit_parsed.ok());
     EXPECT_GT(fit_parsed.value().result.at("calibration").at("v").as_number(), 0.0);
+}
+
+TEST(Wire, ExplorePayloadSerializes) {
+    ls::Service service;
+    ls::ExploreRequest explore;
+    explore.source = "bench:ham3";
+    explore.spec.sides = {8, 10};
+    explore.spec.capacities = {3, 5};
+    const ls::JobResult& result = service.submit_explore(explore).wait();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const std::string line = lw::serialize_result(4, result);
+    const auto parsed = lw::parse_response(line);
+    ASSERT_TRUE(parsed.ok());
+    const lu::JsonValue& payload = parsed.value().result;
+    ASSERT_NE(payload.find("exploration"), nullptr);
+    const lu::JsonValue& exploration = payload.at("exploration");
+    EXPECT_EQ(exploration.at("points").items().size(), 4u);
+    EXPECT_EQ(exploration.at("points_total").as_int(), 4);
+    EXPECT_GE(exploration.at("pareto_front").items().size(), 1u);
+    EXPECT_EQ(exploration.at("best_per_topology").items().size(), 1u);
+    EXPECT_EQ(lw::serialize_response(parsed.value()), line);
 }
 
 TEST(Wire, CancelAckAndStatsSerialize) {

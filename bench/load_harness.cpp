@@ -1,0 +1,452 @@
+/// \file load_harness.cpp
+/// \brief Sustained-load bench for the TCP service: an in-process
+///        net::Server driven by many concurrent closed-loop client
+///        connections over real loopback sockets, plus a backpressure
+///        phase against a deliberately tiny queue.  Records sustained
+///        req/s, error/reject counts, and p50/p99/p999 latencies into
+///        BENCH_service.json.
+///
+/// Phase 1 -- sustained mixed load: N connections (64 by default -- the
+/// acceptance bar; 16 under LEQA_BENCH_FAST), each a closed loop of M
+/// requests over one socket: mostly cache-warm estimates with a sprinkle
+/// of sweeps, small explores, and inline stats ops.  Every response is
+/// parsed and id-checked; any parse failure, id mismatch, or unexpected
+/// error is a protocol error, and the run demands zero.
+///
+/// Phase 2 -- backpressure: a fresh service with --threads 1 and
+/// --max-queue 4.  A slow explore job pins the single worker (confirmed
+/// running via an inline stats op before the burst), four cheap jobs
+/// fill the queue, and a burst of further requests must come back as
+/// retryable `Unavailable` rejections while the reactor stays responsive
+/// (a stats round trip is timed *during* the overload).  The final drain
+/// must answer every accepted request exactly once.
+///
+/// Environment knobs: LEQA_BENCH_FAST shrinks the load (16 connections x
+/// 16 requests); LEQA_SERVICE_JSON overrides the artifact path.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mathx/stats.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace leqa;
+namespace wire = service::wire;
+
+/// The tiny suite circuit every load request targets: cache-warm after the
+/// first touch, so the phase measures the service + wire + reactor path,
+/// not synthesis.
+const char* kSource = "bench:ham3";
+
+wire::WireRequest make_estimate(std::uint64_t id) {
+    wire::WireRequest request;
+    request.id = id;
+    request.op = wire::WireRequest::Op::Estimate;
+    request.source = kSource;
+    return request;
+}
+
+wire::WireRequest make_sweep(std::uint64_t id) {
+    wire::WireRequest request;
+    request.id = id;
+    request.op = wire::WireRequest::Op::Sweep;
+    request.source = kSource;
+    request.axis = service::SweepAxis::FabricSides;
+    request.values = {40, 50, 60};
+    return request;
+}
+
+wire::WireRequest make_explore(std::uint64_t id) {
+    wire::WireRequest request;
+    request.id = id;
+    request.op = wire::WireRequest::Op::Explore;
+    request.source = kSource;
+    request.explore.sides = {40, 50};
+    request.explore.speeds = {0.001, 0.002};
+    request.explore.threads = 1; // the box is already saturated with clients
+    return request;
+}
+
+wire::WireRequest make_stats(std::uint64_t id) {
+    wire::WireRequest request;
+    request.id = id;
+    request.op = wire::WireRequest::Op::Stats;
+    return request;
+}
+
+/// The i-th request of a connection's closed loop: mostly estimates, with
+/// sweeps, explores, and stats ops mixed in at fixed phases so every
+/// connection exercises every op shape.
+wire::WireRequest mixed_request(std::uint64_t id, int i) {
+    switch (i % 16) {
+        case 5: return make_sweep(id);
+        case 11: return make_explore(id);
+        case 15: return make_stats(id);
+        default: return make_estimate(id);
+    }
+}
+
+
+/// One closed-loop connection's tally.
+struct WorkerResult {
+    std::vector<double> latencies_s; ///< per-request round-trip seconds
+    std::size_t protocol_errors = 0; ///< parse / id / unexpected-error
+    std::size_t rejected = 0;        ///< Unavailable responses (retryable)
+};
+
+/// Run one connection: M requests, one outstanding at a time, each timed
+/// send -> matching response.
+WorkerResult run_connection(const std::string& host, std::uint16_t port,
+                            int requests) {
+    WorkerResult result;
+    result.latencies_s.reserve(static_cast<std::size_t>(requests));
+    try {
+        net::Client client(host, port);
+        for (int i = 0; i < requests; ++i) {
+            const std::uint64_t id = static_cast<std::uint64_t>(i) + 1;
+            const wire::WireRequest request = mixed_request(id, i);
+            const util::Stopwatch clock;
+            client.send_line(wire::serialize_request(request));
+            const std::optional<std::string> line = client.read_line();
+            if (!line) { // server vanished mid-loop
+                result.protocol_errors += static_cast<std::size_t>(requests - i);
+                break;
+            }
+            result.latencies_s.push_back(clock.seconds());
+            const util::Result<wire::WireResponse> response =
+                wire::parse_response(*line);
+            if (!response.ok() || response.value().id != id) {
+                ++result.protocol_errors;
+            } else if (!response.value().status.ok()) {
+                if (response.value().status.code() == util::StatusCode::Unavailable) {
+                    ++result.rejected; // retryable backpressure, not a bug
+                } else {
+                    ++result.protocol_errors;
+                }
+            }
+        }
+        client.finish_writes();
+        if (client.read_line()) ++result.protocol_errors; // spurious extra line
+    } catch (const std::exception&) {
+        ++result.protocol_errors;
+    }
+    return result;
+}
+
+/// Decode {"result":{"stats":{...}}} fields the harness steers by.
+struct StatsView {
+    long long running = 0;
+    long long queue_depth = 0;
+    long long rejected = 0;
+    bool ok = false;
+};
+
+StatsView stats_view_of(const wire::WireResponse& response) {
+    StatsView view;
+    if (!response.status.ok()) return view;
+    const util::JsonValue* stats = response.result.find("stats");
+    if (!stats) return view;
+    const auto field = [&](const char* key) -> long long {
+        const util::JsonValue* value = stats->find(key);
+        return value ? static_cast<long long>(value->as_number()) : 0;
+    };
+    view.running = field("running");
+    view.queue_depth = field("queue_depth");
+    view.rejected = field("rejected");
+    view.ok = true;
+    return view;
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== service load: TCP reactor under concurrent closed-loop clients ===\n\n");
+
+    const bool fast = util::env_flag("LEQA_BENCH_FAST");
+    const int connections = fast ? 16 : 64;
+    const int requests_per_connection = fast ? 16 : 32;
+    const std::string host = "127.0.0.1";
+
+    // --- phase 1: sustained mixed load ------------------------------------
+    service::ServiceOptions load_options; // threads = hardware, queue = 1024
+    service::Service load_service(pipeline::PipelineConfig{}, load_options);
+    net::ServerOptions load_server_options;
+    load_server_options.host = host;
+    net::Server load_server(load_service, load_server_options);
+    std::thread load_reactor([&] { load_server.run(); });
+
+    { // warm the pipeline cache so the loop measures steady state
+        net::Client warmup(host, load_server.port());
+        for (int i = 0; i < 3; ++i) {
+            warmup.send_line(wire::serialize_request(mixed_request(
+                static_cast<std::uint64_t>(i) + 1, i == 0 ? 0 : (i == 1 ? 5 : 11))));
+            (void)warmup.read_line();
+        }
+    }
+
+    // Start every connection thread, then release them together so the
+    // measured window is all-N-concurrent from its first instant.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::vector<WorkerResult> results(static_cast<std::size_t>(connections));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+        workers.emplace_back([&, c] {
+            {
+                std::unique_lock<std::mutex> lock(gate_mutex);
+                gate_cv.wait(lock, [&] { return gate_open; });
+            }
+            results[static_cast<std::size_t>(c)] =
+                run_connection(host, load_server.port(), requests_per_connection);
+        });
+    }
+    const util::Stopwatch load_clock;
+    {
+        const std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (auto& worker : workers) worker.join();
+    const double load_s = load_clock.seconds();
+
+    std::vector<double> latencies;
+    std::size_t protocol_errors = 0;
+    std::size_t load_rejected = 0;
+    for (const auto& result : results) {
+        latencies.insert(latencies.end(), result.latencies_s.begin(),
+                         result.latencies_s.end());
+        protocol_errors += result.protocol_errors;
+        load_rejected += result.rejected;
+    }
+    const std::size_t total_requests = latencies.size();
+    const double sustained_req_s =
+        load_s > 0.0 ? static_cast<double>(total_requests) / load_s : 0.0;
+    const double p50_s = mathx::nearest_rank_percentile_inplace(latencies, 0.50);
+    const double p99_s = mathx::nearest_rank_percentile_inplace(latencies, 0.99);
+    const double p999_s = mathx::nearest_rank_percentile_inplace(latencies, 0.999);
+    const double max_s = mathx::nearest_rank_percentile_inplace(latencies, 1.0);
+
+    load_server.stop();
+    load_reactor.join();
+
+    std::printf("sustained load: %d connections x %d requests over %s\n",
+                connections, requests_per_connection, kSource);
+    std::printf("  wall %.3f s, %.0f req/s, %zu responses, %zu protocol errors, "
+                "%zu rejected\n",
+                load_s, sustained_req_s, total_requests, protocol_errors,
+                load_rejected);
+    std::printf("  latency p50 %.2e s, p99 %.2e s, p999 %.2e s, max %.2e s\n",
+                p50_s, p99_s, p999_s, max_s);
+
+    // --- phase 2: backpressure against a tiny queue -----------------------
+    // One worker, four queue slots.  A slow explore pins the worker; four
+    // cheap jobs fill the queue; everything past that must reject with the
+    // retryable Unavailable code while the reactor keeps answering inline
+    // ops within milliseconds.
+    const std::size_t kMaxQueue = 4;
+    service::ServiceOptions bp_options;
+    bp_options.threads = 1;
+    bp_options.max_queue = kMaxQueue;
+    service::Service bp_service(pipeline::PipelineConfig{}, bp_options);
+    net::ServerOptions bp_server_options;
+    bp_server_options.host = host;
+    net::Server bp_server(bp_service, bp_server_options);
+    std::thread bp_reactor([&] { bp_server.run(); });
+
+    // The pinning job: a 512-point exploration of a 61k-op suite circuit,
+    // roughly a second of single-worker compute on a small box -- orders of
+    // magnitude longer than the probe + fill + burst sequence it must
+    // outlast (which is all sub-50ms loopback traffic).
+    wire::WireRequest slow = make_explore(1);
+    slow.source = "bench:gf2^64mult";
+    slow.explore.topologies = {fabric::TopologyKind::Grid, fabric::TopologyKind::Torus};
+    slow.explore.sides = {40, 44, 48, 52, 56, 60, 64, 72};
+    slow.explore.speeds = {0.0005, 0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.016};
+    slow.explore.capacities = {3, 4, 5, 6};
+
+    net::Client pinner(host, bp_server.port());
+    pinner.send_line(wire::serialize_request(slow));
+
+    // All control traffic goes down one pipelined connection, so a stats
+    // probe's reply can be preceded by earlier responses (most notably the
+    // burst's rejections, which complete instantly).  Every line is either
+    // the awaited probe reply or gets classified into the exactly-once
+    // accounting below.
+    net::Client prober(host, bp_server.port());
+    const int burst = 32;
+    std::map<std::uint64_t, int> seen; // filler/burst id -> response count
+    std::size_t bp_accepted_ok = 0;
+    std::size_t bp_rejected = 0;
+    std::size_t bp_protocol_errors = 0;
+    const auto classify = [&](const wire::WireResponse& response) {
+        const std::uint64_t id = response.id;
+        if ((id < 100 || id >= 100 + kMaxQueue) &&
+            (id < 200 || id >= 200 + static_cast<std::uint64_t>(burst))) {
+            ++bp_protocol_errors; // a reply nobody asked for
+            return;
+        }
+        ++seen[id];
+        if (response.status.ok()) {
+            ++bp_accepted_ok;
+        } else if (response.status.code() == util::StatusCode::Unavailable) {
+            ++bp_rejected;
+        } else {
+            ++bp_protocol_errors;
+        }
+    };
+    const auto probe_stats = [&](std::uint64_t id) -> StatsView {
+        prober.send_line(wire::serialize_request(make_stats(id)));
+        while (const std::optional<std::string> line = prober.read_line()) {
+            const util::Result<wire::WireResponse> response =
+                wire::parse_response(*line);
+            if (!response.ok()) {
+                ++bp_protocol_errors;
+                continue;
+            }
+            if (response.value().id == id) return stats_view_of(response.value());
+            classify(response.value());
+        }
+        return {}; // EOF before the reply: not ok
+    };
+
+    bool pinned = false;
+    for (int attempt = 0; attempt < 2000 && !pinned; ++attempt) {
+        const StatsView view = probe_stats(90000 + static_cast<std::uint64_t>(attempt));
+        pinned = view.ok && view.running >= 1;
+        if (!pinned) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!pinned) ++bp_protocol_errors; // the pin must be observed pre-burst
+
+    // Fill the queue, then confirm it is full before bursting.
+    for (std::uint64_t id = 100; id < 100 + kMaxQueue; ++id) {
+        prober.send_line(wire::serialize_request(make_estimate(id)));
+    }
+    bool queue_full = false;
+    for (int attempt = 0; attempt < 2000 && !queue_full; ++attempt) {
+        const StatsView view = probe_stats(91000 + static_cast<std::uint64_t>(attempt));
+        queue_full = view.ok && view.queue_depth >= static_cast<long long>(kMaxQueue);
+        if (!queue_full) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!queue_full) ++bp_protocol_errors;
+
+    for (std::uint64_t id = 200; id < 200 + burst; ++id) {
+        prober.send_line(wire::serialize_request(make_estimate(id)));
+    }
+
+    // Reactor responsiveness while the worker is pinned and the queue is
+    // full: an inline stats round trip, timed (the clock includes reading
+    // through the burst's rejection replies already in flight -- all local,
+    // all reactor-emitted, so this is still a liveness measurement).
+    const util::Stopwatch stats_clock;
+    const StatsView overloaded = probe_stats(95000);
+    const double stats_latency_s = stats_clock.seconds();
+    if (!overloaded.ok) ++bp_protocol_errors;
+
+    // Drain: every request sent on this connection answers exactly once.
+    prober.finish_writes();
+    while (const std::optional<std::string> line = prober.read_line()) {
+        const util::Result<wire::WireResponse> response = wire::parse_response(*line);
+        if (!response.ok()) {
+            ++bp_protocol_errors;
+            continue;
+        }
+        classify(response.value());
+    }
+    bool drained_exactly_once = true;
+    for (std::uint64_t id = 100; id < 100 + kMaxQueue; ++id) {
+        drained_exactly_once = drained_exactly_once && seen[id] == 1;
+    }
+    for (std::uint64_t id = 200; id < 200 + burst; ++id) {
+        drained_exactly_once = drained_exactly_once && seen[id] == 1;
+    }
+
+    const std::optional<std::string> slow_line = pinner.read_line();
+    bool slow_answered = false;
+    if (slow_line) {
+        const util::Result<wire::WireResponse> response =
+            wire::parse_response(*slow_line);
+        slow_answered = response.ok() && response.value().id == 1 &&
+                        response.value().status.ok();
+    }
+    pinner.finish_writes();
+    if (!slow_answered) ++bp_protocol_errors;
+
+    bp_server.stop();
+    bp_reactor.join();
+    const double reject_rate =
+        static_cast<double>(bp_rejected) /
+        static_cast<double>(kMaxQueue + static_cast<std::size_t>(burst));
+
+    std::printf("\nbackpressure: 1 worker, max-queue %zu, %d-request burst\n",
+                kMaxQueue, burst);
+    std::printf("  accepted %zu, rejected %zu (rate %.2f), exactly-once drain %s\n",
+                bp_accepted_ok, bp_rejected, reject_rate,
+                drained_exactly_once ? "yes" : "NO");
+    std::printf("  stats round trip during overload: %.2e s\n", stats_latency_s);
+    std::printf("  protocol errors: %zu\n", bp_protocol_errors);
+
+    // --- artifact ----------------------------------------------------------
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("bench", "load_harness");
+    json.kv("hardware_threads",
+            static_cast<long long>(std::thread::hardware_concurrency()));
+    json.key("load").begin_object();
+    json.kv("connections", static_cast<long long>(connections));
+    json.kv("requests_per_connection", static_cast<long long>(requests_per_connection));
+    json.kv("source", kSource);
+    json.kv("responses", total_requests);
+    json.kv("wall_s", load_s);
+    json.kv("sustained_req_s", sustained_req_s);
+    json.kv("protocol_errors", protocol_errors);
+    json.kv("rejected", load_rejected);
+    json.key("latency").begin_object();
+    json.kv("p50_s", p50_s);
+    json.kv("p99_s", p99_s);
+    json.kv("p999_s", p999_s);
+    json.kv("max_s", max_s);
+    json.end_object();
+    json.end_object();
+    json.key("backpressure").begin_object();
+    json.kv("max_queue", kMaxQueue);
+    json.kv("burst", static_cast<long long>(burst));
+    json.kv("worker_pinned", pinned);
+    json.kv("queue_filled", queue_full);
+    json.kv("accepted_ok", bp_accepted_ok);
+    json.kv("rejected", bp_rejected);
+    json.kv("reject_rate", reject_rate);
+    json.kv("stats_latency_during_overload_s", stats_latency_s);
+    json.kv("drained_exactly_once", drained_exactly_once);
+    json.kv("slow_job_answered", slow_answered);
+    json.kv("protocol_errors", bp_protocol_errors);
+    json.end_object();
+    json.end_object();
+
+    const std::string path =
+        util::env_string("LEQA_SERVICE_JSON").value_or("BENCH_service.json");
+    std::ofstream out(path);
+    out << json.str() << "\n";
+    std::printf("\nwrote %s\n", path.c_str());
+
+    // Nonzero exit on any protocol error: CI treats this bench as a gate on
+    // wire correctness, not just a numbers source.
+    return protocol_errors + bp_protocol_errors == 0 ? 0 : 1;
+}

@@ -1,45 +1,143 @@
 /// \file leqa_server.cpp
-/// \brief LEQA as a long-lived stdio daemon: NDJSON requests in, NDJSON
-///        responses out, backed by the async service::Service.
+/// \brief LEQA as a long-lived daemon: NDJSON requests in, NDJSON responses
+///        out, backed by the async service::Service.  Two transports:
 ///
-/// One JSON object per input line (see service/wire.h for the format);
-/// responses are written in order of completion, correlated by "id".
-/// Estimate/map/sweep/explore/calibrate requests run on the service's worker pool
-/// with per-request priority and deadline; "cancel" and "stats" are
-/// answered inline.  EOF on stdin drains the queue gracefully (every
-/// accepted request still gets its response) and exits 0.  No request --
-/// however malformed -- can crash the daemon: failures come back as
-/// {"error":{"code":...,...}} lines.
+///   stdio (default)   one client over stdin/stdout; EOF *or* SIGTERM/
+///                     SIGINT drains gracefully (every accepted request
+///                     still gets its response) and exits 0.
+///   --listen <port>   poll-reactor TCP server (see net/server.h): N
+///                     concurrent connections, connection-local id spaces,
+///                     `Unavailable` rejections instead of blocking when
+///                     the bounded queue fills, graceful drain on signal.
+///
+/// One JSON object per line in both modes (see service/wire.h for the
+/// format).  Request lines are length-capped (--max-line): an overlong
+/// line answers ParseError and the stream resynchronizes at the next
+/// newline.  No request -- however malformed -- can crash the daemon.
 ///
 /// Examples:
 ///   printf '{"id":1,"op":"estimate","source":"bench:ham3"}\n' | leqa_server
 ///   leqa_server --threads 8 --max-queue 256 --fabric 80x80 < requests.ndjson
+///   leqa_server --listen 7421 --threads 8 --max-conns 256
+///   leqa_server --listen 0        # ephemeral port, printed on stdout
 #include <csignal>
 #include <cstdio>
-#include <iostream>
 #include <mutex>
+#include <poll.h>
 #include <string>
-#include <unordered_map>
+#include <unistd.h>
 
 #include "cli/common.h"
+#include "net/framing.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "net/socket.h"
 #include "pipeline/pipeline.h"
 #include "service/service.h"
 #include "service/wire.h"
 #include "util/args.h"
-#include "util/strings.h"
+#include "util/error.h"
 
 namespace {
 
 using namespace leqa;
 
+/// Self-pipe for SIGTERM/SIGINT: the handler only write()s (async-signal-
+/// safe); both the stdio loop and the TCP reactor poll the read end and
+/// begin a graceful drain when it turns readable.
+int g_signal_pipe_wr = -1;
+
+extern "C" void on_terminate_signal(int) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe_wr, &byte, 1);
+}
+
+/// Install the self-pipe and the handlers; returns the read end.
+int install_signal_pipe() {
+    int fds[2];
+    if (::pipe(fds) != 0) throw util::Error("signal pipe creation failed");
+    net::set_nonblocking(fds[0]);
+    net::set_nonblocking(fds[1]);
+    g_signal_pipe_wr = fds[1];
+    struct sigaction action{};
+    action.sa_handler = on_terminate_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: blocking poll() must wake on signal
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    return fds[0];
+}
+
+/// stdio transport: poll stdin + the signal pipe, feed a bounded
+/// LineReader, dispatch through one net::Session.  On stdin EOF or a
+/// termination signal, drains the service *before* returning -- the emit
+/// sink (and its stdout mutex) must outlive every in-flight completion.
+void run_stdio(service::Service& service, std::size_t max_line_bytes,
+               int signal_fd) {
+    std::mutex out_mutex;
+    const auto session = net::Session::make(
+        service,
+        [&out_mutex](std::string line) {
+            const std::lock_guard<std::mutex> lock(out_mutex);
+            std::fputs(line.c_str(), stdout);
+            std::fputc('\n', stdout);
+            std::fflush(stdout);
+        },
+        net::SessionOptions{/*reject_when_full=*/false});
+
+    net::LineReader reader(max_line_bytes);
+    const auto dispatch = [&] {
+        while (std::optional<net::WireLine> line = reader.next()) {
+            if (line->overlong) session->handle_overlong();
+            else session->handle_line(line->text);
+        }
+    };
+
+    char buffer[65536];
+    bool reading = true;
+    while (reading) {
+        pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {signal_fd, POLLIN, 0}};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (fds[1].revents & POLLIN) break; // signal: stop reading, drain
+        if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+            const ssize_t got = ::read(STDIN_FILENO, buffer, sizeof(buffer));
+            if (got < 0) {
+                if (errno == EINTR) continue;
+                break;
+            }
+            if (got == 0) { // EOF
+                reader.finish();
+                dispatch();
+                reading = false;
+            } else {
+                reader.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+                dispatch();
+            }
+        }
+    }
+    // Graceful drain: every accepted job still answers through this
+    // session's emit, which references the locals above.
+    service.drain();
+}
+
 int body(int argc, char** argv) {
     util::ArgParser parser(
-        "LEQA NDJSON daemon: one JSON request per stdin line, one JSON "
-        "response per stdout line (id-correlated, completion order)");
+        "LEQA NDJSON daemon: one JSON request per line, one JSON response "
+        "per line (id-correlated, completion order); stdio by default, a "
+        "multi-client TCP reactor with --listen");
     pipeline::add_param_options(parser);
     parser.add_option("threads", "service worker threads (0 = hardware)", "0");
-    parser.add_option("max-queue", "queued-job bound (submit blocks when full)",
-                      "1024");
+    parser.add_option("max-queue", "queued-job bound (stdio blocks, TCP "
+                      "rejects Unavailable when full)", "1024");
+    parser.add_option("listen", "TCP port to serve on (0 = ephemeral; "
+                      "omit for stdio mode)");
+    parser.add_option("host", "TCP bind address", "127.0.0.1");
+    parser.add_option("max-conns", "concurrent TCP connection cap", "1024");
+    parser.add_option("max-line", "request line length cap in bytes",
+                      "1048576");
     parser.add_flag("no-synth", "inputs are already FT-synthesized");
     if (!parser.parse(argc, argv)) return 0;
 
@@ -48,6 +146,7 @@ int body(int argc, char** argv) {
     // writes fail with EPIPE instead of raising the default-fatal signal.
     std::signal(SIGPIPE, SIG_IGN);
 #endif
+    const int signal_fd = install_signal_pipe();
 
     pipeline::PipelineConfig config;
     config.params = pipeline::params_from_args(parser);
@@ -57,144 +156,30 @@ int body(int argc, char** argv) {
     service_options.threads = parser.option_size("threads");
     service_options.max_queue = parser.option_size("max-queue");
 
-    // Everything the worker callbacks touch (emit, the jobs map and their
-    // mutexes) must outlive the Service: declare them first so unwinding
-    // destroys the Service -- joining its workers -- before them.
-    // Workers complete jobs concurrently; one mutex keeps response lines whole.
-    std::mutex out_mutex;
-    const auto emit = [&out_mutex](const std::string& line) {
-        const std::lock_guard<std::mutex> lock(out_mutex);
-        std::fputs(line.c_str(), stdout);
-        std::fputc('\n', stdout);
-        std::fflush(stdout);
-    };
-
-    // Wire id -> handle, so "cancel" can reach in-flight jobs.  Entries are
-    // erased on completion (a cancel for a finished job answers NotFound), so
-    // the map stays bounded by the number of in-flight requests.
-    std::mutex jobs_mutex;
-    std::unordered_map<std::uint64_t, service::JobHandle> jobs;
-    const auto track = [&jobs_mutex, &jobs](std::uint64_t id,
-                                            service::JobHandle handle) {
-        const std::lock_guard<std::mutex> lock(jobs_mutex);
-        // The job may have completed (and fired its erase) before this
-        // insert ran; only track handles that are still in flight.
-        const service::JobState state = handle.poll();
-        if (state != service::JobState::Done && state != service::JobState::Cancelled) {
-            jobs[id] = std::move(handle);
-        }
-    };
+    const std::size_t max_line = parser.option_size("max-line");
+    LEQA_REQUIRE(max_line >= 64, "--max-line must be at least 64 bytes");
 
     service::Service service(config, service_options);
 
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        if (util::trim(line).empty()) continue;
-        const util::Result<service::wire::WireRequest> parsed =
-            service::wire::parse_request(line);
-        if (!parsed.ok()) {
-            // Best-effort correlation -- but never duplicate an in-flight
-            // id: if the recovered id already names a pending job, answer
-            // as unidentifiable (id 0) so that job's eventual response
-            // stays the only line with its id.
-            std::uint64_t recovered = service::wire::extract_id(line);
-            if (recovered != 0) {
-                const std::lock_guard<std::mutex> lock(jobs_mutex);
-                if (jobs.count(recovered) != 0) recovered = 0;
-            }
-            emit(service::wire::serialize_error(recovered, parsed.status()));
-            continue;
-        }
-        const service::wire::WireRequest& request = parsed.value();
-        const std::uint64_t id = request.id;
-        {
-            // Ids must be unique among in-flight requests for every op: a
-            // reused job id would make the older job uncancellable and let
-            // its completion erase the newer entry, and even an inline op
-            // (cancel/stats) reusing one would put two responses with the
-            // same id on the wire.
-            const std::lock_guard<std::mutex> lock(jobs_mutex);
-            if (jobs.count(id) != 0) {
-                emit(service::wire::serialize_error(
-                    id, util::Status(util::StatusCode::InvalidArgument,
-                                     "request id " + std::to_string(id) +
-                                         " is already in flight",
-                                     "wire")));
-                continue;
-            }
-        }
-        service::SubmitOptions options = service::wire::submit_options(request);
-        options.on_complete = [id, &emit, &jobs_mutex,
-                               &jobs](const service::JobHandle& handle) {
-            emit(service::wire::serialize_result(id, handle.wait()));
-            const std::lock_guard<std::mutex> lock(jobs_mutex);
-            jobs.erase(id);
-        };
-
-        switch (request.op) {
-            case service::wire::WireRequest::Op::Estimate:
-            case service::wire::WireRequest::Op::Map:
-            case service::wire::WireRequest::Op::Both: {
-                std::optional<fabric::PhysicalParams> params;
-                if (!request.params.empty()) {
-                    params = request.params.apply(service.pipeline().config().params);
-                }
-                track(id, service.submit(request.source,
-                                         service::wire::run_mode_of(request.op),
-                                         std::move(params), std::move(options)));
-                break;
-            }
-            case service::wire::WireRequest::Op::Sweep: {
-                service::SweepRequest sweep;
-                sweep.source = request.source;
-                sweep.axis = request.axis;
-                sweep.values = request.values;
-                sweep.kinds = request.kinds;
-                track(id, service.submit_sweep(std::move(sweep), std::move(options)));
-                break;
-            }
-            case service::wire::WireRequest::Op::Explore: {
-                service::ExploreRequest explore;
-                explore.source = request.source;
-                explore.spec = request.explore;
-                track(id, service.submit_explore(std::move(explore), std::move(options)));
-                break;
-            }
-            case service::wire::WireRequest::Op::Calibrate: {
-                service::CalibrationRequest calibrate;
-                calibrate.sources = request.sources;
-                calibrate.apply = request.apply_calibration;
-                track(id,
-                      service.submit_calibration(std::move(calibrate), std::move(options)));
-                break;
-            }
-            case service::wire::WireRequest::Op::Cancel: {
-                service::JobHandle target;
-                {
-                    const std::lock_guard<std::mutex> lock(jobs_mutex);
-                    const auto it = jobs.find(request.target);
-                    if (it != jobs.end()) target = it->second;
-                }
-                if (!target.valid()) {
-                    emit(service::wire::serialize_error(
-                        id, util::Status(util::StatusCode::NotFound,
-                                         "no job with id " +
-                                             std::to_string(request.target),
-                                         "queue")));
-                } else {
-                    emit(service::wire::serialize_cancel_ack(id, request.target,
-                                                             target.cancel()));
-                }
-                break;
-            }
-            case service::wire::WireRequest::Op::Stats:
-                emit(service::wire::serialize_stats(id, service.stats()));
-                break;
-        }
+    if (parser.option_given("listen")) {
+        const long long port = parser.option_int("listen");
+        LEQA_REQUIRE(port >= 0 && port <= 65535, "--listen port must be 0..65535");
+        net::ServerOptions server_options;
+        server_options.host = parser.option("host");
+        server_options.port = static_cast<std::uint16_t>(port);
+        server_options.max_connections = parser.option_size("max-conns");
+        server_options.max_line_bytes = max_line;
+        server_options.shutdown_fd = signal_fd;
+        net::Server server(service, server_options);
+        // Announce the bound endpoint (stdout carries no NDJSON in TCP
+        // mode); harnesses parse this line to discover an ephemeral port.
+        std::printf("listening on %s:%u\n", server_options.host.c_str(),
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        server.run(); // returns drained: every accepted request answered
+    } else {
+        run_stdio(service, max_line, signal_fd);
     }
-
-    // EOF: graceful drain -- every accepted job still answers, then exit.
-    service.drain();
     return 0;
 }
 

@@ -1,0 +1,76 @@
+#include "net/framing.h"
+
+#include "util/error.h"
+
+namespace leqa::net {
+
+namespace {
+
+/// How much of an overlong line to keep for the diagnostic event.
+constexpr std::size_t kOverlongPrefix = 256;
+
+} // namespace
+
+LineReader::LineReader(std::size_t max_line_bytes) : max_line_(max_line_bytes) {
+    LEQA_REQUIRE(max_line_ >= 2, "line cap must allow at least a 2-byte line");
+}
+
+void LineReader::feed(std::string_view data) {
+    while (!data.empty()) {
+        const std::size_t newline = data.find('\n');
+        if (discarding_) {
+            if (newline == std::string_view::npos) return; // still inside it
+            discarding_ = false;
+            data.remove_prefix(newline + 1);
+            continue;
+        }
+        if (newline == std::string_view::npos) {
+            partial_.append(data);
+            data = {};
+        } else {
+            partial_.append(data.substr(0, newline));
+            data.remove_prefix(newline + 1);
+            // Strip a CR so "\r\n" clients frame identically to "\n" ones.
+            if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+            if (partial_.size() > max_line_) {
+                partial_.resize(kOverlongPrefix);
+                ready_.push_back(WireLine{std::move(partial_), /*overlong=*/true});
+            } else {
+                ready_.push_back(WireLine{std::move(partial_), /*overlong=*/false});
+            }
+            partial_.clear();
+            continue;
+        }
+        if (partial_.size() > max_line_) {
+            // Cap blown mid-line: report once, then eat until the newline.
+            partial_.resize(kOverlongPrefix);
+            ready_.push_back(WireLine{std::move(partial_), /*overlong=*/true});
+            partial_.clear();
+            discarding_ = true;
+        }
+    }
+}
+
+void LineReader::finish() {
+    if (discarding_) {
+        discarding_ = false;
+        return; // the overlong event already fired
+    }
+    if (partial_.empty()) return;
+    if (partial_.size() > max_line_) {
+        partial_.resize(kOverlongPrefix);
+        ready_.push_back(WireLine{std::move(partial_), /*overlong=*/true});
+    } else {
+        ready_.push_back(WireLine{std::move(partial_), /*overlong=*/false});
+    }
+    partial_.clear();
+}
+
+std::optional<WireLine> LineReader::next() {
+    if (ready_.empty()) return std::nullopt;
+    WireLine line = std::move(ready_.front());
+    ready_.pop_front();
+    return line;
+}
+
+} // namespace leqa::net

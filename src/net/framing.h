@@ -1,0 +1,56 @@
+/// \file framing.h
+/// \brief NDJSON line framing with a hard per-line length cap.
+///
+/// Both wire transports (the stdio daemon loop and the TCP reactor) feed
+/// raw received bytes into a `LineReader` and pop complete lines out.  The
+/// cap is the defense the stdio `std::getline` loop never had: a hostile
+/// client streaming one unterminated line used to grow the buffer without
+/// bound.  Here the moment a line exceeds `max_line_bytes` the reader emits
+/// a single `overlong` event, drops what it buffered, and discards further
+/// bytes until the terminating newline -- memory stays bounded by the cap
+/// and the stream resynchronizes on the next line.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace leqa::net {
+
+/// One framed event: a complete line (without its '\n'), or the one-shot
+/// marker that a line blew the length cap (text then holds the truncated
+/// prefix, for diagnostics only -- never parse it).
+struct WireLine {
+    std::string text;
+    bool overlong = false;
+};
+
+/// Incremental, bounded NDJSON splitter.  feed() bytes in any chunking;
+/// next() pops framed events in arrival order.
+class LineReader {
+public:
+    explicit LineReader(std::size_t max_line_bytes);
+
+    void feed(std::string_view data);
+
+    /// Signal end of stream: a non-empty unterminated tail becomes a final
+    /// line event (matching std::getline's treatment of a missing trailing
+    /// newline).
+    void finish();
+
+    [[nodiscard]] std::optional<WireLine> next();
+
+    /// Bytes of the current unterminated line held in the buffer.
+    [[nodiscard]] std::size_t buffered() const { return partial_.size(); }
+    [[nodiscard]] std::size_t max_line_bytes() const { return max_line_; }
+
+private:
+    std::size_t max_line_;
+    std::string partial_;
+    bool discarding_ = false; ///< inside an overlong line, eating until '\n'
+    std::deque<WireLine> ready_;
+};
+
+} // namespace leqa::net

@@ -16,8 +16,11 @@ namespace leqa::service {
 
 namespace {
 
-/// Bounded window for the latency percentile reservoirs.
-constexpr std::size_t kLatencyWindow = 4096;
+/// Bounded window for the latency percentile reservoirs.  16384 keeps p999
+/// meaningful (nearest-rank needs >= 1000 samples before p999 separates
+/// from max; at 16384 the p999 rank sits 17 samples below the top) while a
+/// stats() snapshot still copies only ~256 KiB.
+constexpr std::size_t kLatencyWindow = 16384;
 
 std::chrono::steady_clock::duration seconds_duration(double seconds) {
     // duration_cast to the ns-backed steady duration is UB past ~292 years
@@ -44,6 +47,7 @@ LatencySummary summarize(std::vector<double> samples) {
     summary.p50_s = mathx::nearest_rank_percentile_inplace(samples, 0.50);
     summary.p90_s = mathx::nearest_rank_percentile_inplace(samples, 0.90);
     summary.p99_s = mathx::nearest_rank_percentile_inplace(samples, 0.99);
+    summary.p999_s = mathx::nearest_rank_percentile_inplace(samples, 0.999);
     return summary;
 }
 
@@ -205,7 +209,8 @@ std::string ServiceStats::to_string() const {
                        std::to_string(completed) + " completed (" +
                        std::to_string(succeeded) + " ok, " + std::to_string(failed) +
                        " failed, " + std::to_string(cancelled) + " cancelled, " +
-                       std::to_string(deadline_expired) + " deadline), queue " +
+                       std::to_string(deadline_expired) + " deadline, " +
+                       std::to_string(rejected) + " rejected), queue " +
                        std::to_string(queue_depth) + " (peak " +
                        std::to_string(peak_queue_depth) + "), running " +
                        std::to_string(running);
@@ -253,18 +258,29 @@ JobHandle Service::submit_fn(JobFn fn, SubmitOptions options) {
     job->core = core_;
 
     bool rejected = false;
+    bool queue_full = false;
     bool wake_worker = false;
     {
         std::unique_lock<std::mutex> lock(core_->mutex);
         job->id = ++core_->next_seq;
-        // Backpressure: block the submitter until the queue has room.
-        core_->slot_available.wait(lock, [&] {
-            return core_->stopping ||
-                   core_->stats.queue_depth < options_.max_queue;
-        });
+        if (options.nowait) {
+            // Backpressure without blocking: a full queue is an immediate,
+            // retryable rejection (the caller is an event loop that must
+            // not stall here).
+            queue_full = !core_->stopping &&
+                         core_->stats.queue_depth >= options_.max_queue;
+        } else {
+            // Backpressure: block the submitter until the queue has room.
+            core_->slot_available.wait(lock, [&] {
+                return core_->stopping ||
+                       core_->stats.queue_depth < options_.max_queue;
+            });
+        }
         ++core_->stats.submitted;
         if (core_->stopping) {
             rejected = true;
+        } else if (queue_full) {
+            // fall through: completed below, outside the lock
         } else {
             core_->queue.push(
                 detail::ServiceCore::QueueEntry{options.priority, job->id, job});
@@ -277,11 +293,25 @@ JobHandle Service::submit_fn(JobFn fn, SubmitOptions options) {
         }
     }
     if (rejected) {
-        // The job was never queued; complete it here, on the boundary.
+        // The job was never queued; complete it here, on the boundary.  The
+        // state is stored terminal *before* finish_job so a racing
+        // JobHandle::cancel can never mistake it for a queued job.
         job->state.store(JobState::Cancelled);
         core_->finish_job(job,
                           util::Status(util::StatusCode::Cancelled,
                                        "service is shut down", "queue"),
+                          0.0, 0.0);
+        return JobHandle(job);
+    }
+    if (queue_full) {
+        // Same cancel-race guard as above: leave Queued before completing.
+        job->state.store(JobState::Running);
+        core_->finish_job(job,
+                          util::Status(util::StatusCode::Unavailable,
+                                       "service queue is full (" +
+                                           std::to_string(options_.max_queue) +
+                                           " jobs); retry later",
+                                       "queue"),
                           0.0, 0.0);
         return JobHandle(job);
     }
@@ -474,6 +504,8 @@ void detail::ServiceCore::finish_job(const std::shared_ptr<detail::Job>& job,
             ++stats.cancelled;
         } else if (code == util::StatusCode::DeadlineExceeded) {
             ++stats.deadline_expired;
+        } else if (code == util::StatusCode::Unavailable) {
+            ++stats.rejected;
         } else {
             ++stats.failed;
         }

@@ -49,7 +49,8 @@ namespace leqa::service {
 /// Fixed configuration of one Service instance.
 struct ServiceOptions {
     std::size_t threads = 0;     ///< worker threads; 0 = hardware concurrency
-    std::size_t max_queue = 1024; ///< queued-job bound; submit blocks when full
+    std::size_t max_queue = 1024; ///< queued-job bound; submit blocks when
+                                  ///< full (or rejects, see SubmitOptions::nowait)
 };
 
 /// What a job can produce: one pipeline run, a design-space sweep, a
@@ -117,6 +118,12 @@ struct SubmitOptions {
     int priority = 0; ///< higher runs first; FIFO within a level
     std::optional<double> deadline_s; ///< relative deadline from submit time
     std::string label; ///< echoed into results and stats
+    /// Backpressure policy when the bounded queue is full: false (default)
+    /// blocks the submitting thread until a slot frees up; true never
+    /// blocks -- the job completes immediately with StatusCode::Unavailable
+    /// (the retryable rejection a network reactor must answer instead of
+    /// stalling its event loop).
+    bool nowait = false;
     /// Fired exactly once when the job completes (any outcome), from the
     /// completing thread, before drain()/shutdown() can return.  Must not
     /// throw; exceptions are swallowed at the boundary.
@@ -165,6 +172,7 @@ struct LatencySummary {
     double p50_s = 0.0;
     double p90_s = 0.0;
     double p99_s = 0.0;
+    double p999_s = 0.0; ///< saturates to max until the ring holds >= 1000
     double max_s = 0.0;
 };
 
@@ -173,9 +181,10 @@ struct ServiceStats {
     std::size_t submitted = 0;
     std::size_t completed = 0;        ///< all terminal outcomes
     std::size_t succeeded = 0;
-    std::size_t failed = 0;           ///< non-OK other than cancel/deadline
+    std::size_t failed = 0;           ///< non-OK other than cancel/deadline/reject
     std::size_t cancelled = 0;
     std::size_t deadline_expired = 0;
+    std::size_t rejected = 0;         ///< Unavailable: queue full under nowait
     std::size_t queue_depth = 0;      ///< currently queued
     std::size_t running = 0;          ///< currently executing
     std::size_t peak_queue_depth = 0;

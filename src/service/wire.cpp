@@ -435,6 +435,7 @@ std::string serialize_stats(std::uint64_t id, const ServiceStats& stats) {
         json.kv("p50_s", summary.p50_s);
         json.kv("p90_s", summary.p90_s);
         json.kv("p99_s", summary.p99_s);
+        json.kv("p999_s", summary.p999_s);
         json.kv("max_s", summary.max_s);
         json.end_object();
     };
@@ -449,6 +450,7 @@ std::string serialize_stats(std::uint64_t id, const ServiceStats& stats) {
     json.kv("failed", stats.failed);
     json.kv("cancelled", stats.cancelled);
     json.kv("deadline_expired", stats.deadline_expired);
+    json.kv("rejected", stats.rejected);
     json.kv("queue_depth", stats.queue_depth);
     json.kv("running", stats.running);
     json.kv("peak_queue_depth", stats.peak_queue_depth);

@@ -54,6 +54,14 @@ public:
     explicit DeadlineError(std::string message) : Error(std::move(message)) {}
 };
 
+/// Raised when a resource is temporarily exhausted and the caller should
+/// retry later (the service's bounded queue is full).  The service boundary
+/// maps it to StatusCode::Unavailable -- the one *retryable* wire code.
+class UnavailableError : public Error {
+public:
+    explicit UnavailableError(std::string message) : Error(std::move(message)) {}
+};
+
 /// Raised when an internal invariant is violated.  Indicates a bug in this
 /// library rather than bad input.
 class InternalError : public Error {

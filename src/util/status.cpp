@@ -6,12 +6,12 @@ namespace leqa::util {
 
 namespace {
 
-constexpr std::size_t kCodeCount = 7;
+constexpr std::size_t kCodeCount = 8;
 
 const std::array<std::string, kCodeCount>& code_names() {
     static const std::array<std::string, kCodeCount> names = {
-        "Ok",        "InvalidArgument",  "ParseError", "NotFound",
-        "Cancelled", "DeadlineExceeded", "Internal",
+        "Ok",        "InvalidArgument",  "ParseError",  "NotFound",
+        "Cancelled", "DeadlineExceeded", "Unavailable", "Internal",
     };
     return names;
 }
@@ -31,6 +31,10 @@ std::optional<StatusCode> parse_status_code(const std::string& name) {
         if (code_names()[i] == name) return static_cast<StatusCode>(i);
     }
     return std::nullopt;
+}
+
+bool status_code_retryable(StatusCode code) {
+    return code == StatusCode::Unavailable;
 }
 
 std::string Status::to_string() const {
@@ -54,6 +58,8 @@ Status status_from_exception(const std::exception_ptr& error, std::string origin
         return {StatusCode::Cancelled, e.what(), std::move(origin)};
     } catch (const DeadlineError& e) {
         return {StatusCode::DeadlineExceeded, e.what(), std::move(origin)};
+    } catch (const UnavailableError& e) {
+        return {StatusCode::Unavailable, e.what(), std::move(origin)};
     } catch (const std::exception& e) {
         return {StatusCode::Internal, e.what(), std::move(origin)};
     } catch (...) {
@@ -75,6 +81,8 @@ void throw_status(const Status& status) {
             throw CancelledError(status.message());
         case StatusCode::DeadlineExceeded:
             throw DeadlineError(status.message());
+        case StatusCode::Unavailable:
+            throw UnavailableError(status.message());
         case StatusCode::Internal:
             break;
     }

@@ -13,6 +13,7 @@
 ///   InputError            -> InvalidArgument     (failed validation)
 ///   CancelledError        -> Cancelled
 ///   DeadlineError         -> DeadlineExceeded
+///   UnavailableError      -> Unavailable        (bounded queue full; retry)
 ///   anything else         -> Internal
 #pragma once
 
@@ -33,8 +34,13 @@ enum class StatusCode {
     NotFound,         ///< named thing does not exist (file, bench, job id)
     Cancelled,        ///< the job was cancelled before or between stages
     DeadlineExceeded, ///< the job's deadline passed before it finished
+    Unavailable,      ///< temporarily overloaded (queue full) -- retryable
     Internal,         ///< invariant violation or unexpected exception
 };
+
+/// True for codes a client may retry verbatim after a backoff (today only
+/// Unavailable: the request was fine, the service was momentarily full).
+[[nodiscard]] bool status_code_retryable(StatusCode code);
 
 /// Stable wire name of a code (e.g. "InvalidArgument").
 [[nodiscard]] const std::string& status_code_name(StatusCode code);

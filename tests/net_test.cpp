@@ -1,0 +1,297 @@
+// Tests for the TCP network layer: line framing under the length cap, the
+// poll reactor multiplexing many connections onto one service, connection-
+// local id spaces, nowait backpressure (Unavailable rejections while the
+// queue is full), overlong-line resynchronization, mid-request disconnects
+// (no leaked jobs, no crash), and graceful stop-with-drain.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "net/framing.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace ln = leqa::net;
+namespace ls = leqa::service;
+namespace lp = leqa::pipeline;
+namespace lu = leqa::util;
+namespace wire = ls::wire;
+
+namespace {
+
+/// A job body that parks its worker until release(); pins a single-threaded
+/// service so TCP submissions pile into the bounded queue.
+class Blocker {
+public:
+    [[nodiscard]] ls::JobFn job() {
+        return [this](lp::Pipeline&, const lp::RunControl&) -> ls::JobResult {
+            started_.set_value();
+            release_future_.wait();
+            return lu::Status(lu::StatusCode::Internal, "blocker never succeeds");
+        };
+    }
+    void wait_until_running() { started_.get_future().wait(); }
+    void release() { release_.set_value(); }
+
+private:
+    std::promise<void> started_;
+    std::promise<void> release_;
+    std::shared_future<void> release_future_{release_.get_future().share()};
+};
+
+/// Server + reactor thread with teardown that always joins.
+class Reactor {
+public:
+    Reactor(ls::Service& service, ln::ServerOptions options = {})
+        : server_(service, options), thread_([this] { server_.run(); }) {}
+    ~Reactor() { stop(); }
+
+    void stop() {
+        server_.stop();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    ln::Server& server() { return server_; }
+    [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+private:
+    ln::Server server_;
+    std::thread thread_;
+};
+
+ls::ServiceOptions one_worker(std::size_t max_queue = 1024) {
+    ls::ServiceOptions options;
+    options.threads = 1;
+    options.max_queue = max_queue;
+    return options;
+}
+
+std::string estimate_line(std::uint64_t id) {
+    wire::WireRequest request;
+    request.id = id;
+    request.op = wire::WireRequest::Op::Estimate;
+    request.source = "bench:ham3";
+    return wire::serialize_request(request);
+}
+
+wire::WireResponse read_response(ln::Client& client) {
+    const std::optional<std::string> line = client.read_line();
+    EXPECT_TRUE(line.has_value()) << "connection closed before a response";
+    if (!line) return {};
+    const lu::Result<wire::WireResponse> parsed = wire::parse_response(*line);
+    EXPECT_TRUE(parsed.ok()) << *line;
+    return parsed.ok() ? parsed.value() : wire::WireResponse{};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- framing --
+
+TEST(NetFraming, SplitsLinesAcrossFeedsAndStripsCr) {
+    ln::LineReader reader(64);
+    reader.feed("{\"a\":1}\r\n{\"b\"");
+    auto first = reader.next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->text, "{\"a\":1}"); // CR stripped
+    EXPECT_FALSE(first->overlong);
+    EXPECT_FALSE(reader.next().has_value()); // second line incomplete
+    reader.feed(":2}\n");
+    auto second = reader.next();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->text, "{\"b\":2}");
+}
+
+TEST(NetFraming, OverlongLineReportsOnceAndResyncs) {
+    ln::LineReader reader(8);
+    reader.feed(std::string(100, 'x')); // way past the cap, no newline yet
+    auto overlong = reader.next();
+    ASSERT_TRUE(overlong.has_value());
+    EXPECT_TRUE(overlong->overlong);
+    reader.feed(std::string(50, 'y')); // still the same junk line
+    EXPECT_FALSE(reader.next().has_value()); // reported once, now discarding
+    reader.feed("\nok\n"); // newline ends the junk; next line is clean
+    auto clean = reader.next();
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_FALSE(clean->overlong);
+    EXPECT_EQ(clean->text, "ok");
+}
+
+TEST(NetFraming, FinishEmitsUnterminatedTail) {
+    ln::LineReader reader(64);
+    reader.feed("tail-no-newline");
+    EXPECT_FALSE(reader.next().has_value());
+    reader.finish();
+    auto tail = reader.next();
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_EQ(tail->text, "tail-no-newline");
+}
+
+// ---------------------------------------------------------------- reactor --
+
+TEST(NetServer, ManyConnectionsWithOverlappingIdSpaces) {
+    ls::Service service(lp::PipelineConfig{}, one_worker());
+    Reactor reactor(service);
+
+    // Every connection uses the SAME wire ids 1..3; the per-connection
+    // sessions must keep them isolated.
+    constexpr int kConnections = 8;
+    std::vector<std::unique_ptr<ln::Client>> clients;
+    for (int c = 0; c < kConnections; ++c) {
+        clients.push_back(
+            std::make_unique<ln::Client>("127.0.0.1", reactor.port()));
+        for (std::uint64_t id = 1; id <= 3; ++id) {
+            clients.back()->send_line(estimate_line(id));
+        }
+    }
+    for (auto& client : clients) {
+        std::vector<bool> seen(4, false);
+        for (int i = 0; i < 3; ++i) {
+            const wire::WireResponse response = read_response(*client);
+            ASSERT_GE(response.id, 1u);
+            ASSERT_LE(response.id, 3u);
+            EXPECT_FALSE(seen[response.id]) << "duplicate id " << response.id;
+            seen[response.id] = true;
+            EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+        }
+        client->finish_writes();
+        EXPECT_FALSE(client->read_line().has_value()); // clean close, no extras
+    }
+    EXPECT_EQ(reactor.server().connections_accepted(), kConnections);
+}
+
+TEST(NetServer, BackpressureRejectsWithUnavailableAndDrainsAccepted) {
+    ls::Service service(lp::PipelineConfig{}, one_worker(/*max_queue=*/2));
+    Blocker blocker;
+    const ls::JobHandle gate = service.submit_fn(blocker.job());
+    blocker.wait_until_running(); // the lone worker is now pinned
+
+    Reactor reactor(service);
+    ln::Client client("127.0.0.1", reactor.port());
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+        client.send_line(estimate_line(id));
+    }
+
+    // With the worker pinned, ids 1-2 fill the queue and 3-5 must reject
+    // immediately with the retryable code -- their responses arrive while
+    // the blocker still holds the worker, proving the reactor never blocked.
+    std::vector<std::uint64_t> rejected;
+    for (int i = 0; i < 3; ++i) {
+        const wire::WireResponse response = read_response(client);
+        EXPECT_EQ(response.status.code(), lu::StatusCode::Unavailable);
+        EXPECT_TRUE(lu::status_code_retryable(response.status.code()));
+        rejected.push_back(response.id);
+    }
+    std::sort(rejected.begin(), rejected.end());
+    EXPECT_EQ(rejected, (std::vector<std::uint64_t>{3, 4, 5}));
+
+    blocker.release();
+    // The two accepted jobs drain and answer exactly once each.
+    std::vector<std::uint64_t> accepted;
+    for (int i = 0; i < 2; ++i) {
+        const wire::WireResponse response = read_response(client);
+        EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+        accepted.push_back(response.id);
+    }
+    std::sort(accepted.begin(), accepted.end());
+    EXPECT_EQ(accepted, (std::vector<std::uint64_t>{1, 2}));
+    client.finish_writes();
+    EXPECT_FALSE(client.read_line().has_value());
+    EXPECT_EQ(service.stats().rejected, 3u);
+}
+
+TEST(NetServer, OverlongLineAnswersParseErrorAndResynchronizes) {
+    ls::Service service(lp::PipelineConfig{}, one_worker());
+    ln::ServerOptions options;
+    options.max_line_bytes = 128;
+    Reactor reactor(service, options);
+
+    ln::Client client("127.0.0.1", reactor.port());
+    client.send_raw(std::string(1000, 'x')); // one giant junk line...
+    client.send_raw("\n");                   // ...terminated,
+    client.send_line(estimate_line(7));      // then a well-formed request
+
+    const wire::WireResponse error = read_response(client);
+    EXPECT_EQ(error.id, 0u); // the junk never parsed; its id is unknowable
+    EXPECT_EQ(error.status.code(), lu::StatusCode::ParseError);
+
+    const wire::WireResponse good = read_response(client);
+    EXPECT_EQ(good.id, 7u);
+    EXPECT_TRUE(good.status.ok()) << good.status.to_string();
+    client.finish_writes();
+    EXPECT_FALSE(client.read_line().has_value());
+}
+
+TEST(NetServer, MidRequestDisconnectCancelsJobsWithoutLeakOrCrash) {
+    ls::Service service(lp::PipelineConfig{}, one_worker());
+    Blocker blocker;
+    const ls::JobHandle gate = service.submit_fn(blocker.job());
+    blocker.wait_until_running();
+
+    Reactor reactor(service);
+    {
+        ln::Client doomed("127.0.0.1", reactor.port());
+        doomed.send_line(estimate_line(1)); // queued behind the blocker
+        // Wait until the reactor has actually submitted it.
+        while (service.stats().queue_depth < 1) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        // Abort the connection (RST, not FIN): SO_LINGER zero + close.
+        struct linger hard = {1, 0};
+        ::setsockopt(doomed.fd(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        doomed.close();
+    }
+    // The dead connection's queued job must be cancelled, not leaked: the
+    // queue empties without the blocker ever releasing.
+    for (int i = 0; i < 2000 && service.stats().queue_depth > 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(service.stats().queue_depth, 0u);
+    EXPECT_GE(service.stats().cancelled, 1u);
+
+    // And the reactor is still fully alive for the next client.
+    blocker.release();
+    ln::Client healthy("127.0.0.1", reactor.port());
+    healthy.send_line(estimate_line(2));
+    const wire::WireResponse response = read_response(healthy);
+    EXPECT_EQ(response.id, 2u);
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    healthy.finish_writes();
+    EXPECT_FALSE(healthy.read_line().has_value());
+}
+
+TEST(NetServer, GracefulStopDrainsInFlightBeforeReturning) {
+    ls::Service service(lp::PipelineConfig{}, one_worker());
+    Blocker blocker;
+    const ls::JobHandle gate = service.submit_fn(blocker.job());
+    blocker.wait_until_running();
+
+    Reactor reactor(service);
+    ln::Client client("127.0.0.1", reactor.port());
+    client.send_line(estimate_line(9)); // queued behind the blocker
+    while (service.stats().queue_depth < 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // Stop while the request is in flight: the reactor must keep the
+    // connection until the job answers, flush, then return.
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        blocker.release();
+    });
+    reactor.stop(); // joins run(): only returns once drained
+    releaser.join();
+
+    const wire::WireResponse response = read_response(client);
+    EXPECT_EQ(response.id, 9u);
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    EXPECT_FALSE(client.read_line().has_value()); // then EOF
+}

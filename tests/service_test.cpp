@@ -382,9 +382,49 @@ TEST(Service, StatsTrackLatencyPercentiles) {
     EXPECT_EQ(stats.service_time.count, 8u);
     EXPECT_GT(stats.service_time.p50_s, 0.0);
     EXPECT_GE(stats.service_time.p99_s, stats.service_time.p50_s);
-    EXPECT_GE(stats.service_time.max_s, stats.service_time.p99_s);
+    EXPECT_GE(stats.service_time.p999_s, stats.service_time.p99_s);
+    EXPECT_GE(stats.service_time.max_s, stats.service_time.p999_s);
+    // 8 samples cannot resolve a 99.9th percentile: nearest-rank saturates
+    // it to the window maximum until the ring holds >= 1000.
+    EXPECT_EQ(stats.service_time.p999_s, stats.service_time.max_s);
     EXPECT_GE(stats.queue_wait.p50_s, 0.0);
     EXPECT_FALSE(stats.to_string().empty());
     EXPECT_EQ(stats.queue_depth, 0u);
     EXPECT_EQ(stats.running, 0u);
+}
+
+TEST(Service, NowaitSubmitRejectsWithUnavailableWhenQueueIsFull) {
+    ls::ServiceOptions service_options = with_threads(1);
+    service_options.max_queue = 2;
+    ls::Service service(lp::PipelineConfig{}, service_options);
+
+    Blocker blocker;
+    const ls::JobHandle gate = service.submit_fn(blocker.job());
+    blocker.wait_until_running(); // the lone worker is pinned
+
+    // The accepted jobs report NotFound when they actually run -- a marker
+    // distinguishable from the Unavailable a rejection carries.
+    const auto ran_marker = [](lp::Pipeline&, const lp::RunControl&) -> ls::JobResult {
+        return lu::Status(lu::StatusCode::NotFound, "ran");
+    };
+    ls::SubmitOptions nowait;
+    nowait.nowait = true;
+    const ls::JobHandle first = service.submit_fn(ran_marker, nowait);
+    const ls::JobHandle second = service.submit_fn(ran_marker, nowait);
+    // The queue now holds max_queue jobs: a nowait submit must complete
+    // immediately (no blocking) with the retryable rejection.
+    const ls::JobHandle rejected = service.submit_fn(ran_marker, nowait);
+    EXPECT_EQ(rejected.poll(), ls::JobState::Done);
+    const ls::JobResult& result = rejected.wait();
+    EXPECT_EQ(result.status().code(), lu::StatusCode::Unavailable);
+    EXPECT_TRUE(lu::status_code_retryable(result.status().code()));
+
+    blocker.release();
+    EXPECT_EQ(first.wait().status().code(), lu::StatusCode::NotFound);
+    EXPECT_EQ(second.wait().status().code(), lu::StatusCode::NotFound);
+    const ls::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    // A rejection still counts as completed, so drain accounting holds.
+    EXPECT_EQ(stats.submitted, 4u);
+    service.drain();
 }

@@ -35,13 +35,24 @@ TEST(Status, CodeNamesRoundTrip) {
     for (const auto code :
          {lu::StatusCode::Ok, lu::StatusCode::InvalidArgument, lu::StatusCode::ParseError,
           lu::StatusCode::NotFound, lu::StatusCode::Cancelled,
-          lu::StatusCode::DeadlineExceeded, lu::StatusCode::Internal}) {
+          lu::StatusCode::DeadlineExceeded, lu::StatusCode::Unavailable,
+          lu::StatusCode::Internal}) {
         const std::string& name = lu::status_code_name(code);
         const auto parsed = lu::parse_status_code(name);
         ASSERT_TRUE(parsed.has_value()) << name;
         EXPECT_EQ(*parsed, code);
     }
     EXPECT_FALSE(lu::parse_status_code("NoSuchCode").has_value());
+}
+
+TEST(Status, OnlyUnavailableIsRetryable) {
+    EXPECT_TRUE(lu::status_code_retryable(lu::StatusCode::Unavailable));
+    for (const auto code :
+         {lu::StatusCode::Ok, lu::StatusCode::InvalidArgument, lu::StatusCode::ParseError,
+          lu::StatusCode::NotFound, lu::StatusCode::Cancelled,
+          lu::StatusCode::DeadlineExceeded, lu::StatusCode::Internal}) {
+        EXPECT_FALSE(lu::status_code_retryable(code)) << lu::status_code_name(code);
+    }
 }
 
 TEST(Status, ToStringCarriesCodeMessageOrigin) {
@@ -89,8 +100,22 @@ TEST(Status, ThrowStatusIsTheInverseMapping) {
     EXPECT_THROW(lu::throw_status({lu::StatusCode::Cancelled, "x"}), lu::CancelledError);
     EXPECT_THROW(lu::throw_status({lu::StatusCode::DeadlineExceeded, "x"}),
                  lu::DeadlineError);
+    EXPECT_THROW(lu::throw_status({lu::StatusCode::Unavailable, "x"}),
+                 lu::UnavailableError);
     EXPECT_THROW(lu::throw_status({lu::StatusCode::Internal, "x"}), lu::InternalError);
     EXPECT_THROW(lu::throw_status(lu::Status{}), lu::InternalError);
+
+    // Unavailable survives the exception round trip with its code intact
+    // (a retryable rejection must not come back as a plain Internal).
+    try {
+        lu::throw_status({lu::StatusCode::Unavailable, "queue full", "queue"});
+        FAIL() << "expected UnavailableError";
+    } catch (...) {
+        const lu::Status back =
+            lu::status_from_exception(std::current_exception(), "queue");
+        EXPECT_EQ(back.code(), lu::StatusCode::Unavailable);
+        EXPECT_EQ(back.message(), "queue full");
+    }
 
     // Round trip: throw, map back, same code and message.
     try {

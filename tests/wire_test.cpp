@@ -319,9 +319,18 @@ TEST(Wire, CancelAckAndStatsSerialize) {
     const std::string stats_line = lw::serialize_stats(6, service.stats());
     const auto stats = lw::parse_response(stats_line);
     ASSERT_TRUE(stats.ok());
-    EXPECT_EQ(stats.value().result.at("stats").at("submitted").as_int(), 1);
-    EXPECT_EQ(stats.value().result.at("stats").at("cache").at("circuit_misses").as_int(),
-              1);
+    const lu::JsonValue& object = stats.value().result.at("stats");
+    EXPECT_EQ(object.at("submitted").as_int(), 1);
+    EXPECT_EQ(object.at("rejected").as_int(), 0);
+    EXPECT_EQ(object.at("cache").at("circuit_misses").as_int(), 1);
+    // Both latency summaries carry the full percentile ladder, p999
+    // included (it saturates to the max on small windows).
+    for (const char* summary : {"queue_wait", "service_time"}) {
+        const lu::JsonValue& window = object.at(summary);
+        ASSERT_NE(window.find("p999_s"), nullptr) << summary;
+        EXPECT_GE(window.at("p999_s").as_number(), window.at("p99_s").as_number());
+        EXPECT_GE(window.at("max_s").as_number(), window.at("p999_s").as_number());
+    }
 }
 
 TEST(Wire, MalformedResponsesAreStatuses) {

@@ -5,6 +5,9 @@
 ///        expected-surface evaluation, O(|V| + |E|) critical path.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "benchgen/gf2_mult.h"
 #include "benchgen/suite.h"
 #include "core/engine.h"
@@ -230,6 +233,112 @@ void BM_PerPointStagedMemoHit(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_PerPointStagedMemoHit)->Arg(16)->Arg(64);
+
+// --- fixture-style harness --------------------------------------------------
+// Per-op benchmarks below share expensive setup through benchmark::Fixture
+// subclasses (SetUp builds the inputs once per run; the timed loop measures
+// only the operation).  New hot paths get a per-op ns number by adding one
+// BENCHMARK_DEFINE_F / BENCHMARK_REGISTER_F pair against an existing
+// fixture instead of re-rolling the setup.
+
+/// Shared coverage histogram + zone-count inputs of the E[S_q] kernels.
+class SurfacesFixture : public benchmark::Fixture {
+public:
+    void SetUp(const benchmark::State&) override {
+        histogram = fabric::CoverageHistogram::build(60, 60, 6);
+    }
+
+    fabric::CoverageHistogram histogram;
+    static constexpr long long kZones = 768;
+};
+
+// The scalar Eq. 18 evaluation: one BinomialTermRecursion object per
+// histogram bin, advanced bin-by-bin per q.
+BENCHMARK_DEFINE_F(SurfacesFixture, BM_SurfacesScalar)(benchmark::State& state) {
+    const long long terms = state.range(0);
+    for (auto _ : state) {
+        const auto surfaces =
+            core::EstimationEngine::expected_surfaces_reference(histogram, kZones,
+                                                                terms);
+        benchmark::DoNotOptimize(surfaces.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * terms *
+                            static_cast<std::int64_t>(histogram.bins().size()));
+}
+BENCHMARK_REGISTER_F(SurfacesFixture, BM_SurfacesScalar)->Arg(20)->Arg(100);
+
+// The SoA batch evaluation: all bins advance in lockstep through one flat
+// multiply/renormalize loop (mathx::BinomialRowBatch).
+BENCHMARK_DEFINE_F(SurfacesFixture, BM_SurfacesBatched)(benchmark::State& state) {
+    const long long terms = state.range(0);
+    for (auto _ : state) {
+        const auto surfaces =
+            core::EstimationEngine::expected_surfaces(histogram, kZones, terms);
+        benchmark::DoNotOptimize(surfaces.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * terms *
+                            static_cast<std::int64_t>(histogram.bins().size()));
+}
+BENCHMARK_REGISTER_F(SurfacesFixture, BM_SurfacesBatched)->Arg(20)->Arg(100);
+
+/// Prebuilt profile + fixed-geometry (Nc, v) axis for the whole-parameter-
+/// stage comparison (the sweep_perf batched_vs_scalar section's shape).
+class ParameterAxisFixture : public benchmark::Fixture {
+public:
+    void SetUp(const benchmark::State&) override {
+        if (!graph) {
+            circ = ft_mult(16);
+            graph = std::make_unique<qodg::Qodg>(circ);
+            interactions = std::make_unique<iig::Iig>(circ);
+            profile = core::CircuitProfile::build(*graph, *interactions);
+        }
+        points.clear();
+        for (int nc = 2; nc <= 9; ++nc) {
+            for (const double v : {0.0005, 0.001, 0.002, 0.004}) {
+                points.push_back({nc, v});
+            }
+        }
+    }
+
+    circuit::Circuit circ;
+    std::unique_ptr<qodg::Qodg> graph;
+    std::unique_ptr<iig::Iig> interactions;
+    core::CircuitProfile profile;
+    std::vector<core::ParameterPoint> points;
+};
+
+BENCHMARK_DEFINE_F(ParameterAxisFixture, BM_ParameterAxisScalar)
+(benchmark::State& state) {
+    core::EstimationEngine engine(fifty_by_fifty());
+    for (auto _ : state) {
+        fabric::PhysicalParams params = fifty_by_fifty();
+        double sum = 0.0;
+        for (const core::ParameterPoint& point : points) {
+            params.nc = point.nc;
+            params.v = point.v;
+            engine.set_params(params);
+            sum += engine.estimate(profile).latency_us;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK_REGISTER_F(ParameterAxisFixture, BM_ParameterAxisScalar)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_DEFINE_F(ParameterAxisFixture, BM_ParameterAxisBatched)
+(benchmark::State& state) {
+    core::EstimationEngine engine(fifty_by_fifty());
+    for (auto _ : state) {
+        const auto estimates = engine.estimate_batch(profile, points);
+        benchmark::DoNotOptimize(estimates.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK_REGISTER_F(ParameterAxisFixture, BM_ParameterAxisBatched)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FtSynthesis(benchmark::State& state) {
     benchgen::Gf2MultSpec spec;

@@ -276,6 +276,77 @@ int main() {
     }
     const unsigned hardware_threads = std::thread::hardware_concurrency();
 
+    // --- batched vs scalar parameter stage on a (Nc, v) axis ---------------
+    // The tentpole number: a fixed-geometry 64-point (Nc x v) axis on the
+    // 50x50 fabric, evaluated point-by-point through the scalar engine
+    // (E[S_q] cache warm after the first point — the strongest scalar
+    // baseline) against ONE estimate_batch call.  The ratio is per-point
+    // throughput, machine-independent, and gated in bench/baselines.json.
+    // Every sweep_perf run also asserts parity: each batched estimate must
+    // equal its scalar twin bit for bit, or the artifact reports
+    // parity_ok=false and the baseline gate fails CI.
+    std::vector<core::ParameterPoint> axis_points;
+    for (int nc = 2; nc <= 9; ++nc) {
+        for (const double v : {0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008,
+                               0.016, 0.032}) {
+            axis_points.push_back({nc, v});
+        }
+    }
+    core::EstimationEngine scalar_engine(params);   // 50x50 grid from above
+    core::EstimationEngine batched_engine(params);
+    std::vector<core::LeqaEstimate> scalar_estimates(axis_points.size());
+    std::vector<core::LeqaEstimate> batched_estimates;
+    const double scalar_axis_s = best_of(3, [&] {
+        fabric::PhysicalParams point_params = params;
+        for (std::size_t i = 0; i < axis_points.size(); ++i) {
+            point_params.nc = axis_points[i].nc;
+            point_params.v = axis_points[i].v;
+            scalar_engine.set_params(point_params);
+            scalar_estimates[i] = scalar_engine.estimate(profile);
+        }
+    });
+    const double batched_axis_s = best_of(3, [&] {
+        batched_estimates = batched_engine.estimate_batch(profile, axis_points);
+    });
+    const double scalar_axis_point_s =
+        scalar_axis_s / static_cast<double>(axis_points.size());
+    const double batched_axis_point_s =
+        batched_axis_s / static_cast<double>(axis_points.size());
+    const double batched_ratio =
+        batched_axis_s > 0.0 ? scalar_axis_s / batched_axis_s : 0.0;
+
+    bool parity_ok = batched_estimates.size() == scalar_estimates.size();
+    for (std::size_t i = 0; parity_ok && i < batched_estimates.size(); ++i) {
+        parity_ok = batched_estimates[i].latency_us == scalar_estimates[i].latency_us &&
+                    batched_estimates[i].l_cnot_avg_us ==
+                        scalar_estimates[i].l_cnot_avg_us &&
+                    batched_estimates[i].critical_cnots ==
+                        scalar_estimates[i].critical_cnots &&
+                    batched_estimates[i].e_sq == scalar_estimates[i].e_sq;
+    }
+
+    // Toolchain note: vectorization silently turning off (an -O0 build, or
+    // a compiler losing the SIMD lanes) shows up here, next to the ratio it
+    // would regress.
+#if defined(__AVX512F__)
+    const char* simd = "avx512f";
+#elif defined(__AVX2__)
+    const char* simd = "avx2";
+#elif defined(__AVX__)
+    const char* simd = "avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+    const char* simd = "sse2";
+#elif defined(__ARM_NEON)
+    const char* simd = "neon";
+#else
+    const char* simd = "none";
+#endif
+#if defined(__OPTIMIZE__)
+    const bool optimized = true;
+#else
+    const bool optimized = false;
+#endif
+
     std::printf("circuit: gf2^%dmult  (%zu FT ops, %zu qubits)\n", n, ft.size(),
                 ft.num_qubits());
     std::printf("sweep over %zu fabric sides:\n", sides.size());
@@ -305,6 +376,13 @@ int main() {
                     row.threads, row.threads == 1 ? " " : "s", row.seconds,
                     row.points_per_s, row.speedup, row.bit_identical ? "yes" : "NO");
     }
+    std::printf("batched vs scalar parameter stage (%zu-point Nc x v axis, 50x50):\n",
+                axis_points.size());
+    std::printf("  scalar engine loop : %.3e s/point\n", scalar_axis_point_s);
+    std::printf("  estimate_batch     : %.3e s/point  (%.2fx, parity %s)\n",
+                batched_axis_point_s, batched_ratio, parity_ok ? "ok" : "BROKEN");
+    std::printf("  toolchain: %s, simd %s, optimized %s\n", __VERSION__, simd,
+                optimized ? "yes" : "NO");
 
     // --- artifact ----------------------------------------------------------
     util::JsonWriter json;
@@ -360,6 +438,18 @@ int main() {
     json.end_array();
     json.kv("speedup_4t", explore_rows.back().speedup);
     json.kv("bit_identical_4t", explore_rows.back().bit_identical);
+    json.end_object();
+    json.key("batched_vs_scalar").begin_object();
+    json.kv("points", axis_points.size());
+    json.kv("scalar_per_point_s", scalar_axis_point_s);
+    json.kv("batched_per_point_s", batched_axis_point_s);
+    json.kv("per_point_ratio", batched_ratio);
+    json.kv("parity_ok", parity_ok);
+    json.key("toolchain").begin_object();
+    json.kv("compiler", __VERSION__);
+    json.kv("simd", simd);
+    json.kv("optimized", optimized);
+    json.end_object();
     json.end_object();
     json.end_object();
 

@@ -141,17 +141,41 @@ CalibrationResult calibrate_v(const std::vector<GraphSample>& samples,
     const double log_min = std::log10(calibrator_options.v_min);
     const double log_max = std::log10(calibrator_options.v_max);
 
-    // Coarse log-spaced scan.
-    double best_log_v = log_min;
-    double best_error = std::numeric_limits<double>::infinity();
+    // Coarse log-spaced scan, batched: the grid varies only v at fixed
+    // geometry, which is exactly the engine's batch axis — each sample
+    // evaluates the entire grid in one estimate_batch call instead of one
+    // scalar estimate per (sample, v) pair.  Error accumulation order over
+    // samples matches the scalar error_at, so the scan is bit-identical.
+    const std::size_t grid_size =
+        static_cast<std::size_t>(calibrator_options.coarse_grid);
+    std::vector<double> grid_log_v(grid_size);
+    std::vector<ParameterPoint> grid_points(grid_size);
     for (int i = 0; i < calibrator_options.coarse_grid; ++i) {
         const double log_v = log_min + (log_max - log_min) * i /
                                            (calibrator_options.coarse_grid - 1);
-        const double error = error_at(profiled, engines, base_params,
-                                      std::pow(10.0, log_v), result.evaluations);
+        grid_log_v[static_cast<std::size_t>(i)] = log_v;
+        grid_points[static_cast<std::size_t>(i)] =
+            ParameterPoint{base_params.nc, std::pow(10.0, log_v)};
+    }
+    std::vector<double> grid_error(grid_size, 0.0);
+    for (std::size_t s = 0; s < profiled.size(); ++s) {
+        const std::vector<LeqaEstimate> estimates =
+            engines[s].estimate_batch(profiled[s].profile, grid_points);
+        result.evaluations += estimates.size();
+        for (std::size_t i = 0; i < grid_size; ++i) {
+            grid_error[i] += std::abs(estimates[i].latency_us -
+                                      profiled[s].actual_latency_us) /
+                             profiled[s].actual_latency_us;
+        }
+    }
+    double best_log_v = log_min;
+    double best_error = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < grid_size; ++i) {
+        const double error =
+            grid_error[i] / static_cast<double>(profiled.size());
         if (error < best_error) {
             best_error = error;
-            best_log_v = log_v;
+            best_log_v = grid_log_v[i];
         }
     }
 

@@ -73,8 +73,42 @@ std::vector<double> EstimationEngine::expected_surfaces(
     LEQA_REQUIRE(num_zones >= 0, "zone count must be non-negative");
     LEQA_REQUIRE(terms >= 0 && terms <= num_zones, "terms must be in [0, Q]");
 
-    // One running Eq. 18 recursion per distinct coverage probability; each
-    // q advances every recursion by one multiplicative step.
+    // All distinct coverage probabilities run through ONE SoA Eq. 18
+    // recursion: per q, a flat multiply/renormalize loop over contiguous
+    // lanes (see mathx::BinomialRowBatch), then a multiplicity-weighted
+    // reduction in bin order — the same accumulation order as the scalar
+    // reference, so the sums are bit-identical.
+    const std::size_t num_bins = coverage.bins().size();
+    std::vector<double> probabilities(num_bins);
+    std::vector<double> multiplicities(num_bins);
+    for (std::size_t i = 0; i < num_bins; ++i) {
+        probabilities[i] = coverage.bins()[i].probability;
+        multiplicities[i] = coverage.bins()[i].multiplicity;
+    }
+    mathx::BinomialRowBatch rows(num_zones, probabilities);
+    std::vector<double> lane_values(num_bins);
+
+    std::vector<double> surfaces;
+    surfaces.reserve(static_cast<std::size_t>(terms));
+    for (long long q = 1; q <= terms; ++q) {
+        rows.advance();
+        rows.values(lane_values);
+        double total = 0.0;
+        for (std::size_t i = 0; i < num_bins; ++i) {
+            total += multiplicities[i] * lane_values[i];
+        }
+        surfaces.push_back(total);
+    }
+    return surfaces;
+}
+
+std::vector<double> EstimationEngine::expected_surfaces_reference(
+    const CoverageHistogram& coverage, long long num_zones, long long terms) {
+    LEQA_REQUIRE(num_zones >= 0, "zone count must be non-negative");
+    LEQA_REQUIRE(terms >= 0 && terms <= num_zones, "terms must be in [0, Q]");
+
+    // One scalar Eq. 18 recursion object per distinct coverage probability;
+    // each q advances every recursion by one multiplicative step.
     std::vector<mathx::BinomialTermRecursion> rows;
     rows.reserve(coverage.bins().size());
     for (const CoverageHistogram::Bin& bin : coverage.bins()) {
@@ -92,6 +126,27 @@ std::vector<double> EstimationEngine::expected_surfaces(
         surfaces.push_back(total);
     }
     return surfaces;
+}
+
+const std::vector<double>& EstimationEngine::SurfaceCache::get(
+    const Key& key, const std::function<std::vector<double>()>& make) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].key == key) {
+            ++stats_.hits;
+            if (i != 0) {
+                std::rotate(entries_.begin(), entries_.begin() + i,
+                            entries_.begin() + i + 1);
+            }
+            return entries_.front().e_sq;
+        }
+    }
+    ++stats_.recomputes;
+    if (entries_.size() >= capacity_) {
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+    entries_.insert(entries_.begin(), Entry{key, make()});
+    return entries_.front().e_sq;
 }
 
 LeqaEstimate EstimationEngine::estimate(const CircuitProfile& profile) const {
@@ -122,15 +177,11 @@ LeqaEstimate EstimationEngine::estimate(const CircuitProfile& profile) const {
         const long long terms =
             options_.exact_sq ? q_total
                               : std::min<long long>(q_total, options_.sq_terms);
-        if (surface_memo_.kind != topo.kind() || surface_memo_.a != a ||
-            surface_memo_.b != b || surface_memo_.side != side ||
-            surface_memo_.q_total != q_total || surface_memo_.terms != terms) {
-            const CoverageHistogram coverage = topo.coverage_histogram(side);
-            surface_memo_ =
-                SurfaceMemo{topo.kind(), a, b, side, q_total, terms,
-                            expected_surfaces(coverage, q_total, terms)};
-        }
-        out.e_sq = surface_memo_.e_sq;
+        out.e_sq = surface_cache_.get(
+            SurfaceCache::Key{topo.kind(), a, b, side, q_total, terms}, [&] {
+                return expected_surfaces(topo.coverage_histogram(side), q_total,
+                                         terms);
+            });
         out.d_q.reserve(static_cast<std::size_t>(terms));
         double weighted_delay = 0.0;
         for (long long q = 1; q <= terms; ++q) {
@@ -170,6 +221,130 @@ LeqaEstimate EstimationEngine::estimate(const CircuitProfile& profile) const {
         const std::size_t count = out.critical_census.by_kind[k];
         if (count > 0) {
             out.critical_gate_delay_us += static_cast<double>(count) * params_.delay_us(kind);
+        }
+    }
+    return out;
+}
+
+std::vector<LeqaEstimate> EstimationEngine::estimate_batch(
+    const CircuitProfile& profile, std::span<const ParameterPoint> points,
+    const std::function<void()>& before_point) const {
+    LEQA_REQUIRE(profile.graph != nullptr, "profile has no QODG attached");
+    std::vector<LeqaEstimate> out(points.size());
+    if (points.empty()) return out;
+
+    const qodg::Qodg& graph = *profile.graph;
+    const long long q_total = static_cast<long long>(profile.num_qubits);
+    const fabric::Topology& topo = *topology_;
+    const int a = topo.width();
+    const int b = topo.height();
+    const double l_one_qubit = params_.one_qubit_routing_latency_us();
+    const long long terms =
+        options_.exact_sq ? q_total
+                          : std::min<long long>(q_total, options_.sq_terms);
+
+    // The surfaces depend only on the geometry and the circuit, never on
+    // (Nc, v): one cache lookup serves the whole batch.  Looked up lazily —
+    // a batch where every point has d_uncongest <= 0 never touches E[S_q],
+    // matching the scalar guard.
+    const std::vector<double>* e_sq = nullptr;
+    const auto surfaces_for_batch = [&]() -> const std::vector<double>& {
+        if (e_sq == nullptr) {
+            const int side = topo.zone_extent(profile.zone_area_b);
+            e_sq = &surface_cache_.get(
+                SurfaceCache::Key{topo.kind(), a, b, side, q_total, terms}, [&] {
+                    return expected_surfaces(topo.coverage_histogram(side),
+                                             q_total, terms);
+                });
+        }
+        return *e_sq;
+    };
+
+    // The per-kind delay table is (Nc, v)-invariant except for the CNOT
+    // entry, whose routing term carries the congestion algebra.  Build the
+    // shared part once; each lane then patches its own CNOT delay.
+    constexpr std::size_t kCnot = static_cast<std::size_t>(circuit::GateKind::Cnot);
+    std::array<double, circuit::kGateKindCount> shared_delays{};
+    for (std::size_t k = 0; k < circuit::kGateKindCount; ++k) {
+        if (profile.gate_counts[k] == 0) continue;
+        const auto kind = static_cast<circuit::GateKind>(k);
+        const double routing = kind == circuit::GateKind::Cnot ? 0.0 : l_one_qubit;
+        shared_delays[k] = params_.delay_us(kind) + routing;
+    }
+
+    // Process the axis in fixed-width blocks: the per-point congestion
+    // algebra stays scalar (it is O(terms) on a handful of doubles), and
+    // the expensive critical-path pass runs once per block with one lane
+    // per point.  The last block is padded by repeating its final point so
+    // the lane kernel always runs at full width.
+    constexpr std::size_t kLanes = 8;
+    std::array<std::array<double, circuit::kGateKindCount>, kLanes> tables;
+    std::array<qodg::PathCensus, kLanes> censuses;
+    qodg::LongestPathLanes lanes;
+    const qodg::NodeId end_node = graph.end();
+
+    for (std::size_t block = 0; block < points.size(); block += kLanes) {
+        const std::size_t width = std::min(kLanes, points.size() - block);
+        for (std::size_t lane = 0; lane < width; ++lane) {
+            const std::size_t index = block + lane;
+            if (before_point) before_point();
+            const ParameterPoint& point = points[index];
+            LEQA_REQUIRE(point.nc >= 1, "channel capacity must be >= 1");
+            LEQA_REQUIRE(point.v > 0.0, "speed must be positive");
+
+            LeqaEstimate& est = out[index];
+            est.num_qubits = profile.num_qubits;
+            est.num_ops = profile.num_ops;
+            est.l_one_qubit_avg_us = l_one_qubit;
+            est.zone_area_b = profile.zone_area_b;
+            est.d_uncongest_us = profile.d_uncongest_v / point.v;
+
+            if (q_total > 0 && est.d_uncongest_us > 0.0) {
+                est.e_sq = surfaces_for_batch();
+                est.d_q.reserve(static_cast<std::size_t>(terms));
+                double weighted_delay = 0.0;
+                for (long long q = 1; q <= terms; ++q) {
+                    const double surface = est.e_sq[static_cast<std::size_t>(q - 1)];
+                    const double delay = mathx::congested_delay(
+                        static_cast<double>(q), static_cast<double>(point.nc),
+                        est.d_uncongest_us);
+                    est.d_q.push_back(delay);
+                    est.covered_area += surface;
+                    weighted_delay += surface * delay;
+                }
+                est.l_cnot_avg_us = est.covered_area > 0.0
+                                        ? weighted_delay / est.covered_area
+                                        : 0.0;
+            }
+
+            tables[lane] = shared_delays;
+            if (profile.gate_counts[kCnot] > 0) {
+                tables[lane][kCnot] =
+                    params_.delay_us(circuit::GateKind::Cnot) + est.l_cnot_avg_us;
+            }
+        }
+        for (std::size_t lane = width; lane < kLanes; ++lane) {
+            tables[lane] = tables[width - 1];
+        }
+
+        graph.longest_path_lanes(tables, lanes);
+        graph.critical_census_lanes(lanes, {censuses.data(), width});
+
+        for (std::size_t lane = 0; lane < width; ++lane) {
+            LeqaEstimate& est = out[block + lane];
+            est.latency_us = lanes.at(end_node, lane);
+            est.critical_census = censuses[lane];
+            est.critical_cnots = est.critical_census.of(circuit::GateKind::Cnot);
+            est.critical_one_qubit =
+                est.critical_census.total_ops - est.critical_cnots;
+            for (std::size_t k = 0; k < circuit::kGateKindCount; ++k) {
+                const std::size_t count = est.critical_census.by_kind[k];
+                if (count > 0) {
+                    est.critical_gate_delay_us +=
+                        static_cast<double>(count) *
+                        params_.delay_us(static_cast<circuit::GateKind>(k));
+                }
+            }
         }
     }
     return out;

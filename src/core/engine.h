@@ -28,7 +28,10 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/leqa.h"
@@ -74,6 +77,24 @@ struct CircuitProfile {
 /// the O(a*b) per-q cell sweep.
 using CoverageHistogram = fabric::CoverageHistogram;
 
+/// One (Nc, v) point of a batched parameter-stage evaluation.  Geometry and
+/// gate delays come from the engine's params; only the congestion inputs
+/// vary per point, which is exactly what sweep/explore axes vary within a
+/// fixed-geometry slice.
+struct ParameterPoint {
+    int nc = 1;     ///< channel capacity, >= 1
+    double v = 0.0; ///< qubit movement speed, > 0
+};
+
+/// Counters for the engine's keyed E[S_q] cache (regression-tested: an
+/// explore slice that alternates topology kinds must not recompute the
+/// surfaces per point the way the old single-entry memo did).
+struct SurfaceCacheStats {
+    std::size_t hits = 0;
+    std::size_t recomputes = 0;
+    std::size_t evictions = 0;
+};
+
 /// Stage 2: runs Algorithm 1 against a profile at one parameter point.
 ///
 /// The fabric shape enters only through `fabric::Topology`: the zone
@@ -81,13 +102,16 @@ using CoverageHistogram = fabric::CoverageHistogram;
 /// same staged evaluation covers grid, torus and line fabrics (grid is
 /// bit-compatible with the pre-topology code).
 ///
-/// The engine memoizes the E[S_q] vector across estimate() calls: the
-/// surfaces depend only on (topology, a, b, zone extent, Q, terms), which
-/// are invariant across speed (v) and channel-capacity (Nc) sweeps and the
+/// The engine caches E[S_q] vectors across estimate() calls: the surfaces
+/// depend only on (topology, a, b, zone extent, Q, terms), which are
+/// invariant across speed (v) and channel-capacity (Nc) sweeps and the
 /// calibrator's entire v search, so those pay only the congestion algebra
-/// and the critical-path pass per point.  The memo makes concurrent
-/// estimate() calls on one engine instance unsafe; use one engine per
-/// thread (the pipeline constructs one per request).
+/// and the critical-path pass per point.  The cache is a small keyed LRU
+/// rather than a single entry, so an explore slice that interleaves
+/// topology kinds (or a few fabric sides) keeps all of them warm instead
+/// of recomputing on every alternation.  The cache makes concurrent calls
+/// on one engine instance unsafe; use one engine per thread (the pipeline
+/// constructs one per request).
 class EstimationEngine {
 public:
     explicit EstimationEngine(const fabric::PhysicalParams& params,
@@ -98,9 +122,33 @@ public:
     /// relative of `LeqaEstimator::estimate_reference`.
     [[nodiscard]] LeqaEstimate estimate(const CircuitProfile& profile) const;
 
+    /// Batched parameter stage: estimate the profile at every (Nc, v) point
+    /// against the engine's fixed geometry and gate delays, amortizing the
+    /// shared work one scalar estimate() pays per point — the E[S_q] lookup
+    /// is done once, and the critical-path pass runs lane-blocked (one CSR
+    /// edge sweep updates up to 8 points' distances at a time).  Results
+    /// are bit-identical to calling estimate() per point with params whose
+    /// nc/v are overridden (the parity the tests assert).
+    ///
+    /// `before_point`, when set, is invoked once per point before that
+    /// point's evaluation (sweep cancellation hooks); a throw from it
+    /// aborts the batch.
+    [[nodiscard]] std::vector<LeqaEstimate> estimate_batch(
+        const CircuitProfile& profile, std::span<const ParameterPoint> points,
+        const std::function<void()>& before_point = {}) const;
+
     /// Expected q-fold-covered surfaces E[S_q] for q = 1..terms (Eq. 4)
-    /// over a compressed coverage table, via the Eq. 18 running recursion.
+    /// over a compressed coverage table.  All histogram bins advance in
+    /// lockstep through one SoA Eq. 18 recursion (`mathx::BinomialRowBatch`)
+    /// — flat multiply/renormalize loops over contiguous lanes.
     [[nodiscard]] static std::vector<double> expected_surfaces(
+        const CoverageHistogram& coverage, long long num_zones, long long terms);
+
+    /// Pre-SoA evaluation: one scalar `BinomialTermRecursion` object per
+    /// bin, advanced bin-by-bin.  Kept as the parity reference for the SoA
+    /// kernel (tests assert bit-identity) and as the scalar side of the
+    /// surfaces microbenchmarks.
+    [[nodiscard]] static std::vector<double> expected_surfaces_reference(
         const CoverageHistogram& coverage, long long num_zones, long long terms);
 
     [[nodiscard]] const fabric::PhysicalParams& params() const { return params_; }
@@ -113,22 +161,55 @@ public:
     /// Replace the parameter point (sweeps and the calibrator's v search).
     void set_params(const fabric::PhysicalParams& params);
 
+    /// Lifetime counters of the E[S_q] cache (hits / recomputes / evictions).
+    [[nodiscard]] const SurfaceCacheStats& surface_cache_stats() const {
+        return surface_cache_.stats();
+    }
+
 private:
+    /// Keyed LRU over E[S_q] vectors.  Capacity is small (an explore worker
+    /// slice touches a handful of distinct geometries); lookup is a linear
+    /// scan with move-to-front, which beats a hash map at this size.
+    class SurfaceCache {
+    public:
+        struct Key {
+            fabric::TopologyKind kind = fabric::TopologyKind::Grid;
+            int a = -1;
+            int b = -1;
+            int side = -1;
+            long long q_total = -1;
+            long long terms = -1;
+            [[nodiscard]] bool operator==(const Key&) const = default;
+        };
+
+        explicit SurfaceCache(std::size_t capacity) : capacity_(capacity) {}
+
+        /// The cached vector for `key`, computing it with `make` on a miss
+        /// (evicting the least recently used entry when full).  The
+        /// returned reference is invalidated by the next get() call.
+        const std::vector<double>& get(
+            const Key& key, const std::function<std::vector<double>()>& make);
+
+        [[nodiscard]] const SurfaceCacheStats& stats() const { return stats_; }
+
+    private:
+        struct Entry {
+            Key key;
+            std::vector<double> e_sq;
+        };
+        std::size_t capacity_;
+        std::vector<Entry> entries_; ///< most recently used first
+        SurfaceCacheStats stats_;
+    };
+
+    /// Default E[S_q] cache capacity: explore assigns whole geometry groups
+    /// to workers, so a slice cycles through at most a few distinct keys.
+    static constexpr std::size_t kSurfaceCacheCapacity = 8;
+
     fabric::PhysicalParams params_;
     LeqaOptions options_;
     std::shared_ptr<const fabric::Topology> topology_;
-
-    /// Memoized E[S_q] for the last (topology, a, b, extent, Q, terms) seen.
-    struct SurfaceMemo {
-        fabric::TopologyKind kind = fabric::TopologyKind::Grid;
-        int a = -1;
-        int b = -1;
-        int side = -1;
-        long long q_total = -1;
-        long long terms = -1;
-        std::vector<double> e_sq;
-    };
-    mutable SurfaceMemo surface_memo_;
+    mutable SurfaceCache surface_cache_{kSurfaceCacheCapacity};
 };
 
 } // namespace leqa::core

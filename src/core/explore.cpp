@@ -195,25 +195,46 @@ ExplorationResult evaluate_configurations(
     // Every worker owns whole geometry groups (cyclic assignment) and its
     // own engine; slots are disjoint, so no synchronization is needed on
     // the results and the output is bit-identical to the serial order.
+    // Each group shares one fabric geometry and varies only (Nc, v), which
+    // is exactly the engine's batch axis: the whole group becomes a single
+    // estimate_batch call that amortizes the E[S_q] lookup and runs the
+    // critical-path pass lane-blocked.
+    struct AbortRequested {}; // private unwind signal, never escapes run_slice
     std::atomic<bool> abort{false};
     std::exception_ptr failure;
     std::mutex failure_mutex;
     const auto run_slice = [&](std::size_t worker) {
         try {
             std::optional<EstimationEngine> engine;
+            std::vector<ParameterPoint> batch;
             for (std::size_t g = worker; g < groups.size(); g += workers) {
-                for (std::size_t i = groups[g].first; i < groups[g].second; ++i) {
-                    if (abort.load(std::memory_order_relaxed)) return;
+                const auto [first, last] = groups[g];
+                if (!engine.has_value()) {
+                    engine.emplace(configurations[first], options);
+                } else {
+                    engine->set_params(configurations[first]);
+                }
+                batch.clear();
+                for (std::size_t i = first; i < last; ++i) {
+                    batch.push_back(
+                        ParameterPoint{configurations[i].nc, configurations[i].v});
+                }
+                // The cancellation contract is per point, not per batch:
+                // the engine invokes this before each point's evaluation.
+                const auto before_point = [&] {
+                    if (abort.load(std::memory_order_relaxed)) throw AbortRequested{};
                     if (between_points) between_points();
-                    if (!engine.has_value()) {
-                        engine.emplace(configurations[i], options);
-                    } else {
-                        engine->set_params(configurations[i]);
-                    }
-                    result.points[i] =
-                        SweepPoint{configurations[i], engine->estimate(profile)};
+                };
+                std::vector<LeqaEstimate> estimates =
+                    engine->estimate_batch(profile, batch, before_point);
+                for (std::size_t i = first; i < last; ++i) {
+                    result.points[i] = SweepPoint{configurations[i],
+                                                  std::move(estimates[i - first])};
                 }
             }
+        } catch (const AbortRequested&) {
+            // Another worker failed or cancelled; our partial results are
+            // discarded with the grid.
         } catch (...) {
             const std::lock_guard<std::mutex> lock(failure_mutex);
             if (failure == nullptr) failure = std::current_exception();

@@ -15,7 +15,10 @@
 ///
 /// Since the multi-dimensional explorer (core/explore.h) these are thin
 /// wrappers over single-axis `ExplorationSpec`s: one evaluation loop serves
-/// the 1-D sweeps and the parallel cross-product exploration.
+/// the 1-D sweeps and the parallel cross-product exploration.  That loop
+/// feeds each fixed-geometry (Nc, v) run to `EstimationEngine::estimate_batch`
+/// as one call, so capacity and speed sweeps evaluate through the SoA
+/// batch parameter stage (bit-identical to per-point scalar estimation).
 #pragma once
 
 #include <functional>

@@ -12,6 +12,24 @@ std::vector<std::uint32_t> CsrDigraph::in_degrees() const {
     return degrees;
 }
 
+CsrDigraph CsrDigraph::reversed() const {
+    CsrDigraph rev;
+    const std::size_t n = num_nodes();
+    rev.offsets_.assign(n + 1, 0);
+    for (const NodeId v : targets_) ++rev.offsets_[v + 1];
+    for (std::size_t v = 0; v < n; ++v) rev.offsets_[v + 1] += rev.offsets_[v];
+    rev.targets_.resize(targets_.size());
+    std::vector<std::uint32_t> cursor(rev.offsets_.begin(), rev.offsets_.end() - 1);
+    // Scanning sources in ascending order keeps each reversed successor
+    // list (= predecessor list of the original) ascending by id, which the
+    // lane-path recovery in qodg relies on for its tie-break.
+    for (NodeId u = 0; u < n; ++u) {
+        for (const NodeId v : successors(u)) rev.targets_[cursor[v]++] = u;
+    }
+    rev.topological_ = num_edges() == 0 && topological_;
+    return rev;
+}
+
 CsrBuilder::CsrBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
 
 void CsrBuilder::reserve_edges(std::size_t count) {

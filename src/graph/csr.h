@@ -50,6 +50,13 @@ public:
     /// Per-node in-degree (one O(|E|) pass).
     [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
 
+    /// The edge-reversed graph: `reversed().successors(v)` lists the
+    /// predecessors of `v`, ascending by id.  On a topologically ordered
+    /// graph the reverse edges all go high -> low, so the result reports
+    /// `topologically_ordered() == false` and must not be fed to the
+    /// order-dependent kernels below.
+    [[nodiscard]] CsrDigraph reversed() const;
+
 private:
     friend class CsrBuilder;
 

@@ -1,5 +1,7 @@
 #include "mathx/binomial.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/error.h"
@@ -71,6 +73,86 @@ void BinomialTermRecursion::advance() {
     int shift = 0;
     mantissa_ = std::frexp(mantissa_, &shift);
     exponent_ += shift;
+}
+
+BinomialRowBatch::BinomialRowBatch(std::int64_t n,
+                                   std::span<const double> probabilities)
+    : n_(n) {
+    LEQA_REQUIRE(n >= 0, "BinomialRowBatch: need n >= 0");
+    const std::size_t lanes = probabilities.size();
+    ratio_.assign(lanes, 0.0);
+    mantissa_.assign(lanes, 0.0);
+    exponent_.assign(lanes, 0);
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const double p = probabilities[i];
+        LEQA_REQUIRE(p >= 0.0 && p <= 1.0, "BinomialRowBatch: need 0 <= p <= 1");
+        if (p == 1.0) {
+            one_lanes_.push_back(i); // ratio_ would be infinite; handled exactly
+            continue;
+        }
+        // p == 0 needs no special lane: the start is exactly 1 and the first
+        // advance multiplies by ratio 0, giving the exact indicator [q == 0].
+        ratio_[i] = p / (1.0 - p);
+        if (p == 0.0) {
+            mantissa_[i] = 1.0;
+            continue;
+        }
+        // Same (1-p)^n start split as the scalar recursion, so the two
+        // trajectories begin with identical significands.
+        const double log2_start =
+            static_cast<double>(n) * std::log1p(-p) / 0.6931471805599453;
+        exponent_[i] = static_cast<int>(std::floor(log2_start));
+        mantissa_[i] = std::exp2(log2_start - static_cast<double>(exponent_[i]));
+    }
+}
+
+void BinomialRowBatch::advance() {
+    if (q_ >= n_) {
+        std::fill(mantissa_.begin(), mantissa_.end(), 0.0);
+        ++q_;
+        return;
+    }
+    const double step =
+        static_cast<double>(n_ - q_) / static_cast<double>(q_ + 1);
+    double* mantissa = mantissa_.data();
+    int* exponent = exponent_.data();
+    const double* ratio = ratio_.data();
+    const std::size_t lanes = mantissa_.size();
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const double product = mantissa[i] * (ratio[i] * step);
+        // Branch-free renormalization: pull the IEEE-754 exponent field out
+        // of the product, accumulate it into the integer exponent lane, and
+        // reset the stored mantissa to [1, 2).  A zero raw field (the lane
+        // is exactly 0) passes through unchanged — ternary selects, no
+        // per-lane control flow, so the loop auto-vectorizes.
+        const std::uint64_t bits = std::bit_cast<std::uint64_t>(product);
+        const int raw = static_cast<int>((bits >> 52) & 0x7ffu);
+        const bool normal = raw != 0;
+        exponent[i] += normal ? raw - 1022 : 0;
+        const std::uint64_t renormalized =
+            normal ? ((bits & 0x800fffffffffffffULL) | (0x3feULL << 52)) : bits;
+        mantissa[i] = std::bit_cast<double>(renormalized);
+    }
+    ++q_;
+}
+
+void BinomialRowBatch::values(std::span<double> out) const {
+    LEQA_REQUIRE(out.size() >= mantissa_.size(),
+                 "BinomialRowBatch: output span too small");
+    for (std::size_t i = 0; i < mantissa_.size(); ++i) {
+        out[i] = std::ldexp(mantissa_[i], exponent_[i]);
+    }
+    for (const std::size_t lane : one_lanes_) {
+        out[lane] = q_ == n_ ? 1.0 : 0.0;
+    }
+}
+
+double BinomialRowBatch::value(std::size_t lane) const {
+    LEQA_REQUIRE(lane < mantissa_.size(), "BinomialRowBatch: lane out of range");
+    if (std::find(one_lanes_.begin(), one_lanes_.end(), lane) != one_lanes_.end()) {
+        return q_ == n_ ? 1.0 : 0.0;
+    }
+    return std::ldexp(mantissa_[lane], exponent_[lane]);
 }
 
 std::vector<double> binomial_row_recursive(std::int64_t n, std::int64_t max_k) {

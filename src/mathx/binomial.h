@@ -9,7 +9,9 @@
 /// tests against the log-space form.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace leqa::mathx {
@@ -63,6 +65,51 @@ private:
     int exponent_ = 0;
     bool degenerate_ = false; ///< p == 0 or p == 1: exact indicator values
     double p_ = 0.0;          ///< retained for the degenerate endpoints
+};
+
+/// Structure-of-arrays form of `BinomialTermRecursion`: one Eq. 18 running
+/// PMF recursion per probability lane, all lanes advanced in lockstep by a
+/// single flat loop over contiguous mantissa / exponent / ratio arrays.
+///
+/// The per-step factor (n-q)/(q+1) is shared by every lane, so one advance()
+/// is one multiply per lane plus a branch-free renormalization: instead of
+/// frexp, the IEEE-754 exponent field is read out of the product's bit
+/// pattern, accumulated into the integer exponent lane, and reset in place.
+/// Both renormalizations rescale by exact powers of two, so each lane's
+/// value() is bit-identical to a scalar `BinomialTermRecursion` over the
+/// same (n, p) — the parity the engine tests assert.
+///
+/// Zero mantissas (a p == 0 lane after its first step, or a start that
+/// underflowed all the way out of double range) have a zero raw exponent
+/// field and are left untouched by the same branchless select.  p == 1
+/// lanes cannot run through the recursion (ratio_ would be infinite); they
+/// are tracked aside and overridden with the exact indicator [q == n].
+class BinomialRowBatch {
+public:
+    /// Requires n >= 0 and 0 <= p <= 1 for every lane.  Starts at q = 0.
+    BinomialRowBatch(std::int64_t n, std::span<const double> probabilities);
+
+    /// Step every lane q -> q+1.  Stepping past q == n pins all lanes to 0.
+    void advance();
+
+    /// PMF of every lane at the current q, written into `out` (which must
+    /// hold at least lanes() values).
+    void values(std::span<double> out) const;
+
+    /// PMF of one lane at the current q (for spot checks; bulk readers
+    /// should use values()).
+    [[nodiscard]] double value(std::size_t lane) const;
+
+    [[nodiscard]] std::size_t lanes() const { return mantissa_.size(); }
+    [[nodiscard]] std::int64_t q() const { return q_; }
+
+private:
+    std::int64_t n_ = 0;
+    std::int64_t q_ = 0;
+    std::vector<double> ratio_;    ///< p/(1-p) per lane; 0 for p in {0, 1}
+    std::vector<double> mantissa_; ///< lane value = mantissa * 2^exponent
+    std::vector<int> exponent_;
+    std::vector<std::size_t> one_lanes_; ///< lanes with p == 1 (exact indicator)
 };
 
 } // namespace leqa::mathx

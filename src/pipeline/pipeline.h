@@ -243,8 +243,10 @@ public:
     /// Multi-dimensional design-space exploration on the shared cache: the
     /// circuit profile is resolved (and reused) from the session cache, then
     /// the cross-product of \p spec evaluates on spec.threads workers (see
-    /// core/explore.h).  An optional RunControl is observed before the
-    /// resolve and between points — on whichever worker owns the point.
+    /// core/explore.h).  Each worker hands its fixed-geometry (Nc, v) runs
+    /// to the engine's SoA batch parameter stage in whole-group calls.  An
+    /// optional RunControl is observed before the resolve and between
+    /// points — on whichever worker owns the point.
     [[nodiscard]] core::ExplorationResult explore(const CircuitSource& source,
                                                   const core::ExplorationSpec& spec,
                                                   const RunControl* control = nullptr);

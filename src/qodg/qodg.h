@@ -49,6 +49,25 @@ struct LongestPath {
     double length = 0.0;           ///< distance at the end node
 };
 
+/// Result of a lane-blocked longest-path computation: several per-kind
+/// delay tables relaxed through one shared edge sweep.  Storage is
+/// node-major — lane `l` of node `u` lives at index `u * lanes + l` — so
+/// the per-edge inner loop touches one contiguous run per node.  No
+/// per-node predecessors are materialized; critical_path_lane() recovers a
+/// lane's path from the distances and the kind-major delay table kept here.
+struct LongestPathLanes {
+    std::size_t lanes = 0;
+    std::vector<double> distance;  ///< node-major, [node * lanes + lane]
+    /// Kind-major delay table the distances were computed with: delay of
+    /// kind `k` in lane `l` at [k * lanes + l], plus one trailing all-zero
+    /// row indexed by start/end nodes.
+    std::vector<double> delay_soa;
+
+    [[nodiscard]] double at(NodeId node, std::size_t lane) const {
+        return distance[static_cast<std::size_t>(node) * lanes + lane];
+    }
+};
+
 /// Per-kind census of operations on a path (plus the total).
 struct PathCensus {
     std::array<std::size_t, circuit::kGateKindCount> by_kind{};
@@ -100,6 +119,45 @@ public:
     /// longest-path result.
     [[nodiscard]] std::vector<NodeId> critical_path(const LongestPath& lp) const;
 
+    /// Lane-blocked longest path: relax `tables.size()` per-gate-kind delay
+    /// tables (one per parameter point) through a SINGLE pass over the
+    /// edges.  The sweep is pull-based — for each node in topological
+    /// order, gather the max over its predecessors (reverse CSR built at
+    /// construction) into lane accumulators that live in registers — so
+    /// the inner loop is a pure double add/compare/select over contiguous
+    /// lanes with one store per node, and no distance re-initialization
+    /// between calls.  Each lane's distances are bit-identical to a scalar
+    /// longest_path() over the matching node_delays() vector: the
+    /// predecessors of a node are gathered in the same ascending-id order
+    /// the push-based sweep relaxes them in.  Reuses `out`'s storage
+    /// across calls.  Start/end nodes get zero delay, as in node_delays().
+    void longest_path_lanes(
+        std::span<const std::array<double, circuit::kGateKindCount>> tables,
+        LongestPathLanes& out) const;
+
+    /// Extract one lane's start->end critical path from a lane-blocked
+    /// result (same node sequence as critical_path()).  Predecessors are
+    /// not stored during the sweep; this walks the reverse edges from the
+    /// end taking, at each node v, the first predecessor u (ascending id)
+    /// with distance(u) + delay(v) == distance(v) — exactly the
+    /// predecessor the push-based scalar sweep records, since it is the
+    /// first node to reach v's final distance and later ties never
+    /// overwrite it.
+    [[nodiscard]] std::vector<NodeId> critical_path_lane(
+        const LongestPathLanes& lanes, std::size_t lane) const;
+
+    /// census(critical_path_lane(lanes, lane)) for lanes [0, out.size())
+    /// at once, without materializing any path.  Instead of walking each
+    /// lane's predecessor chain (a serial string of dependent loads), one
+    /// reverse-topological sweep carries a per-node lane bitmask: a node's
+    /// path membership is decided by its already-processed successors, so
+    /// every access streams through the arrays in id order.  Nodes with a
+    /// single predecessor — most of the narrow QODG — forward their mask
+    /// without reading any distances at all; only join nodes run the
+    /// first-match predecessor scan per marked lane.
+    void critical_census_lanes(const LongestPathLanes& lanes,
+                               std::span<PathCensus> out) const;
+
     /// Count operations per gate kind along a node path (Op nodes only).
     [[nodiscard]] PathCensus census(const std::vector<NodeId>& path) const;
 
@@ -126,6 +184,11 @@ public:
 private:
     std::vector<Node> nodes_;
     graph::CsrDigraph csr_;
+    /// Edge-reversed csr_: successors(v) are v's predecessors, ascending.
+    graph::CsrDigraph rcsr_;
+    /// Per-node row into a kind-major delay table: the gate kind for Op
+    /// nodes, the trailing zero row (kGateKindCount) for start/end.
+    std::vector<std::uint16_t> delay_row_;
 };
 
 } // namespace leqa::qodg

@@ -10,12 +10,21 @@ array of objects -- and checks it against the metric's bounds:
   * `min` / `max`: inclusive numeric bounds (ratio metrics);
   * neither: report-only, printed for trend-watching.
 
+A metric may also carry `requires`: a list of preconditions (same schema,
+against the same artifact) that must all hold for the metric to be
+judgeable at all.  The canonical case is thread-scaling: a 4-thread
+speedup bound is meaningless on a 1-core box, so the metric requires
+`explore.hardware_threads >= 4` and resolves to UNKNOWN -- not PASS, not
+FAIL -- when the precondition is unmet.  Precondition-unmet UNKNOWNs are
+environmental, not rot, and are exempt from --strict.
+
 Verdicts per metric: PASS, FAIL (a gated bound was violated), REPORT
-(no bounds / mode report), UNKNOWN (artifact or path missing).  The exit
-code is nonzero only when a gated metric FAILs -- or, with --strict, when
-any gated metric is UNKNOWN (CI uses this: there, both artifacts are
-freshly generated, so a missing path means the bench or the baseline
-rotted).
+(no bounds / mode report), UNKNOWN (artifact or path missing, or a
+`requires` precondition unmet).  The exit code is nonzero only when a
+gated metric FAILs -- or, with --strict, when any gated metric is
+UNKNOWN for a reason other than an unmet precondition (CI uses this:
+there, both artifacts are freshly generated, so a missing path means the
+bench or the baseline rotted).
 
 Usage:
   compare_baseline.py [--baselines bench/baselines.json]
@@ -92,6 +101,19 @@ def check(metric, value):
     return ("PASS" if ok else "FAIL"), f"value {value!r}, want {' and '.join(bounds)}"
 
 
+def requires_met(metric, document):
+    """True when every `requires` precondition holds against `document`.
+
+    A precondition uses the same schema as a metric (path + equals/min/max);
+    a missing path or a violated bound both mean "not judgeable here".
+    """
+    for precondition in metric.get("requires", []):
+        verdict, _ = check(precondition, extract(document, precondition["path"]))
+        if verdict != "PASS":
+            return False
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baselines", default="bench/baselines.json")
@@ -119,16 +141,23 @@ def main():
     unknown_gates = 0
     for metric in baselines["metrics"]:
         gated = metric.get("mode", "gate") == "gate"
+        precondition_unmet = False
         document = artifacts.get(metric["artifact"])
         if document is None:
             verdict, detail = "UNKNOWN", "artifact missing"
+        elif not requires_met(metric, document):
+            # Not judgeable in this environment (e.g. a 4-thread speedup
+            # bound on a 1-core box): UNKNOWN, never PASS -- and exempt
+            # from --strict, since the artifact itself is healthy.
+            verdict, detail = "UNKNOWN", "precondition unmet"
+            precondition_unmet = True
         else:
             verdict, detail = check(metric, extract(document, metric["path"]))
         if not gated and verdict in ("PASS", "FAIL"):
             verdict = "REPORT"  # report mode never judges, even with bounds
         if verdict == "FAIL":
             failures += 1
-        if verdict == "UNKNOWN" and gated:
+        if verdict == "UNKNOWN" and gated and not precondition_unmet:
             unknown_gates += 1
         tag = "gate" if gated else "report"
         print(f"{verdict:7s} [{tag}] {metric['artifact']}:{metric['path']}  {detail}")

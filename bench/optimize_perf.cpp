@@ -1,0 +1,311 @@
+/// \file optimize_perf.cpp
+/// \brief Placement-optimizer perf tracking: incremental re-timing vs full
+///        recompute per candidate move, plus the optimizer's end-to-end
+///        improvement over the CenteredBlock start, merged into the
+///        BENCH_sweep.json artifact as an "optimize" section.
+///
+/// Two measurements:
+///   - incremental vs full: the identical greedy candidate stream is driven
+///     twice over the same start placement -- once through
+///     `core::PlacedTimer` (bound screen, affected-cone re-timing, undo-log
+///     reverts), once the naive way (rebuild the placed delay vector and
+///     run a full `Qodg::longest_path` per candidate).  Candidates are
+///     drawn uniformly over the move space: on the default 60x60 fabric a
+///     qubit has ~3552 free relocation targets against nq-1 swap partners,
+///     so the mix is relocate-dominated -- exactly the regime the bound
+///     screen exists for.  The bound is sound, so both loops take identical
+///     accept/reject decisions and end on identical placements; the
+///     artifact records per-move costs, the same-box ratio
+///     (`incremental_vs_full_ratio`, gated >= 5x in baselines.json), and
+///     the bit-exact parity of the final states (`parity_ok`, gated true);
+///   - improvement: `core::optimize_placement` (greedy, bounded move
+///     budget) against the CenteredBlock start on two suite circuits; both
+///     must report `improved` (gated in baselines.json).
+///
+/// Environment knobs: LEQA_BENCH_FAST shrinks the circuit and budgets;
+/// LEQA_SWEEP_JSON overrides the artifact path (the section is merged into
+/// an existing sweep_perf document when one is already there).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchgen/gf2_mult.h"
+#include "core/optimize.h"
+#include "core/placed.h"
+#include "fabric/geometry.h"
+#include "harness.h"
+#include "pipeline/pipeline.h"
+#include "qodg/qodg.h"
+#include "qspr/placement.h"
+#include "synth/ft_synth.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/json_value.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace leqa;
+
+struct FtCircuit {
+    circuit::Circuit ft;
+    std::unique_ptr<qodg::Qodg> graph;
+};
+
+FtCircuit ft_bench(const std::string& spec) {
+    FtCircuit out{synth::ft_synthesize(pipeline::parse_source(spec).load()).circuit,
+                  nullptr};
+    out.graph = std::make_unique<qodg::Qodg>(out.ft);
+    return out;
+}
+
+std::vector<fabric::UlbId> centered_homes(const fabric::PhysicalParams& params,
+                                          std::size_t num_qubits) {
+    return qspr::initial_placement(fabric::FabricGeometry(fabric::make_topology(params)),
+                                   num_qubits, qspr::PlacementStrategy::CenteredBlock, 1);
+}
+
+/// One candidate move, recorded as the incremental loop draws it so the
+/// naive loop can replay the exact same stream.
+struct Candidate {
+    bool relocate = false;
+    std::size_t q1 = 0;
+    std::size_t q2 = 0;       ///< swap partner
+    fabric::UlbId to = 0;     ///< relocate destination
+};
+
+} // namespace
+
+int main() {
+    std::printf("=== placement optimizer: incremental re-timing vs full recompute ===\n\n");
+
+    const bool fast =
+        bench::bench_op_limit() > 0 && bench::bench_op_limit() <= 80000;
+
+    // --- incremental vs full on one greedy candidate stream ----------------
+    benchgen::Gf2MultSpec spec;
+    spec.n = fast ? 16 : 32;
+    spec.form = benchgen::Gf2PolyForm::Auto;
+    const circuit::Circuit reversible = benchgen::gf2_mult(spec);
+    FtCircuit tc{synth::ft_synthesize(reversible).circuit, nullptr};
+    tc.graph = std::make_unique<qodg::Qodg>(tc.ft);
+
+    const fabric::PhysicalParams params; // Table 1 defaults, grid 60x60
+    const auto topology = fabric::make_topology(params);
+    const std::vector<fabric::UlbId> homes =
+        centered_homes(params, tc.ft.num_qubits());
+    const std::size_t candidates = fast ? 1500 : 4000;
+    const std::size_t nq = tc.ft.num_qubits();
+
+    // Uniform draw over the move space: every free ULB is a relocation
+    // target, every other qubit a swap partner.
+    core::PlacedTimer timer(*tc.graph, tc.ft, params, homes);
+    const double free_ulbs = static_cast<double>(timer.num_ulbs() - nq);
+    const double relocate_fraction =
+        free_ulbs / (free_ulbs + static_cast<double>(nq - 1));
+
+    // Incremental discipline: greedy -- the bound screens a candidate in
+    // O(gates touching the moved qubits); survivors pay one affected-cone
+    // pass, reverted via the undo log when the move does not improve.
+    util::Rng rng(9);
+    std::vector<Candidate> stream;
+    stream.reserve(candidates);
+    double inc_latency = timer.latency_us();
+    std::size_t inc_fast_rejected = 0;
+    std::size_t inc_accepted = 0;
+    const util::Stopwatch inc_clock;
+    for (std::size_t i = 0; i < candidates; ++i) {
+        Candidate candidate;
+        candidate.relocate = rng.chance(relocate_fraction);
+        candidate.q1 = rng.index(nq);
+        if (candidate.relocate) {
+            do {
+                candidate.to =
+                    static_cast<fabric::UlbId>(rng.index(timer.num_ulbs()));
+            } while (timer.occupant(candidate.to) != core::PlacedTimer::kNoQubit);
+        } else {
+            candidate.q2 = rng.index(nq - 1);
+            if (candidate.q2 >= candidate.q1) ++candidate.q2;
+        }
+        stream.push_back(candidate);
+
+        const double bound =
+            candidate.relocate
+                ? timer.relocate_lower_bound(candidate.q1, candidate.to)
+                : timer.swap_lower_bound(candidate.q1, candidate.q2);
+        if (bound >= inc_latency) {
+            ++inc_fast_rejected;
+            continue;
+        }
+        const fabric::UlbId from = timer.homes()[candidate.q1];
+        const double latency =
+            candidate.relocate ? timer.apply_relocate(candidate.q1, candidate.to)
+                               : timer.apply_swap(candidate.q1, candidate.q2);
+        if (latency < inc_latency) {
+            inc_latency = latency;
+            ++inc_accepted;
+        } else if (candidate.relocate) {
+            (void)timer.apply_relocate(candidate.q1, from); // revert
+        } else {
+            (void)timer.apply_swap(candidate.q1, candidate.q2); // revert
+        }
+    }
+    const double incremental_s = inc_clock.seconds();
+
+    // Naive discipline: every candidate pays a fresh placed-delay build and
+    // a from-scratch longest path -- what an annealer costs without the
+    // incremental engine.  The bound above is sound, so this loop takes the
+    // identical accept/reject decisions and lands on the same placement.
+    std::vector<fabric::UlbId> naive_homes = homes;
+    double naive_latency =
+        tc.graph
+            ->longest_path(core::placed_node_delays(*tc.graph, tc.ft, *topology,
+                                                    params, naive_homes))
+            .length;
+    const util::Stopwatch naive_clock;
+    for (const Candidate& candidate : stream) {
+        fabric::UlbId from = 0;
+        if (candidate.relocate) {
+            from = naive_homes[candidate.q1];
+            naive_homes[candidate.q1] = candidate.to;
+        } else {
+            std::swap(naive_homes[candidate.q1], naive_homes[candidate.q2]);
+        }
+        const double latency =
+            tc.graph
+                ->longest_path(core::placed_node_delays(*tc.graph, tc.ft, *topology,
+                                                        params, naive_homes))
+                .length;
+        if (latency < naive_latency) {
+            naive_latency = latency;
+        } else if (candidate.relocate) {
+            naive_homes[candidate.q1] = from;
+        } else {
+            std::swap(naive_homes[candidate.q1], naive_homes[candidate.q2]);
+        }
+    }
+    const double full_s = naive_clock.seconds();
+
+    const double inc_per_move_s = incremental_s / static_cast<double>(candidates);
+    const double full_per_move_s = full_s / static_cast<double>(candidates);
+    const double ratio = incremental_s > 0.0 ? full_s / incremental_s : 0.0;
+
+    // Parity: identical trajectories, and the timer's state must equal a
+    // from-scratch recompute bit for bit.
+    const double check =
+        tc.graph->longest_path(timer.delays()).length;
+    const bool parity_ok = naive_homes == timer.homes() &&
+                           naive_latency == timer.latency_us() &&
+                           check == timer.latency_us();
+
+    std::printf("circuit: gf2^%dmult  (%zu FT ops, %zu qubits), %zu candidates\n",
+                spec.n, tc.ft.size(), tc.ft.num_qubits(), candidates);
+    std::printf("  incremental (PlacedTimer): %.3e s/move  (%zu fast-rejected, "
+                "%zu accepted, %zu nodes re-timed)\n",
+                inc_per_move_s, inc_fast_rejected, inc_accepted,
+                timer.last_retimed_nodes());
+    std::printf("  full recompute           : %.3e s/move\n", full_per_move_s);
+    std::printf("  ratio (full/incremental) : %.1fx  (parity %s)\n", ratio,
+                parity_ok ? "ok" : "BROKEN");
+
+    // --- optimizer improvement over CenteredBlock on suite circuits --------
+    struct ImprovementRow {
+        std::string name;
+        core::OptimizeResult result;
+    };
+    std::vector<ImprovementRow> improvements;
+    for (const char* bench_name : {"8bitadder", "hwb15ps"}) {
+        FtCircuit suite = ft_bench(std::string("bench:") + bench_name);
+        core::OptimizeOptions options;
+        options.mode = core::OptimizeMode::Greedy;
+        options.max_moves = fast ? 1500 : 4000;
+        improvements.push_back(
+            {bench_name,
+             core::optimize_placement(*suite.graph, suite.ft, params,
+                                      centered_homes(params, suite.ft.num_qubits()),
+                                      options)});
+    }
+    bool all_improved = true;
+    std::printf("optimizer vs CenteredBlock (greedy, bounded budget):\n");
+    for (const ImprovementRow& row : improvements) {
+        const core::OptimizeResult& result = row.result;
+        const double pct =
+            result.initial_latency_us > 0.0
+                ? 100.0 * (result.initial_latency_us - result.final_latency_us) /
+                      result.initial_latency_us
+                : 0.0;
+        all_improved = all_improved && result.improved;
+        std::printf("  %-12s %.6E -> %.6E s  (%.2f%%, improved %s, %.3f s)\n",
+                    row.name.c_str(), result.initial_latency_us * 1e-6,
+                    result.final_latency_us * 1e-6, pct,
+                    result.improved ? "yes" : "NO", result.seconds);
+    }
+
+    // --- artifact: merge the "optimize" section into the sweep document ----
+    util::JsonWriter section;
+    section.begin_object();
+    section.key("incremental_vs_full").begin_object();
+    section.kv("circuit", "gf2^" + std::to_string(spec.n) + "mult");
+    section.kv("ft_ops", tc.ft.size());
+    section.kv("qubits", tc.ft.num_qubits());
+    section.kv("candidates", candidates);
+    section.kv("relocate_fraction", relocate_fraction);
+    section.kv("incremental_per_move_s", inc_per_move_s);
+    section.kv("full_per_move_s", full_per_move_s);
+    section.kv("fast_rejected", inc_fast_rejected);
+    section.kv("accepted", inc_accepted);
+    section.end_object();
+    section.kv("incremental_vs_full_ratio", ratio);
+    section.kv("parity_ok", parity_ok);
+    section.key("improvements").begin_array();
+    for (const ImprovementRow& row : improvements) {
+        const core::OptimizeResult& result = row.result;
+        section.begin_object();
+        section.kv("name", row.name);
+        section.kv("initial_latency_us", result.initial_latency_us);
+        section.kv("final_latency_us", result.final_latency_us);
+        section.kv("improved", result.improved);
+        section.kv("moves_attempted", result.moves_attempted);
+        section.kv("moves_fast_rejected", result.moves_fast_rejected);
+        section.end_object();
+    }
+    section.end_array();
+    section.kv("all_improved", all_improved);
+    section.end_object();
+
+    const std::string path =
+        util::env_string("LEQA_SWEEP_JSON").value_or("BENCH_sweep.json");
+    util::JsonWriter document;
+    document.begin_object();
+    bool merged = false;
+    {
+        // Keep whatever sweep_perf already wrote; replace only "optimize".
+        std::ifstream in(path);
+        if (in) {
+            const std::string existing((std::istreambuf_iterator<char>(in)),
+                                       std::istreambuf_iterator<char>());
+            try {
+                const util::JsonValue root = util::json_parse(existing);
+                for (const auto& [key, value] : root.members()) {
+                    if (key == "optimize") continue;
+                    document.key(key).raw_value(value.dump());
+                }
+                merged = true;
+            } catch (...) {
+                // Unparseable artifact: start a fresh document below.
+            }
+        }
+    }
+    if (!merged) document.kv("bench", "optimize_perf");
+    document.key("optimize").raw_value(section.str());
+    document.end_object();
+
+    std::ofstream out(path);
+    out << document.str() << "\n";
+    std::printf("\n%s optimize section into %s\n", merged ? "merged" : "wrote",
+                path.c_str());
+    return parity_ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 ///   leqa_cli bench:ham3 bench:8bitadder bench:hwb15ps --threads 4 --cache-stats
 ///   leqa_cli bench:gf2^16mult --explore --topologies grid,torus
 ///            --sides 40,50,60 --capacities 3,5 --speeds 0.001,0.002 --threads 4
+///   leqa_cli bench:ham3 --optimize --opt-moves 5000 --opt-seed 7
 ///
 /// With more than one input the requests run as a thread-pooled batch with
 /// per-request outcomes: a failing input prints its status line (and fails
@@ -129,6 +130,47 @@ int run_explore(pipeline::Pipeline& pipe, const std::string& spec_text,
     return 0;
 }
 
+int run_optimize(pipeline::Pipeline& pipe, const std::string& spec_text,
+                 const util::ArgParser& parser) {
+    core::OptimizeOptions options;
+    const std::size_t moves = parser.option_size("opt-moves");
+    if (moves < 1) throw util::InputError("--opt-moves must be >= 1");
+    options.max_moves = moves;
+    options.seed = static_cast<std::uint64_t>(parser.option_size("opt-seed"));
+    options.mode = core::parse_optimize_mode(parser.option("opt-mode"));
+    options.max_seconds = parser.option_double("opt-seconds");
+    if (options.max_seconds < 0.0) {
+        throw util::InputError("--opt-seconds must be non-negative");
+    }
+
+    const core::OptimizeResult result =
+        pipe.optimize(pipeline::parse_source(spec_text), options);
+
+    const double pct = result.initial_latency_us > 0.0
+                           ? 100.0 * (result.initial_latency_us -
+                                      result.final_latency_us) /
+                                 result.initial_latency_us
+                           : 0.0;
+    std::printf("placement optimization (%s, %zu-move budget, seed %llu)\n",
+                core::optimize_mode_name(options.mode).c_str(), options.max_moves,
+                static_cast<unsigned long long>(options.seed));
+    std::printf("  initial placed latency: %.6E s\n",
+                result.initial_latency_us * 1e-6);
+    std::printf("  final placed latency:   %.6E s  (%.2f%% better)\n",
+                result.final_latency_us * 1e-6, pct);
+    std::printf("  moves: %zu attempted, %zu accepted, %zu fast-rejected by the "
+                "incremental bound\n",
+                result.moves_attempted, result.moves_accepted,
+                result.moves_fast_rejected);
+    std::printf("  re-timed %zu QODG nodes in %.3f s\n", result.nodes_retimed,
+                result.seconds);
+    if (parser.option_given("json")) {
+        parser::write_file(parser.option("json"), report::optimize_to_json(result));
+        std::printf("wrote JSON report to %s\n", parser.option("json").c_str());
+    }
+    return 0;
+}
+
 int run_batch(pipeline::Pipeline& pipe, const std::vector<std::string>& specs,
               std::size_t threads, const util::ArgParser& parser) {
     // A bad spec (unknown bench, missing file) must cost only its own slot:
@@ -201,6 +243,13 @@ int body(int argc, char** argv) {
     parser.add_option("capacities",
                       "explore axis: comma-separated channel capacities Nc");
     parser.add_option("speeds", "explore axis: comma-separated qubit speeds v");
+    parser.add_flag("optimize",
+                    "anneal the initial placement for minimal placed latency");
+    parser.add_option("opt-moves", "optimize: candidate-move budget", "20000");
+    parser.add_option("opt-seed", "optimize: RNG seed", "1");
+    parser.add_option("opt-mode", "optimize: anneal | greedy", "anneal");
+    parser.add_option("opt-seconds",
+                      "optimize: wall-clock budget in seconds (0 = unbounded)", "0");
     parser.add_flag("exact-sq", "evaluate all Q terms of E[S_q]");
     parser.add_flag("breakdown", "print the model intermediates");
     parser.add_flag("no-synth", "input is already FT-synthesized");
@@ -217,6 +266,19 @@ int body(int argc, char** argv) {
     pipeline::Pipeline pipe(config);
 
     int exit_code = 0;
+    if (parser.flag("optimize")) {
+        if (parser.flag("explore")) {
+            throw util::InputError("--optimize and --explore are exclusive");
+        }
+        if (!parser.rest().empty()) {
+            throw util::InputError("--optimize runs on a single input");
+        }
+        exit_code = run_optimize(pipe, *parser.positional("input"), parser);
+        if (parser.flag("cache-stats")) {
+            std::printf("cache: %s\n", pipe.cache_stats().to_string().c_str());
+        }
+        return exit_code;
+    }
     if (parser.flag("explore")) {
         if (!parser.rest().empty()) {
             throw util::InputError("--explore runs on a single input");

@@ -203,6 +203,10 @@ ExplorationResult evaluate_configurations(
     std::atomic<bool> abort{false};
     std::exception_ptr failure;
     std::mutex failure_mutex;
+    // One slot per worker, summed after the join: the totals depend on how
+    // the groups were partitioned (they are effectiveness counters, not
+    // estimates), but for a fixed thread count they are deterministic.
+    std::vector<SurfaceCacheStats> worker_surface(workers);
     const auto run_slice = [&](std::size_t worker) {
         try {
             std::optional<EstimationEngine> engine;
@@ -232,6 +236,7 @@ ExplorationResult evaluate_configurations(
                                                   std::move(estimates[i - first])};
                 }
             }
+            if (engine.has_value()) worker_surface[worker] = engine->surface_cache_stats();
         } catch (const AbortRequested&) {
             // Another worker failed or cancelled; our partial results are
             // discarded with the grid.
@@ -266,6 +271,11 @@ ExplorationResult evaluate_configurations(
     // A cancelled/failed exploration publishes nothing, not a partial grid.
     if (failure != nullptr) std::rethrow_exception(failure);
 
+    for (const SurfaceCacheStats& stats : worker_surface) {
+        result.surface_cache.hits += stats.hits;
+        result.surface_cache.recomputes += stats.recomputes;
+        result.surface_cache.evictions += stats.evictions;
+    }
     result.best_index = best_point_index(result.points, &result.non_finite_points);
     result.best_per_topology = best_by_topology(result.points);
     result.pareto_front = pareto_front_indices(result.points);

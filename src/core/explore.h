@@ -74,6 +74,9 @@ struct ExplorationResult {
     std::vector<TopologyBest> best_per_topology; ///< first-appearance order
     std::vector<std::size_t> pareto_front;       ///< fabric-area ascending
     std::size_t threads_used = 1;
+    /// Summed E[S_q] cache counters of the workers' engines (see
+    /// SweepResult::surface_cache for the caveat on thread-count effects).
+    SurfaceCacheStats surface_cache;
 
     [[nodiscard]] bool has_best() const { return best_index != kNoBestPoint; }
     /// Throws InputError when no point has a finite latency.

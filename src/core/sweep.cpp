@@ -17,6 +17,7 @@ SweepResult from_exploration(ExplorationResult&& explored) {
     result.points = std::move(explored.points);
     result.best_index = explored.best_index;
     result.non_finite_points = explored.non_finite_points;
+    result.surface_cache = explored.surface_cache;
     return result;
 }
 

@@ -55,6 +55,10 @@ struct SweepResult {
     std::size_t best_index = kNoBestPoint;
     /// Points whose latency was NaN/infinite (skipped for best selection).
     std::size_t non_finite_points = 0;
+    /// Engine E[S_q] cache effectiveness over the sweep, summed across the
+    /// workers' engines (counters only; not part of the bit-identity
+    /// contract — different thread counts partition the work differently).
+    SurfaceCacheStats surface_cache;
 
     [[nodiscard]] bool has_best() const { return best_index != kNoBestPoint; }
     /// Throws InputError when no point has a finite latency.

@@ -163,6 +163,18 @@ void Session::handle_line(const std::string& line) {
             track(id, service_.submit_explore(std::move(explore), std::move(options)));
             break;
         }
+        case wire::WireRequest::Op::Optimize: {
+            service::OptimizeRequest optimize;
+            optimize.source = request.source;
+            optimize.options = request.optimize;
+            if (!request.params.empty()) {
+                optimize.params =
+                    request.params.apply(service_.pipeline().config().params);
+            }
+            track(id,
+                  service_.submit_optimize(std::move(optimize), std::move(options)));
+            break;
+        }
         case wire::WireRequest::Op::Calibrate: {
             service::CalibrationRequest calibrate;
             calibrate.sources = request.sources;

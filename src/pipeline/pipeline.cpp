@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "qspr/placement.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -26,7 +27,10 @@ std::string CacheStats::to_string() const {
     return "circuits " + std::to_string(circuit_hits) + " hit / " +
            std::to_string(circuit_misses) + " miss, graphs " +
            std::to_string(graph_hits) + " hit / " + std::to_string(graph_misses) +
-           " miss, evictions " + std::to_string(evictions);
+           " miss, evictions " + std::to_string(evictions) + ", surfaces " +
+           std::to_string(surface_hits) + " hit / " +
+           std::to_string(surface_recomputes) + " recompute / " +
+           std::to_string(surface_evictions) + " evict";
 }
 
 // ------------------------------------------------------- CachedCircuit --
@@ -207,6 +211,13 @@ void Pipeline::ensure_graphs(const CachedCircuit& entry) {
     }
 }
 
+void Pipeline::note_surface_stats(const core::SurfaceCacheStats& stats) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.surface_hits += stats.hits;
+    stats_.surface_recomputes += stats.recomputes;
+    stats_.surface_evictions += stats.evictions;
+}
+
 EstimationResult Pipeline::run_impl(const EstimationRequest& request,
                                     const RunControl* control, const char*& stage) {
     const util::Stopwatch total;
@@ -242,6 +253,7 @@ EstimationResult Pipeline::run_impl(const EstimationRequest& request,
         const util::Stopwatch estimate_clock;
         result.estimate = engine.estimate(entry->profile());
         result.times.estimate_s = estimate_clock.seconds();
+        note_surface_stats(engine.surface_cache_stats());
     }
     if (request.mode != RunMode::Estimate) {
         stage = "map";
@@ -343,8 +355,11 @@ core::SweepResult Pipeline::sweep_fabric_sides(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_fabric_sides(entry->profile(), params, sides, leqa_options,
-                                    point_checkpoint(control));
+    core::SweepResult result =
+        core::sweep_fabric_sides(entry->profile(), params, sides, leqa_options,
+                                point_checkpoint(control));
+    note_surface_stats(result.surface_cache);
+    return result;
 }
 
 core::SweepResult Pipeline::sweep_channel_capacity(const CircuitSource& source,
@@ -354,8 +369,11 @@ core::SweepResult Pipeline::sweep_channel_capacity(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_channel_capacity(entry->profile(), params, capacities,
-                                        leqa_options, point_checkpoint(control));
+    core::SweepResult result =
+        core::sweep_channel_capacity(entry->profile(), params, capacities,
+                                    leqa_options, point_checkpoint(control));
+    note_surface_stats(result.surface_cache);
+    return result;
 }
 
 core::SweepResult Pipeline::sweep_speed(const CircuitSource& source,
@@ -365,8 +383,11 @@ core::SweepResult Pipeline::sweep_speed(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_speed(entry->profile(), params, speeds, leqa_options,
-                             point_checkpoint(control));
+    core::SweepResult result =
+        core::sweep_speed(entry->profile(), params, speeds, leqa_options,
+                         point_checkpoint(control));
+    note_surface_stats(result.surface_cache);
+    return result;
 }
 
 core::SweepResult Pipeline::sweep_topology(
@@ -376,8 +397,11 @@ core::SweepResult Pipeline::sweep_topology(
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::sweep_topology(entry->profile(), params, kinds, leqa_options,
-                                point_checkpoint(control));
+    core::SweepResult result =
+        core::sweep_topology(entry->profile(), params, kinds, leqa_options,
+                            point_checkpoint(control));
+    note_surface_stats(result.surface_cache);
+    return result;
 }
 
 core::ExplorationResult Pipeline::explore(const CircuitSource& source,
@@ -387,8 +411,48 @@ core::ExplorationResult Pipeline::explore(const CircuitSource& source,
     const CachedCircuitPtr entry = resolve(source);
     ensure_graphs(*entry);
     const auto [params, leqa_options] = snapshot_estimation_config();
-    return core::explore(entry->profile(), params, spec, leqa_options,
-                         point_checkpoint(control, "explore"));
+    core::ExplorationResult result =
+        core::explore(entry->profile(), params, spec, leqa_options,
+                     point_checkpoint(control, "explore"));
+    note_surface_stats(result.surface_cache);
+    return result;
+}
+
+// --------------------------------------------------------- optimization --
+
+core::OptimizeResult Pipeline::optimize(const CircuitSource& source,
+                                        const core::OptimizeOptions& options,
+                                        const std::optional<fabric::PhysicalParams>& params,
+                                        const RunControl* control) {
+    if (control != nullptr) control->checkpoint("resolve");
+    const CachedCircuitPtr entry = resolve(source);
+    ensure_graphs(*entry);
+
+    fabric::PhysicalParams run_params;
+    qspr::QsprOptions qspr_options;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        run_params = params.value_or(config_.params);
+        qspr_options = config_.qspr;
+    }
+    run_params.validate();
+    LEQA_REQUIRE(entry->ft().num_qubits() <=
+                     static_cast<std::size_t>(run_params.area()),
+                 "circuit has more logical qubits than the fabric has ULBs");
+
+    // Start from the same placement the session mapper would use, so the
+    // result reads directly as "improvement over the mapper's start".
+    std::vector<fabric::UlbId> homes =
+        qspr_options.initial_homes.empty()
+            ? qspr::initial_placement(
+                  fabric::FabricGeometry(fabric::make_topology(run_params)),
+                  entry->ft().num_qubits(), qspr_options.placement,
+                  qspr_options.seed)
+            : qspr_options.initial_homes;
+
+    return core::optimize_placement(entry->qodg(), entry->ft(), run_params,
+                                    std::move(homes), options,
+                                    point_checkpoint(control, "optimize"));
 }
 
 // ---------------------------------------------------------- calibration --

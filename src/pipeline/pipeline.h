@@ -39,6 +39,7 @@
 #include "core/engine.h"
 #include "core/explore.h"
 #include "core/leqa.h"
+#include "core/optimize.h"
 #include "core/sweep.h"
 #include "fabric/params.h"
 #include "iig/iig.h"
@@ -129,6 +130,11 @@ struct CacheStats {
     std::size_t graph_hits = 0;     ///< QODG/IIG pair served from cache
     std::size_t graph_misses = 0;   ///< QODG/IIG pair built
     std::size_t evictions = 0;      ///< LRU evictions
+    /// Engine E[S_q] surface-cache counters, summed over every engine the
+    /// session ran (runs, sweeps, explorations).
+    std::size_t surface_hits = 0;
+    std::size_t surface_recomputes = 0;
+    std::size_t surface_evictions = 0;
 
     [[nodiscard]] std::string to_string() const;
 };
@@ -251,6 +257,21 @@ public:
                                                   const core::ExplorationSpec& spec,
                                                   const RunControl* control = nullptr);
 
+    // --- placement optimization on the shared cache -----------------------
+
+    /// Latency-driven placement search (core::optimize_placement) for one
+    /// circuit: resolve through the cache, seed with the session mapper's
+    /// initial placement (`config().qspr.placement` / `.seed`, or its
+    /// explicit `initial_homes` when set), then anneal/greedy-refine under
+    /// the placed timing model.  \p params overrides the session fabric for
+    /// this call.  An optional RunControl is observed every few hundred
+    /// moves.  The result's homes slot into `QsprOptions::initial_homes`
+    /// to drive the detailed mapper with the optimized placement.
+    [[nodiscard]] core::OptimizeResult optimize(
+        const CircuitSource& source, const core::OptimizeOptions& options = {},
+        const std::optional<fabric::PhysicalParams>& params = std::nullopt,
+        const RunControl* control = nullptr);
+
     // --- calibration on the shared cache ----------------------------------
 
     /// Training pairs for the given sources: each circuit is resolved
@@ -297,6 +318,8 @@ private:
                                                  double* seconds);
     /// Force graphs and account the hit/miss.
     void ensure_graphs(const CachedCircuit& entry);
+    /// Fold one engine's E[S_q] cache counters into the session stats.
+    void note_surface_stats(const core::SurfaceCacheStats& stats);
     /// The throwing core of run()/run_result(); \p stage tracks the stage
     /// in flight so run_result can attribute a failure's origin.
     [[nodiscard]] EstimationResult run_impl(const EstimationRequest& request,

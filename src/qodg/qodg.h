@@ -94,6 +94,14 @@ public:
         (void)nodes_.at(id); // bounds check; CSR indexing below is unchecked
         return csr_.successors(id);
     }
+    /// Predecessors of a node, ascending by id (the reverse-CSR adjacency
+    /// built at construction).  Gathering them in this order reproduces the
+    /// relax order of the push-based longest-path sweep bit for bit — the
+    /// contract core::PlacedTimer's incremental re-timing relies on.
+    [[nodiscard]] std::span<const NodeId> predecessors(NodeId id) const {
+        (void)nodes_.at(id);
+        return rcsr_.successors(id);
+    }
     /// The raw dependency structure (node ids are a topological order).
     [[nodiscard]] const graph::CsrDigraph& csr() const { return csr_; }
 

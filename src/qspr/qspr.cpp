@@ -64,12 +64,23 @@ public:
           qubit_free_(circ.num_qubits(), 0.0),
           ulb_busy_(geometry_.num_ulbs(), 0.0),
           occupant_(geometry_.num_ulbs(), kNoQubit) {
-        const auto homes = initial_placement(geometry_, circ.num_qubits(),
-                                             options.placement, options.seed);
+        const auto homes =
+            options.initial_homes.empty()
+                ? initial_placement(geometry_, circ.num_qubits(), options.placement,
+                                    options.seed)
+                : options.initial_homes;
+        LEQA_REQUIRE(homes.size() == circ.num_qubits(),
+                     "initial_homes must hold one ULB per logical qubit");
         home_.resize(circ.num_qubits());
         for (circuit::Qubit q = 0; q < circ.num_qubits(); ++q) {
-            home_[q] = homes[q];
-            occupant_[static_cast<std::size_t>(homes[q])] = static_cast<std::int32_t>(q);
+            const fabric::UlbId home = homes[q];
+            LEQA_REQUIRE(home >= 0 &&
+                             static_cast<std::size_t>(home) < geometry_.num_ulbs(),
+                         "initial_homes ULB out of range");
+            LEQA_REQUIRE(occupant_[static_cast<std::size_t>(home)] == kNoQubit,
+                         "initial_homes assigns two qubits to one ULB");
+            home_[q] = home;
+            occupant_[static_cast<std::size_t>(home)] = static_cast<std::int32_t>(q);
         }
     }
 

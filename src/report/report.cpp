@@ -312,4 +312,32 @@ std::string calibration_to_json(const core::CalibrationResult& result) {
     return json.str();
 }
 
+std::string optimize_to_json(const core::OptimizeResult& result) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("initial_latency_us", result.initial_latency_us);
+    json.kv("final_latency_us", result.final_latency_us);
+    json.kv("improved", result.improved);
+    const double pct =
+        result.initial_latency_us > 0.0
+            ? 100.0 * (result.initial_latency_us - result.final_latency_us) /
+                  result.initial_latency_us
+            : 0.0;
+    json.kv("improvement_pct", pct);
+    json.key("moves").begin_object();
+    json.kv("attempted", result.moves_attempted);
+    json.kv("accepted", result.moves_accepted);
+    json.kv("fast_rejected", result.moves_fast_rejected);
+    json.end_object();
+    json.kv("nodes_retimed", result.nodes_retimed);
+    json.kv("seconds", result.seconds);
+    json.key("homes").begin_array();
+    for (const fabric::UlbId home : result.homes) {
+        json.value(static_cast<long long>(home));
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
 } // namespace leqa::report

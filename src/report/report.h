@@ -14,6 +14,7 @@
 #include "core/calibrate.h"
 #include "core/explore.h"
 #include "core/leqa.h"
+#include "core/optimize.h"
 #include "core/sweep.h"
 #include "fabric/params.h"
 #include "pipeline/pipeline.h"
@@ -80,5 +81,11 @@ void write_params_json(util::JsonWriter& json, const fabric::PhysicalParams& par
 
 /// A calibration fit as JSON (v, error at v, evaluations spent).
 [[nodiscard]] std::string calibration_to_json(const core::CalibrationResult& result);
+
+/// A placement-optimization outcome as JSON: initial/final placed latency,
+/// improvement percentage, move statistics (attempted / accepted /
+/// fast-rejected by the incremental bound), re-timing work, wall time, and
+/// the best home-ULB assignment found.
+[[nodiscard]] std::string optimize_to_json(const core::OptimizeResult& result);
 
 } // namespace leqa::report

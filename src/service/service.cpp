@@ -413,6 +413,23 @@ JobHandle Service::submit_explore(ExploreRequest request, SubmitOptions options)
         std::move(options));
 }
 
+JobHandle Service::submit_optimize(OptimizeRequest request, SubmitOptions options) {
+    if (options.label.empty()) options.label = "optimize:" + request.source;
+    return submit_fn(
+        [request = std::move(request)](pipeline::Pipeline& pipe,
+                                       const pipeline::RunControl& control) -> JobResult {
+            try {
+                control.checkpoint("optimize");
+                return JobOutput{pipe.optimize(pipeline::parse_source(request.source),
+                                               request.options, request.params,
+                                               &control)};
+            } catch (...) {
+                return util::status_from_exception(std::current_exception(), "optimize");
+            }
+        },
+        std::move(options));
+}
+
 JobHandle Service::submit_calibration(CalibrationRequest request, SubmitOptions options) {
     if (options.label.empty()) options.label = "calibrate";
     return submit_fn(

@@ -54,9 +54,11 @@ struct ServiceOptions {
 };
 
 /// What a job can produce: one pipeline run, a design-space sweep, a
-/// calibration fit, or a multi-dimensional exploration.
+/// calibration fit, a multi-dimensional exploration, or a placement
+/// optimization.
 using JobOutput = std::variant<pipeline::EstimationResult, core::SweepResult,
-                               core::CalibrationResult, core::ExplorationResult>;
+                               core::CalibrationResult, core::ExplorationResult,
+                               core::OptimizeResult>;
 
 /// Every job completes with exactly one of these: a JobOutput or a non-OK
 /// Status.  Nothing throws across the boundary.
@@ -153,6 +155,16 @@ struct ExploreRequest {
     core::ExplorationSpec spec;
 };
 
+/// A latency-driven placement optimization (see core/optimize.h and
+/// pipeline::Pipeline::optimize).  The source spec is resolved inside the
+/// job.
+struct OptimizeRequest {
+    std::string source; ///< circuit spec ("bench:<name>" or a path)
+    core::OptimizeOptions options;
+    /// Per-request fabric override (the session default otherwise).
+    std::optional<fabric::PhysicalParams> params;
+};
+
 /// A calibration fit against the session mapper.
 struct CalibrationRequest {
     std::vector<std::string> sources; ///< training circuit specs
@@ -227,6 +239,10 @@ public:
     /// Enqueue a multi-dimensional design-space exploration.
     [[nodiscard]] JobHandle submit_explore(ExploreRequest request,
                                            SubmitOptions options = {});
+
+    /// Enqueue a placement optimization.
+    [[nodiscard]] JobHandle submit_optimize(OptimizeRequest request,
+                                            SubmitOptions options = {});
 
     /// Enqueue a calibration fit.
     [[nodiscard]] JobHandle submit_calibration(CalibrationRequest request,

@@ -102,7 +102,8 @@ WireRequest parse_request_object(const JsonValue& root) {
                               request.op == WireRequest::Op::Map ||
                               request.op == WireRequest::Op::Both ||
                               request.op == WireRequest::Op::Sweep ||
-                              request.op == WireRequest::Op::Explore;
+                              request.op == WireRequest::Op::Explore ||
+                              request.op == WireRequest::Op::Optimize;
     if (needs_source) {
         const JsonValue* source = root.find("source");
         if (source == nullptr || source->as_string().empty()) {
@@ -212,6 +213,38 @@ WireRequest parse_request_object(const JsonValue& root) {
             }
             break;
         }
+        case WireRequest::Op::Optimize: {
+            if (const JsonValue* params = root.find("params")) {
+                request.params = parse_params_patch(*params);
+            }
+            if (const JsonValue* moves = root.find("moves")) {
+                const long long parsed = moves->as_int();
+                // Bounded like "threads": one hostile line must not buy an
+                // effectively unbounded annealing run on a worker thread.
+                constexpr long long kMaxOptimizeMoves = 10000000;
+                if (parsed < 1 || parsed > kMaxOptimizeMoves) {
+                    bad_request("\"moves\" must be in [1, " +
+                                std::to_string(kMaxOptimizeMoves) + "]");
+                }
+                request.optimize.max_moves = static_cast<std::size_t>(parsed);
+            }
+            if (const JsonValue* seed = root.find("seed")) {
+                const long long parsed = seed->as_int();
+                if (parsed < 0) bad_request("\"seed\" must be non-negative");
+                request.optimize.seed = static_cast<std::uint64_t>(parsed);
+            }
+            if (const JsonValue* mode = root.find("mode")) {
+                // parse_optimize_mode throws InputError for unknown names,
+                // which maps to InvalidArgument at this boundary.
+                request.optimize.mode = core::parse_optimize_mode(mode->as_string());
+            }
+            if (const JsonValue* seconds = root.find("max_seconds")) {
+                const double parsed = seconds->as_number();
+                if (parsed < 0.0) bad_request("\"max_seconds\" must be non-negative");
+                request.optimize.max_seconds = parsed;
+            }
+            break;
+        }
         case WireRequest::Op::Stats:
             break;
     }
@@ -240,8 +273,9 @@ fabric::PhysicalParams ParamsPatch::apply(fabric::PhysicalParams base) const {
 // ------------------------------------------------------------------- ops --
 
 const std::string& op_name(WireRequest::Op op) {
-    static const std::string names[] = {"estimate",  "map",    "both",  "sweep",
-                                        "calibrate", "cancel", "stats", "explore"};
+    static const std::string names[] = {"estimate", "map",     "both",
+                                        "sweep",    "calibrate", "cancel",
+                                        "stats",    "explore", "optimize"};
     return names[static_cast<std::size_t>(op)];
 }
 
@@ -249,7 +283,8 @@ std::optional<WireRequest::Op> parse_op(const std::string& name) {
     for (const auto op :
          {WireRequest::Op::Estimate, WireRequest::Op::Map, WireRequest::Op::Both,
           WireRequest::Op::Sweep, WireRequest::Op::Calibrate, WireRequest::Op::Cancel,
-          WireRequest::Op::Stats, WireRequest::Op::Explore}) {
+          WireRequest::Op::Stats, WireRequest::Op::Explore,
+          WireRequest::Op::Optimize}) {
         if (op_name(op) == name) return op;
     }
     return std::nullopt;
@@ -317,6 +352,21 @@ std::string serialize_request(const WireRequest& request) {
         if (request.apply_calibration) json.kv("apply", true);
     }
     if (request.op == WireRequest::Op::Cancel) json.kv("target", request.target);
+    if (request.op == WireRequest::Op::Optimize) {
+        const core::OptimizeOptions defaults;
+        if (request.optimize.max_moves != defaults.max_moves) {
+            json.kv("moves", static_cast<long long>(request.optimize.max_moves));
+        }
+        if (request.optimize.seed != defaults.seed) {
+            json.kv("seed", request.optimize.seed);
+        }
+        if (request.optimize.mode != defaults.mode) {
+            json.kv("mode", core::optimize_mode_name(request.optimize.mode));
+        }
+        if (request.optimize.max_seconds != defaults.max_seconds) {
+            json.kv("max_seconds", request.optimize.max_seconds);
+        }
+    }
     if (request.op == WireRequest::Op::Explore) {
         if (!request.explore.topologies.empty()) {
             json.key("topologies").begin_array();
@@ -396,6 +446,11 @@ std::string serialize_result(std::uint64_t id, const JobResult& result) {
         json.begin_object();
         json.key("exploration").raw_value(report::exploration_to_json(*exploration));
         json.end_object();
+    } else if (const auto* optimized =
+                   std::get_if<core::OptimizeResult>(&result.value())) {
+        json.begin_object();
+        json.key("optimize").raw_value(report::optimize_to_json(*optimized));
+        json.end_object();
     } else {
         const auto& fit = std::get<core::CalibrationResult>(result.value());
         json.begin_object();
@@ -464,6 +519,9 @@ std::string serialize_stats(std::uint64_t id, const ServiceStats& stats) {
     json.kv("graph_hits", stats.cache.graph_hits);
     json.kv("graph_misses", stats.cache.graph_misses);
     json.kv("evictions", stats.cache.evictions);
+    json.kv("surface_hits", stats.cache.surface_hits);
+    json.kv("surface_recomputes", stats.cache.surface_recomputes);
+    json.kv("surface_evictions", stats.cache.surface_evictions);
     json.end_object();
     json.end_object();
     json.end_object();

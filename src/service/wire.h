@@ -21,6 +21,8 @@
 ///   {"id":8,"op":"explore","source":"bench:ham3",
 ///    "topologies":["grid","torus"],"sides":[40,50,60],"nc":[3,5],
 ///    "v":[0.001,0.002],"threads":4}
+///   {"id":9,"op":"optimize","source":"bench:ham3","moves":5000,"seed":7,
+///    "mode":"anneal","params":{"topology":"torus"}}
 ///
 /// Responses (order of completion, correlated by id):
 ///
@@ -42,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "core/optimize.h"
 #include "fabric/params.h"
 #include "pipeline/pipeline.h"
 #include "service/service.h"
@@ -69,12 +72,22 @@ struct ParamsPatch {
 
 /// One decoded request line.
 struct WireRequest {
-    enum class Op { Estimate, Map, Both, Sweep, Calibrate, Cancel, Stats, Explore };
+    enum class Op {
+        Estimate,
+        Map,
+        Both,
+        Sweep,
+        Calibrate,
+        Cancel,
+        Stats,
+        Explore,
+        Optimize
+    };
 
     std::uint64_t id = 0;
     Op op = Op::Estimate;
-    std::string source;       ///< estimate/map/both/sweep/explore
-    ParamsPatch params;       ///< estimate/map/both
+    std::string source;       ///< estimate/map/both/sweep/explore/optimize
+    ParamsPatch params;       ///< estimate/map/both/optimize
     int priority = 0;
     std::optional<double> deadline_s;
     std::string label;
@@ -87,6 +100,9 @@ struct WireRequest {
     /// Explore cross-product axes + worker threads ("topologies"/"sides"/
     /// "nc"/"v"/"threads" keys; at least one axis must be non-empty).
     core::ExplorationSpec explore;
+    /// Optimize budget/seed/schedule ("moves"/"seed"/"mode"/"max_seconds"
+    /// keys; unset keys keep the core::OptimizeOptions defaults).
+    core::OptimizeOptions optimize;
 
     [[nodiscard]] bool operator==(const WireRequest&) const = default;
 };

@@ -22,7 +22,6 @@
 ///   leqa_server --listen 0        # ephemeral port, printed on stdout
 #include <csignal>
 #include <cstdio>
-#include <mutex>
 #include <poll.h>
 #include <string>
 #include <unistd.h>
@@ -37,6 +36,7 @@
 #include "service/wire.h"
 #include "util/args.h"
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace {
 
@@ -74,11 +74,11 @@ int install_signal_pipe() {
 /// sink (and its stdout mutex) must outlive every in-flight completion.
 void run_stdio(service::Service& service, std::size_t max_line_bytes,
                int signal_fd) {
-    std::mutex out_mutex;
+    util::Mutex out_mutex;
     const auto session = net::Session::make(
         service,
         [&out_mutex](std::string line) {
-            const std::lock_guard<std::mutex> lock(out_mutex);
+            const util::MutexLock lock(out_mutex);
             std::fputs(line.c_str(), stdout);
             std::fputc('\n', stdout);
             std::fflush(stdout);

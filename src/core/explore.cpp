@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::core {
 
@@ -201,8 +201,14 @@ ExplorationResult evaluate_configurations(
     // critical-path pass lane-blocked.
     struct AbortRequested {}; // private unwind signal, never escapes run_slice
     std::atomic<bool> abort{false};
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
+    /// First failure wins; the slot is the workers' only cross-thread write
+    /// target (result.points slots are disjoint by construction), so it is
+    /// the one piece of exploration state that needs a capability.
+    struct FailureSlot {
+        util::Mutex mutex;
+        std::exception_ptr first LEQA_GUARDED_BY(mutex);
+    };
+    FailureSlot failure;
     // One slot per worker, summed after the join: the totals depend on how
     // the groups were partitioned (they are effectiveness counters, not
     // estimates), but for a fixed thread count they are deterministic.
@@ -241,8 +247,8 @@ ExplorationResult evaluate_configurations(
             // Another worker failed or cancelled; our partial results are
             // discarded with the grid.
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(failure_mutex);
-            if (failure == nullptr) failure = std::current_exception();
+            const util::MutexLock lock(failure.mutex);
+            if (failure.first == nullptr) failure.first = std::current_exception();
             abort.store(true, std::memory_order_relaxed);
         }
     };
@@ -269,7 +275,14 @@ ExplorationResult evaluate_configurations(
         for (std::thread& thread : pool) thread.join();
     }
     // A cancelled/failed exploration publishes nothing, not a partial grid.
-    if (failure != nullptr) std::rethrow_exception(failure);
+    // The workers are joined, but the capability contract holds everywhere:
+    // read the slot under its lock.
+    std::exception_ptr first_failure;
+    {
+        const util::MutexLock lock(failure.mutex);
+        first_failure = failure.first;
+    }
+    if (first_failure != nullptr) std::rethrow_exception(first_failure);
 
     for (const SurfaceCacheStats& stats : worker_surface) {
         result.surface_cache.hits += stats.hits;

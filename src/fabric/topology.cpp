@@ -181,7 +181,8 @@ std::pair<UlbId, UlbId> Topology::segment_endpoints(SegmentId segment) const {
 }
 
 const Topology::NextHops& Topology::next_hops_toward(UlbId destination) const {
-    // Caller holds route_mutex_.
+    // LEQA_REQUIRES(route_mutex_) enforces the caller-holds-the-lock
+    // contract that used to live in a comment here.
     const auto cached = next_hop_cache_.find(destination);
     if (cached != next_hop_cache_.end()) return cached->second;
     if (next_hop_cache_.size() >= kMaxCachedDestinations) next_hop_cache_.clear();
@@ -223,7 +224,7 @@ std::vector<SegmentId> Topology::route(UlbCoord a, UlbCoord b) const {
     const UlbId target = ulb_id(b);
     if (source == target) return {};
 
-    const std::lock_guard<std::mutex> lock(route_mutex_);
+    const util::MutexLock lock(route_mutex_);
     const NextHops& table = next_hops_toward(target);
     std::vector<SegmentId> segments;
     segments.reserve(static_cast<std::size_t>(distance(a, b)));

@@ -41,6 +41,7 @@
 #include "fabric/geometry.h"
 #include "fabric/params.h"
 #include "graph/csr.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::fabric {
 
@@ -177,10 +178,12 @@ private:
         std::vector<UlbId> via_node;        ///< next ULB toward the destination
         std::vector<SegmentId> via_segment; ///< segment taken for that hop
     };
-    mutable std::mutex route_mutex_;
-    mutable std::unordered_map<UlbId, NextHops> next_hop_cache_;
+    mutable util::Mutex route_mutex_;
+    mutable std::unordered_map<UlbId, NextHops> next_hop_cache_
+        LEQA_GUARDED_BY(route_mutex_);
 
-    [[nodiscard]] const NextHops& next_hops_toward(UlbId destination) const;
+    [[nodiscard]] const NextHops& next_hops_toward(UlbId destination) const
+        LEQA_REQUIRES(route_mutex_);
 };
 
 /// The paper's open-boundary mesh.  Segment numbering, XY routes, rings and

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::mathx {
 
@@ -221,12 +221,18 @@ std::optional<std::vector<int>> find_irreducible_pentanomial(int n) {
 }
 
 std::vector<int> irreducible_middle_terms(int n, bool force_pentanomial) {
-    static std::mutex cache_mutex;
-    static std::map<std::pair<int, bool>, std::vector<int>> cache;
+    // The memo is process-wide shared state; a struct (rather than two
+    // bare statics) lets the capability analysis tie the map to its mutex.
+    struct TermCache {
+        util::Mutex mutex;
+        std::map<std::pair<int, bool>, std::vector<int>> terms
+            LEQA_GUARDED_BY(mutex);
+    };
+    static TermCache cache;
     {
-        const std::lock_guard<std::mutex> lock(cache_mutex);
-        const auto it = cache.find({n, force_pentanomial});
-        if (it != cache.end()) return it->second;
+        const util::MutexLock lock(cache.mutex);
+        const auto it = cache.terms.find({n, force_pentanomial});
+        if (it != cache.terms.end()) return it->second;
     }
 
     std::vector<int> terms;
@@ -242,8 +248,8 @@ std::vector<int> irreducible_middle_terms(int n, bool force_pentanomial) {
         terms = *penta;
     }
 
-    const std::lock_guard<std::mutex> lock(cache_mutex);
-    cache[{n, force_pentanomial}] = terms;
+    const util::MutexLock lock(cache.mutex);
+    cache.terms[{n, force_pentanomial}] = terms;
     return terms;
 }
 

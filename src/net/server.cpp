@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -24,7 +23,7 @@ constexpr std::size_t kReadChunk = 65536;
 std::pair<Socket, Socket> make_wake_pipe() {
     int fds[2];
     if (::pipe(fds) != 0) {
-        throw util::Error(std::string("pipe: ") + std::strerror(errno));
+        throw util::Error("pipe: " + util::errno_message(errno));
     }
     set_nonblocking(fds[0]);
     set_nonblocking(fds[1]);
@@ -69,7 +68,7 @@ void Server::drain_wake_pipe() {
 void Server::apply_completions() {
     std::vector<std::pair<std::uint64_t, std::string>> batch;
     {
-        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        const util::MutexLock lock(completions_mutex_);
         batch.swap(completions_);
     }
     for (auto& [gen, line] : batch) {
@@ -92,7 +91,7 @@ bool Server::can_close(const Connection& conn) {
     // idle() means every completion was already pushed (Session::complete
     // emits before it erases); the push may still sit in the queue, so a
     // connection is only closable when no queued line names its gen.
-    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    const util::MutexLock lock(completions_mutex_);
     return std::none_of(completions_.begin(), completions_.end(),
                         [&](const auto& entry) { return entry.first == conn.gen; });
 }
@@ -119,7 +118,7 @@ void Server::accept_ready() {
             service_,
             [this, gen](std::string line) {
                 {
-                    const std::lock_guard<std::mutex> lock(completions_mutex_);
+                    const util::MutexLock lock(completions_mutex_);
                     completions_.emplace_back(gen, std::move(line));
                 }
                 wake();
@@ -232,7 +231,7 @@ void Server::run() {
 
         if (::poll(fds.data(), fds.size(), -1) < 0) {
             if (errno == EINTR) continue; // a signal; loop re-checks state
-            throw util::Error(std::string("poll: ") + std::strerror(errno));
+            throw util::Error("poll: " + util::errno_message(errno));
         }
 
         std::size_t index = 0;

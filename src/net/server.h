@@ -28,7 +28,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -38,6 +37,7 @@
 #include "net/session.h"
 #include "net/socket.h"
 #include "service/service.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::net {
 
@@ -97,13 +97,14 @@ private:
 
     void wake();
     void drain_wake_pipe();
-    void apply_completions();
+    void apply_completions() LEQA_EXCLUDES(completions_mutex_);
     void accept_ready();
     void read_ready(Connection& conn);
     void flush_writes(Connection& conn);
     void destroy_connection(int fd);
     void begin_drain();
-    [[nodiscard]] bool can_close(const Connection& conn);
+    [[nodiscard]] bool can_close(const Connection& conn)
+        LEQA_EXCLUDES(completions_mutex_);
 
     service::Service& service_;
     ServerOptions options_;
@@ -117,8 +118,9 @@ private:
     std::atomic<std::uint64_t> accepted_{0};
 
     /// Completed-response lines from worker threads: (connection gen, line).
-    std::mutex completions_mutex_;
-    std::vector<std::pair<std::uint64_t, std::string>> completions_;
+    util::Mutex completions_mutex_;
+    std::vector<std::pair<std::uint64_t, std::string>> completions_
+        LEQA_GUARDED_BY(completions_mutex_);
 
     std::atomic<bool> stop_requested_{false};
     bool draining_ = false; ///< reactor-thread state

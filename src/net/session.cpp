@@ -18,21 +18,21 @@ Session::Session(service::Service& service, Emit emit, SessionOptions options)
     : service_(service), options_(options), emit_(std::move(emit)) {}
 
 void Session::set_on_settled(Notify notify) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     on_settled_ = std::move(notify);
 }
 
 void Session::emit(std::string line) {
     Emit sink;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         sink = emit_; // copy out: never hold our mutex inside the transport
     }
     if (sink) sink(std::move(line));
 }
 
 void Session::track(std::uint64_t id, service::JobHandle handle) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // The job may have completed (and fired its erase) before this insert
     // ran; only track handles that are still in flight.  A non-terminal
     // state here guarantees the completion erase is still to come.
@@ -51,7 +51,7 @@ void Session::complete(std::uint64_t id, const service::JobHandle& handle) {
     emit(wire::serialize_result(id, handle.wait()));
     Notify settled;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         jobs_.erase(id);
         settled = on_settled_;
     }
@@ -66,7 +66,7 @@ void Session::complete(std::uint64_t id, const service::JobHandle& handle) {
 void Session::detach() {
     std::unordered_map<std::uint64_t, service::JobHandle> orphans;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         emit_ = nullptr;
         on_settled_ = nullptr;
         orphans.swap(jobs_);
@@ -77,7 +77,7 @@ void Session::detach() {
 }
 
 std::size_t Session::inflight() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return jobs_.size();
 }
 
@@ -99,7 +99,7 @@ void Session::handle_line(const std::string& line) {
         // only line with its id.
         std::uint64_t recovered = wire::extract_id(line);
         if (recovered != 0) {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             if (jobs_.count(recovered) != 0) recovered = 0;
         }
         emit(wire::serialize_error(recovered, parsed.status()));
@@ -115,7 +115,7 @@ void Session::handle_line(const std::string& line) {
         // wire.
         bool duplicate = false;
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             duplicate = jobs_.count(id) != 0;
         }
         if (duplicate) {
@@ -186,7 +186,7 @@ void Session::handle_line(const std::string& line) {
         case wire::WireRequest::Op::Cancel: {
             service::JobHandle target;
             {
-                const std::lock_guard<std::mutex> lock(mutex_);
+                const util::MutexLock lock(mutex_);
                 const auto it = jobs_.find(request.target);
                 if (it != jobs_.end()) target = it->second;
             }

@@ -22,12 +22,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "service/service.h"
 #include "service/wire.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::net {
 
@@ -57,38 +57,44 @@ public:
     /// idle() probe taken between the two reads false with no later event
     /// to re-trigger it -- the notify is that later event.  Cleared by
     /// detach().
-    void set_on_settled(Notify notify);
+    void set_on_settled(Notify notify) LEQA_EXCLUDES(mutex_);
 
     /// Dispatch one request line (already framed, may be malformed): zero
     /// or more responses go out through emit, now or on completion.
-    void handle_line(const std::string& line);
+    void handle_line(const std::string& line) LEQA_EXCLUDES(mutex_);
 
     /// Answer the one-shot overlong-line event with a ParseError (id 0 --
     /// the line was never parsed, so its id is unknowable by design).
-    void handle_overlong();
+    void handle_overlong() LEQA_EXCLUDES(mutex_);
 
     /// Stop emitting and cancel every in-flight job (client went away).
     /// Idempotent.  Late completions become no-ops.
-    void detach();
+    void detach() LEQA_EXCLUDES(mutex_);
 
     /// In-flight request count (jobs submitted, response not yet emitted).
-    [[nodiscard]] std::size_t inflight() const;
-    [[nodiscard]] bool idle() const { return inflight() == 0; }
+    [[nodiscard]] std::size_t inflight() const LEQA_EXCLUDES(mutex_);
+    [[nodiscard]] bool idle() const LEQA_EXCLUDES(mutex_) {
+        return inflight() == 0;
+    }
 
 private:
     Session(service::Service& service, Emit emit, SessionOptions options);
 
-    void emit(std::string line);
-    void track(std::uint64_t id, service::JobHandle handle);
-    void complete(std::uint64_t id, const service::JobHandle& handle);
+    void emit(std::string line) LEQA_EXCLUDES(mutex_);
+    void track(std::uint64_t id, service::JobHandle handle) LEQA_EXCLUDES(mutex_);
+    void complete(std::uint64_t id, const service::JobHandle& handle)
+        LEQA_EXCLUDES(mutex_);
 
     service::Service& service_;
     SessionOptions options_;
 
-    mutable std::mutex mutex_; ///< guards jobs_, detached_
-    Emit emit_;                ///< cleared by detach()
-    Notify on_settled_;        ///< cleared by detach()
-    std::unordered_map<std::uint64_t, service::JobHandle> jobs_;
+    mutable util::Mutex mutex_; ///< guards emit_, on_settled_, jobs_
+    /// Cleared by detach().
+    Emit emit_ LEQA_GUARDED_BY(mutex_);
+    /// Cleared by detach().
+    Notify on_settled_ LEQA_GUARDED_BY(mutex_);
+    std::unordered_map<std::uint64_t, service::JobHandle> jobs_
+        LEQA_GUARDED_BY(mutex_);
 };
 
 } // namespace leqa::net

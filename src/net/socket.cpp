@@ -2,7 +2,6 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
-#include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -16,7 +15,7 @@ namespace leqa::net {
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
-    throw util::Error(what + ": " + std::strerror(errno));
+    throw util::Error(what + ": " + util::errno_message(errno));
 }
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {

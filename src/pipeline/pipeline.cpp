@@ -73,23 +73,23 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
 }
 
 PipelineConfig Pipeline::config() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return config_;
 }
 
 void Pipeline::set_params(const fabric::PhysicalParams& params) {
     params.validate();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     config_.params = params;
 }
 
 void Pipeline::set_leqa_options(const core::LeqaOptions& options) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     config_.leqa = options;
 }
 
 void Pipeline::set_qspr_options(const qspr::QsprOptions& options) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     config_.qspr = options;
 }
 
@@ -125,7 +125,7 @@ CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* se
     std::shared_future<CachedCircuitPtr> pending;
     std::promise<CachedCircuitPtr> promise;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         key = cache_key(source); // reads config_: keyed under the lock
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
@@ -149,7 +149,7 @@ CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* se
         // synthesis; a builder failure rethrows here too.
         const util::Stopwatch wait_clock;
         CachedCircuitPtr entry = pending.get();
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         ++stats_.circuit_hits;
         if (seconds != nullptr) *seconds = wait_clock.seconds();
         return entry;
@@ -177,7 +177,7 @@ CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* se
         entry = std::move(building);
     } catch (...) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             inflight_.erase(key);
         }
         promise.set_exception(std::current_exception());
@@ -186,7 +186,7 @@ CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* se
     if (seconds != nullptr) *seconds = clock.seconds();
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         ++stats_.circuit_misses;
         inflight_.erase(key);
         lru_.push_front(key);
@@ -203,7 +203,7 @@ CachedCircuitPtr Pipeline::resolve_timed(const CircuitSource& source, double* se
 
 void Pipeline::ensure_graphs(const CachedCircuit& entry) {
     const bool built = entry.ensure_graphs();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (built) {
         ++stats_.graph_misses;
     } else {
@@ -212,7 +212,7 @@ void Pipeline::ensure_graphs(const CachedCircuit& entry) {
 }
 
 void Pipeline::note_surface_stats(const core::SurfaceCacheStats& stats) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stats_.surface_hits += stats.hits;
     stats_.surface_recomputes += stats.recomputes;
     stats_.surface_evictions += stats.evictions;
@@ -226,7 +226,7 @@ EstimationResult Pipeline::run_impl(const EstimationRequest& request,
     core::LeqaOptions leqa_options;
     qspr::QsprOptions qspr_options;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         params = request.params.value_or(config_.params);
         leqa_options = config_.leqa;
         qspr_options = config_.qspr;
@@ -431,7 +431,7 @@ core::OptimizeResult Pipeline::optimize(const CircuitSource& source,
     fabric::PhysicalParams run_params;
     qspr::QsprOptions qspr_options;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         run_params = params.value_or(config_.params);
         qspr_options = config_.qspr;
     }
@@ -462,7 +462,7 @@ Pipeline::TrainingSet Pipeline::training_samples(
     fabric::PhysicalParams params;
     qspr::QsprOptions qspr_options;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         params = config_.params;
         qspr_options = config_.qspr;
     }
@@ -497,29 +497,29 @@ core::CalibrationResult Pipeline::calibrate(const TrainingSet& training,
 
 std::pair<fabric::PhysicalParams, core::LeqaOptions>
 Pipeline::snapshot_estimation_config() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return {config_.params, config_.leqa};
 }
 
 void Pipeline::apply_calibration(const core::CalibrationResult& result) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     config_.params.v = result.v;
 }
 
 // ------------------------------------------------------------ cache mgmt --
 
 CacheStats Pipeline::cache_stats() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return stats_;
 }
 
 std::size_t Pipeline::cached_circuits() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return cache_.size();
 }
 
 void Pipeline::clear_cache() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     cache_.clear();
     lru_.clear();
 }

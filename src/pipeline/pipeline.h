@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 #include "circuit/circuit.h"
 #include "core/calibrate.h"
 #include "core/engine.h"
@@ -311,34 +313,43 @@ public:
     void clear_cache();
 
 private:
-    [[nodiscard]] std::string cache_key(const CircuitSource& source) const;
+    /// Reads config_ for the synth/fabric identity: call under mutex_.
+    [[nodiscard]] std::string cache_key(const CircuitSource& source) const
+        LEQA_REQUIRES(mutex_);
     [[nodiscard]] std::pair<fabric::PhysicalParams, core::LeqaOptions>
-    snapshot_estimation_config() const;
+    snapshot_estimation_config() const LEQA_EXCLUDES(mutex_);
     [[nodiscard]] CachedCircuitPtr resolve_timed(const CircuitSource& source,
-                                                 double* seconds);
+                                                 double* seconds)
+        LEQA_EXCLUDES(mutex_);
     /// Force graphs and account the hit/miss.
-    void ensure_graphs(const CachedCircuit& entry);
+    void ensure_graphs(const CachedCircuit& entry) LEQA_EXCLUDES(mutex_);
     /// Fold one engine's E[S_q] cache counters into the session stats.
-    void note_surface_stats(const core::SurfaceCacheStats& stats);
+    void note_surface_stats(const core::SurfaceCacheStats& stats)
+        LEQA_EXCLUDES(mutex_);
     /// The throwing core of run()/run_result(); \p stage tracks the stage
     /// in flight so run_result can attribute a failure's origin.
     [[nodiscard]] EstimationResult run_impl(const EstimationRequest& request,
                                             const RunControl* control,
-                                            const char*& stage);
+                                            const char*& stage)
+        LEQA_EXCLUDES(mutex_);
 
-    PipelineConfig config_;
+    /// Session configuration; mutable via the setters, snapshotted by every
+    /// reader, hence guarded like the cache it keys.
+    PipelineConfig config_ LEQA_GUARDED_BY(mutex_);
 
-    mutable std::mutex mutex_; ///< guards cache_, lru_, stats_, config_
+    mutable util::Mutex mutex_; ///< guards config_, cache_, lru_, inflight_, stats_
     struct Slot {
         CachedCircuitPtr entry;
         std::list<std::string>::iterator lru_pos;
     };
-    std::unordered_map<std::string, Slot> cache_;
-    std::list<std::string> lru_; ///< most-recent first
+    std::unordered_map<std::string, Slot> cache_ LEQA_GUARDED_BY(mutex_);
+    /// Most-recent first.
+    std::list<std::string> lru_ LEQA_GUARDED_BY(mutex_);
     /// Keys being built right now; concurrent resolvers of the same key
     /// wait on the builder's future instead of duplicating parse+synthesis.
-    std::unordered_map<std::string, std::shared_future<CachedCircuitPtr>> inflight_;
-    CacheStats stats_;
+    std::unordered_map<std::string, std::shared_future<CachedCircuitPtr>>
+        inflight_ LEQA_GUARDED_BY(mutex_);
+    CacheStats stats_ LEQA_GUARDED_BY(mutex_);
 };
 
 } // namespace leqa::pipeline

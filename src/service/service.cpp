@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <queue>
 
 #include "mathx/stats.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::service {
 
@@ -92,19 +91,20 @@ public:
     std::shared_ptr<ServiceCore> core;
 
     std::atomic<JobState> state{JobState::Queued};
-    mutable std::mutex wait_mutex;
-    mutable std::condition_variable wait_cv;
-    std::optional<JobResult> result; ///< set exactly once, under wait_mutex
+    mutable util::Mutex wait_mutex;
+    mutable util::CondVar wait_cv;
+    /// Set exactly once; waiters re-check under wait_mutex.
+    std::optional<JobResult> result LEQA_GUARDED_BY(wait_mutex);
 };
 
 /// The scheduler state shared between the Service and every Job: queue,
 /// counters, and the condition variables.  Kept alive by shared_ptr from
 /// both sides so JobHandle operations never touch freed state.
 struct ServiceCore {
-    mutable std::mutex mutex; ///< guards queue, counters, stopping
-    std::condition_variable work_available;
-    std::condition_variable slot_available;
-    std::condition_variable drained;
+    mutable util::Mutex mutex; ///< guards queue, counters, stopping
+    util::CondVar work_available;
+    util::CondVar slot_available;
+    util::CondVar drained;
 
     struct QueueEntry {
         int priority = 0;
@@ -116,25 +116,28 @@ struct ServiceCore {
             return seq > other.seq;
         }
     };
-    std::priority_queue<QueueEntry> queue;
-    std::uint64_t next_seq = 0;
-    std::size_t idle_workers = 0; ///< workers parked on work_available
-    bool stopping = false;
-    bool joined = false;
+    std::priority_queue<QueueEntry> queue LEQA_GUARDED_BY(mutex);
+    std::uint64_t next_seq LEQA_GUARDED_BY(mutex) = 0;
+    /// Workers parked on work_available.
+    std::size_t idle_workers LEQA_GUARDED_BY(mutex) = 0;
+    bool stopping LEQA_GUARDED_BY(mutex) = false;
+    bool joined LEQA_GUARDED_BY(mutex) = false;
 
-    ServiceStats stats;
+    ServiceStats stats LEQA_GUARDED_BY(mutex);
     /// Jobs whose on_complete has been delivered; gates drain()/shutdown()
     /// (stats.completed counts results, which land slightly earlier).
-    std::size_t finished = 0;
-    std::vector<double> queue_wait_samples; ///< bounded ring (kLatencyWindow)
-    std::vector<double> service_time_samples;
-    std::size_t sample_cursor = 0;
+    std::size_t finished LEQA_GUARDED_BY(mutex) = 0;
+    /// Bounded rings (kLatencyWindow).
+    std::vector<double> queue_wait_samples LEQA_GUARDED_BY(mutex);
+    std::vector<double> service_time_samples LEQA_GUARDED_BY(mutex);
+    std::size_t sample_cursor LEQA_GUARDED_BY(mutex) = 0;
 
     /// Deliver a result, fire on_complete, and account the completion.
     void finish_job(const std::shared_ptr<Job>& job, JobResult result,
-                    double queue_wait_s, double run_s);
+                    double queue_wait_s, double run_s)
+        LEQA_EXCLUDES(mutex);
     /// Cancel-claim a still-queued job (JobHandle::cancel's slow path).
-    bool cancel_queued(const std::shared_ptr<Job>& job);
+    bool cancel_queued(const std::shared_ptr<Job>& job) LEQA_EXCLUDES(mutex);
 };
 
 } // namespace detail
@@ -170,8 +173,10 @@ bool JobHandle::cancel() const {
 
 const JobResult& JobHandle::wait() const& {
     LEQA_REQUIRE(job_ != nullptr, "invalid job handle");
-    std::unique_lock<std::mutex> lock(job_->wait_mutex);
-    job_->wait_cv.wait(lock, [&] { return job_->result.has_value(); });
+    util::MutexLock lock(job_->wait_mutex);
+    while (!job_->result.has_value()) job_->wait_cv.wait(job_->wait_mutex);
+    // The result is write-once: the reference stays valid (and immutable)
+    // after the lock drops, for as long as the job itself lives.
     return *job_->result;
 }
 
@@ -182,9 +187,14 @@ JobResult JobHandle::wait() && {
 
 bool JobHandle::wait_for(double seconds) const {
     LEQA_REQUIRE(job_ != nullptr, "invalid job handle");
-    std::unique_lock<std::mutex> lock(job_->wait_mutex);
-    return job_->wait_cv.wait_for(lock, std::chrono::duration<double>(seconds),
-                                  [&] { return job_->result.has_value(); });
+    const auto deadline = std::chrono::steady_clock::now() + seconds_duration(seconds);
+    util::MutexLock lock(job_->wait_mutex);
+    while (!job_->result.has_value()) {
+        if (job_->wait_cv.wait_until(job_->wait_mutex, deadline)) {
+            return job_->result.has_value(); // deadline passed: last re-check
+        }
+    }
+    return true;
 }
 
 // ------------------------------------------------------------ SweepAxis --
@@ -261,7 +271,7 @@ JobHandle Service::submit_fn(JobFn fn, SubmitOptions options) {
     bool queue_full = false;
     bool wake_worker = false;
     {
-        std::unique_lock<std::mutex> lock(core_->mutex);
+        const util::MutexLock lock(core_->mutex);
         job->id = ++core_->next_seq;
         if (options.nowait) {
             // Backpressure without blocking: a full queue is an immediate,
@@ -271,10 +281,10 @@ JobHandle Service::submit_fn(JobFn fn, SubmitOptions options) {
                          core_->stats.queue_depth >= options_.max_queue;
         } else {
             // Backpressure: block the submitter until the queue has room.
-            core_->slot_available.wait(lock, [&] {
-                return core_->stopping ||
-                       core_->stats.queue_depth < options_.max_queue;
-            });
+            while (!core_->stopping &&
+                   core_->stats.queue_depth >= options_.max_queue) {
+                core_->slot_available.wait(core_->mutex);
+            }
         }
         ++core_->stats.submitted;
         if (core_->stopping) {
@@ -458,10 +468,11 @@ void Service::worker_loop() {
     for (;;) {
         std::shared_ptr<detail::Job> job;
         {
-            std::unique_lock<std::mutex> lock(core.mutex);
+            const util::MutexLock lock(core.mutex);
             ++core.idle_workers;
-            core.work_available.wait(
-                lock, [&] { return core.stopping || !core.queue.empty(); });
+            while (!core.stopping && core.queue.empty()) {
+                core.work_available.wait(core.mutex);
+            }
             --core.idle_workers;
             if (core.queue.empty()) return; // stopping and drained dry
             job = core.queue.top().job;
@@ -498,7 +509,7 @@ void Service::worker_loop() {
         }
         const double run_s = seconds_between(dequeued_at, std::chrono::steady_clock::now());
         {
-            const std::lock_guard<std::mutex> lock(core.mutex);
+            const util::MutexLock lock(core.mutex);
             --core.stats.running;
         }
         core.finish_job(job, std::move(*result), queue_wait_s, run_s);
@@ -513,7 +524,7 @@ void detail::ServiceCore::finish_job(const std::shared_ptr<detail::Job>& job,
     // Account first, so a waiter that wakes on the result already observes
     // this completion in stats().
     {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const util::MutexLock lock(mutex);
         ++stats.completed;
         if (ok) {
             ++stats.succeeded;
@@ -537,7 +548,7 @@ void detail::ServiceCore::finish_job(const std::shared_ptr<detail::Job>& job,
         }
     }
     {
-        const std::lock_guard<std::mutex> lock(job->wait_mutex);
+        const util::MutexLock lock(job->wait_mutex);
         job->result.emplace(std::move(result));
         job->state.store(code == util::StatusCode::Cancelled ? JobState::Cancelled
                                                              : JobState::Done);
@@ -553,7 +564,7 @@ void detail::ServiceCore::finish_job(const std::shared_ptr<detail::Job>& job,
     // Only now may drain()/shutdown() move past this job: its callback has
     // been delivered.
     {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const util::MutexLock lock(mutex);
         ++finished;
         drained.notify_all();
     }
@@ -561,7 +572,7 @@ void detail::ServiceCore::finish_job(const std::shared_ptr<detail::Job>& job,
 
 bool detail::ServiceCore::cancel_queued(const std::shared_ptr<detail::Job>& job) {
     {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const util::MutexLock lock(mutex);
         if (job->state.load() != JobState::Queued) return false; // a worker won
         job->state.store(JobState::Cancelled);
         --stats.queue_depth;
@@ -591,15 +602,16 @@ bool detail::ServiceCore::cancel_queued(const std::shared_ptr<detail::Job>& job)
 }
 
 void Service::drain() {
-    std::unique_lock<std::mutex> lock(core_->mutex);
-    core_->drained.wait(
-        lock, [&] { return core_->finished == core_->stats.submitted; });
+    const util::MutexLock lock(core_->mutex);
+    while (core_->finished != core_->stats.submitted) {
+        core_->drained.wait(core_->mutex);
+    }
 }
 
 void Service::shutdown() {
     bool join_now = false;
     {
-        const std::lock_guard<std::mutex> lock(core_->mutex);
+        const util::MutexLock lock(core_->mutex);
         core_->stopping = true;
         if (!core_->joined) {
             core_->joined = true;
@@ -618,7 +630,7 @@ ServiceStats Service::stats() const {
     std::vector<double> queue_wait;
     std::vector<double> service_time;
     {
-        const std::lock_guard<std::mutex> lock(core_->mutex);
+        const util::MutexLock lock(core_->mutex);
         out = core_->stats;
         queue_wait = core_->queue_wait_samples;
         service_time = core_->service_time_samples;

@@ -8,6 +8,7 @@
 namespace leqa::util {
 
 std::optional<std::string> env_string(const std::string& name) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only; nothing calls setenv.
     const char* raw = std::getenv(name.c_str());
     if (raw == nullptr) return std::nullopt;
     return std::string(raw);

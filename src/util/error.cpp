@@ -1,10 +1,16 @@
 #include "util/error.h"
 
+#include <system_error>
+
 namespace leqa::util {
 
 std::string prefixed(const std::string& prefix, const std::string& detail) {
     if (prefix.empty()) return detail;
     return prefix + ": " + detail;
+}
+
+std::string errno_message(int err) {
+    return std::generic_category().message(err);
 }
 
 } // namespace leqa::util

@@ -72,6 +72,13 @@ public:
 /// Build a message of the form "<prefix>: <detail>".
 [[nodiscard]] std::string prefixed(const std::string& prefix, const std::string& detail);
 
+/// The description of an errno value, via the thread-safe
+/// std::error_category machinery.  Replaces direct std::strerror calls:
+/// strerror writes into static storage and is flagged (correctly) by
+/// concurrency-mt-unsafe -- the reactor and its workers both format errno
+/// into exception messages.
+[[nodiscard]] std::string errno_message(int err);
+
 } // namespace leqa::util
 
 /// Throw InputError with a formatted message when \p cond is false.

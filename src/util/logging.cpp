@@ -2,16 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/thread_annotations.h"
 
 namespace leqa::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
-std::mutex g_output_mutex;
+util::Mutex g_output_mutex; ///< serializes whole lines onto stderr
 
 const char* level_tag(LogLevel level) {
     switch (level) {
@@ -41,7 +41,7 @@ LogLevel parse_log_level(const std::string& name) {
 
 void log_line(LogLevel level, const std::string& message) {
     if (level < log_level()) return;
-    const std::lock_guard<std::mutex> lock(g_output_mutex);
+    const util::MutexLock lock(g_output_mutex);
     std::fprintf(stderr, "[leqa %s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -1,0 +1,149 @@
+/// \file thread_annotations.h
+/// \brief Clang capability-analysis wrappers over the std synchronization
+///        primitives, plus the LEQA_* annotation macros.
+///
+/// `clang++ -Wthread-safety` proves a locking discipline at compile time,
+/// but only over types that carry capability attributes -- std::mutex does
+/// not.  This header provides the annotated vocabulary the concurrent
+/// subsystems (service, net, pipeline, core/explore) are written in:
+///
+///   - `util::Mutex`: std::mutex with the `capability("mutex")` attribute,
+///     so fields can be declared `LEQA_GUARDED_BY(mutex_)` and functions
+///     `LEQA_REQUIRES(mutex_)`;
+///   - `util::MutexLock`: the scoped (RAII) acquisition the analysis
+///     understands -- the annotated replacement for std::lock_guard and for
+///     std::unique_lock where no condition variable is involved;
+///   - `util::CondVar`: std::condition_variable bound to util::Mutex;
+///     `wait`/`wait_until` declare `LEQA_REQUIRES(mutex)` so a wait outside
+///     the lock is a compile error.  Waits are written as explicit
+///     while-loops at the call sites (not predicate lambdas): the analysis
+///     treats a lambda body as a separate function, so a predicate reading
+///     guarded state inside `wait(lock, pred)` cannot be proven.
+///
+/// On GCC (and any compiler without the attributes) every macro compiles
+/// away and the wrappers collapse to their std equivalents, so the
+/// annotations cost nothing outside clang builds.  The analysis itself is
+/// enabled by the build: CMake adds `-Wthread-safety` whenever the compiler
+/// is clang, and CI runs that configuration with `-Werror`.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define LEQA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LEQA_THREAD_ANNOTATION(x) // not supported: annotations compile away
+#endif
+
+/// The capability a mutex-like type provides.
+#define LEQA_CAPABILITY(x) LEQA_THREAD_ANNOTATION(capability(x))
+/// An RAII type that acquires on construction and releases on destruction.
+#define LEQA_SCOPED_CAPABILITY LEQA_THREAD_ANNOTATION(scoped_lockable)
+/// Field access requires holding the given mutex.
+#define LEQA_GUARDED_BY(x) LEQA_THREAD_ANNOTATION(guarded_by(x))
+/// Dereferencing this pointer requires holding the given mutex (the pointer
+/// itself may be read freely).
+#define LEQA_PT_GUARDED_BY(x) LEQA_THREAD_ANNOTATION(pt_guarded_by(x))
+/// The function must be called with the given mutex(es) held.
+#define LEQA_REQUIRES(...) \
+    LEQA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// The function acquires the given mutex(es) and does not release them.
+#define LEQA_ACQUIRE(...) \
+    LEQA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// The function releases the given mutex(es) (held on entry).
+#define LEQA_RELEASE(...) \
+    LEQA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// The function acquires the mutex only when it returns the given value.
+#define LEQA_TRY_ACQUIRE(...) \
+    LEQA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// The function must be called with the given mutex(es) NOT held (it will
+/// acquire them itself; catches self-deadlock at compile time).
+#define LEQA_EXCLUDES(...) LEQA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// The function returns a reference to the mutex guarding its result.
+#define LEQA_RETURN_CAPABILITY(x) LEQA_THREAD_ANNOTATION(lock_returned(x))
+/// Opt one function out of the analysis.  Reserved for test helpers; the
+/// production subsystems must not use it (the CI contract greps for it).
+#define LEQA_NO_THREAD_SAFETY_ANALYSIS \
+    LEQA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace leqa::util {
+
+class CondVar;
+
+/// std::mutex carrying the clang capability attribute.  Same cost, same
+/// semantics; the analysis can now prove which locks guard which fields.
+class LEQA_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() LEQA_ACQUIRE() { mutex_.lock(); }
+    void unlock() LEQA_RELEASE() { mutex_.unlock(); }
+    [[nodiscard]] bool try_lock() LEQA_TRY_ACQUIRE(true) {
+        return mutex_.try_lock();
+    }
+
+private:
+    friend class CondVar; ///< waits need the raw handle; nobody else does
+    std::mutex mutex_;
+};
+
+/// Scoped acquisition (the std::lock_guard / std::scoped_lock shape) the
+/// analysis tracks: construction acquires, destruction releases.
+class LEQA_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mutex) LEQA_ACQUIRE(mutex) : mutex_(mutex) {
+        mutex_.lock();
+    }
+    ~MutexLock() LEQA_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mutex_;
+};
+
+/// Condition variable bound to util::Mutex.  The waits declare that the
+/// mutex is held, so the `while (!condition) cv.wait(mutex);` discipline is
+/// machine-checked: the condition read and the wait both require the lock.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+    /// Atomically release \p mutex, block, reacquire.  Spurious wakeups
+    /// happen; always call in a while-loop over the guarded condition.
+    void wait(Mutex& mutex) LEQA_REQUIRES(mutex) {
+        // Adopt the already-held std::mutex for the wait, then release the
+        // unique_lock's ownership claim so the caller's scoped lock stays
+        // the one true owner.  The capability never actually changes hands.
+        std::unique_lock<std::mutex> handoff(mutex.mutex_, std::adopt_lock);
+        cv_.wait(handoff);
+        handoff.release();
+    }
+
+    /// wait() with a deadline; returns true when the deadline passed (the
+    /// caller's while-loop then re-checks the condition one last time).
+    template <typename Clock, typename Duration>
+    [[nodiscard]] bool wait_until(
+        Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+        LEQA_REQUIRES(mutex) {
+        std::unique_lock<std::mutex> handoff(mutex.mutex_, std::adopt_lock);
+        const std::cv_status status = cv_.wait_until(handoff, deadline);
+        handoff.release();
+        return status == std::cv_status::timeout;
+    }
+
+private:
+    std::condition_variable cv_;
+};
+
+} // namespace leqa::util

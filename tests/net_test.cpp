@@ -295,3 +295,54 @@ TEST(NetServer, GracefulStopDrainsInFlightBeforeReturning) {
     EXPECT_TRUE(response.status.ok()) << response.status.to_string();
     EXPECT_FALSE(client.read_line().has_value()); // then EOF
 }
+
+TEST(NetServer, SettledNotifyWakeHandshakeUnderStress) {
+    // Stress regression for the Session::set_on_settled -> Server::wake()
+    // handshake (the historical lost-wakeup hang): with a multi-worker
+    // service, jobs settle on worker threads while the reactor is still
+    // dispatching later lines from the same feed, hitting the
+    // "settled before the reactor returned to poll" window over and over.
+    // Deterministic by construction -- fixed request counts, every id must
+    // answer exactly once, no sleeps or timing assumptions; a lost wakeup
+    // shows up as a hung read_line().  Under TSan (the CI tsan job runs
+    // this suite) it doubles as a data-race check on the session in-flight
+    // table and the completions queue.
+    ls::ServiceOptions options;
+    options.threads = 4;
+    options.max_queue = 1024;
+    ls::Service service(lp::PipelineConfig{}, options);
+    Reactor reactor(service);
+
+    constexpr int kConnections = 6;
+    constexpr std::uint64_t kRequests = 40;
+    std::vector<std::thread> drivers;
+    std::vector<int> duplicate_or_bad(kConnections, 0);
+    drivers.reserve(kConnections);
+    for (int c = 0; c < kConnections; ++c) {
+        drivers.emplace_back([&, c] {
+            ln::Client client("127.0.0.1", reactor.port());
+            for (std::uint64_t id = 1; id <= kRequests; ++id) {
+                client.send_line(estimate_line(id));
+            }
+            std::vector<bool> seen(kRequests + 1, false);
+            for (std::uint64_t i = 0; i < kRequests; ++i) {
+                const wire::WireResponse response = read_response(client);
+                if (response.id < 1 || response.id > kRequests ||
+                    seen[response.id] || !response.status.ok()) {
+                    ++duplicate_or_bad[c];
+                    continue;
+                }
+                seen[response.id] = true;
+            }
+            client.finish_writes();
+            if (client.read_line().has_value()) ++duplicate_or_bad[c];
+        });
+    }
+    for (std::thread& driver : drivers) driver.join();
+    for (int c = 0; c < kConnections; ++c) {
+        EXPECT_EQ(duplicate_or_bad[c], 0) << "connection " << c;
+    }
+    EXPECT_EQ(reactor.server().connections_accepted(), kConnections);
+    EXPECT_EQ(service.stats().succeeded,
+              static_cast<std::size_t>(kConnections) * kRequests);
+}

@@ -3,6 +3,7 @@
 // and error propagation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -314,6 +315,46 @@ TEST(PipelineBatch, ColdConcurrentBatchBuildsOnce) {
     EXPECT_EQ(stats.circuit_misses, 1u);
     EXPECT_EQ(stats.circuit_hits, 5u);
     EXPECT_EQ(stats.graph_misses, 1u);
+}
+
+TEST(PipelineBatch, CacheStatsSnapshotsStayConsistentDuringBatch) {
+    // cache_stats() copies the counters under the pipeline mutex; a reader
+    // polling it while run_batch hammers the cache from four workers must
+    // only ever observe monotone counters (every field is cumulative).
+    // Under TSan (the CI tsan job runs this suite) this is the data-race
+    // regression test for the CacheStats / surface-stats snapshot path.
+    lp::Pipeline pipe;
+    std::atomic<bool> done{false};
+    std::atomic<int> violations{0};
+    std::thread reader([&] {
+        lp::CacheStats last;
+        while (!done.load()) {
+            const lp::CacheStats snap = pipe.cache_stats();
+            if (snap.circuit_hits < last.circuit_hits) ++violations;
+            if (snap.circuit_misses < last.circuit_misses) ++violations;
+            if (snap.graph_hits < last.graph_hits) ++violations;
+            if (snap.graph_misses < last.graph_misses) ++violations;
+            if (snap.surface_hits < last.surface_hits) ++violations;
+            if (snap.surface_recomputes < last.surface_recomputes) ++violations;
+            last = snap;
+        }
+    });
+
+    std::vector<lp::EstimationRequest> requests;
+    for (int round = 0; round < 4; ++round) {
+        for (const char* name : {"ham3", "8bitadder", "hwb15ps"}) {
+            requests.emplace_back(lp::CircuitSource::from_bench(name));
+        }
+    }
+    const auto results = pipe.run_batch(requests, 4);
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(results.size(), requests.size());
+    EXPECT_EQ(violations.load(), 0);
+    const lp::CacheStats final_stats = pipe.cache_stats();
+    EXPECT_EQ(final_stats.circuit_misses, 3u); // three distinct circuits
+    EXPECT_EQ(final_stats.circuit_hits, requests.size() - 3u);
 }
 
 TEST(PipelineBatch, InFlightDeduplicationUnderDirectContention) {

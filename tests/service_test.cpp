@@ -393,6 +393,58 @@ TEST(Service, StatsTrackLatencyPercentiles) {
     EXPECT_EQ(stats.running, 0u);
 }
 
+TEST(Service, StatsSnapshotsStayConsistentDuringSubmitStorm) {
+    // stats() copies the counters in one critical section, so a reader
+    // hammering it during a submit storm must only ever observe internally
+    // consistent values: monotone submitted/completed, completed never
+    // ahead of submitted, and the per-outcome counters summing exactly to
+    // completed (they are incremented together under the core mutex).
+    // Under TSan (the CI tsan job runs this suite) this is the data-race
+    // regression test for the ServiceStats snapshot path.
+    ls::Service service(lp::PipelineConfig{}, with_threads(4));
+
+    std::atomic<bool> done{false};
+    std::atomic<int> violations{0};
+    std::thread reader([&] {
+        std::size_t last_submitted = 0;
+        std::size_t last_completed = 0;
+        while (!done.load()) {
+            const ls::ServiceStats snap = service.stats();
+            if (snap.submitted < last_submitted) ++violations;
+            if (snap.completed < last_completed) ++violations;
+            if (snap.completed > snap.submitted) ++violations;
+            const std::size_t settled = snap.succeeded + snap.cancelled +
+                                        snap.deadline_expired + snap.rejected +
+                                        snap.failed;
+            if (settled != snap.completed) ++violations;
+            last_submitted = snap.submitted;
+            last_completed = snap.completed;
+        }
+    });
+
+    constexpr std::size_t kJobs = 200;
+    std::vector<ls::JobHandle> handles;
+    handles.reserve(kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        handles.push_back(service.submit_fn(
+            [](lp::Pipeline&, const lp::RunControl&) -> ls::JobResult {
+                return ls::JobOutput{leqa::core::CalibrationResult{}};
+            }));
+    }
+    for (const ls::JobHandle& handle : handles) (void)handle.wait();
+    service.drain();
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(violations.load(), 0);
+    const ls::ServiceStats final_stats = service.stats();
+    EXPECT_EQ(final_stats.submitted, kJobs);
+    EXPECT_EQ(final_stats.completed, kJobs);
+    EXPECT_EQ(final_stats.succeeded, kJobs);
+    EXPECT_EQ(final_stats.queue_depth, 0u);
+    EXPECT_EQ(final_stats.running, 0u);
+}
+
 TEST(Service, NowaitSubmitRejectsWithUnavailableWhenQueueIsFull) {
     ls::ServiceOptions service_options = with_threads(1);
     service_options.max_queue = 2;

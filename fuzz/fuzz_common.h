@@ -1,0 +1,52 @@
+/// \file fuzz_common.h
+/// \brief Shared plumbing of the fuzz harnesses.
+///
+/// Two pieces every harness wants:
+///
+///   - `install_abort_handler()`: reroute LEQA_CHECK / LEQA_DCHECK failures
+///     from the default throwing handler to an abort with a banner.  The
+///     harnesses catch `util::Error` liberally (malformed input *should*
+///     throw ParseError and friends), so a thrown InternalError from a
+///     violated contract would be swallowed; the abort handler makes every
+///     contract violation a crash libFuzzer and the replay driver report.
+///   - `FUZZ_REQUIRE(cond, msg)`: a harness-level invariant (differential
+///     mismatches, broken round trips).  Also an abort, for the same
+///     reason — and it works identically in fuzzer and replay builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace leqa_fuzz {
+
+[[noreturn]] inline void abort_check_handler(const char* expression,
+                                             const char* file, int line,
+                                             const std::string& message) {
+    std::fprintf(stderr, "\n== LEQA contract violated ==\n%s:%d: CHECK(%s): %s\n",
+                 file, line, expression, message.c_str());
+    std::abort();
+}
+
+/// Install once per process (safe from a harness's first call: libFuzzer
+/// and the replay driver are both single-threaded).
+inline void install_abort_handler() {
+    static const bool installed = [] {
+        (void)leqa::util::set_check_fail_handler(&abort_check_handler);
+        return true;
+    }();
+    (void)installed;
+}
+
+} // namespace leqa_fuzz
+
+#define FUZZ_REQUIRE(cond, msg)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::fprintf(stderr, "\n== fuzz invariant violated ==\n%s:%d: %s\n", \
+                         __FILE__, __LINE__, (msg));                          \
+            std::abort();                                                     \
+        }                                                                     \
+    } while (false)

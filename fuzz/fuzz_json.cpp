@@ -1,0 +1,45 @@
+/// \file fuzz_json.cpp
+/// \brief JSON document model: parse -> dump -> re-parse fixed point.
+///
+/// `util::json_parse` consumes every byte string the wire layer might see.
+/// Contract under fuzz:
+///
+///   - arbitrary bytes either parse or throw util::ParseError — nothing
+///     else escapes, and no UB (the interesting bugs: unguarded recursion,
+///     numeral overflow, bad escape decoding);
+///   - the *string-level* fixed point of DESIGN.md §9 holds: for any value
+///     that parsed, `dump(parse(dump(v))) == dump(v)`.  The comparison is
+///     on serialized text, not re-parsed doubles: format_double's 12
+///     significant digits make the dump grid coarser than the double grid,
+///     so text equality is the invariant that is actually exact.
+#include <cstdint>
+#include <string>
+
+#include "fuzz_common.h"
+#include "util/error.h"
+#include "util/json_value.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    leqa_fuzz::install_abort_handler();
+    const std::string text(reinterpret_cast<const char*>(data), size);
+
+    leqa::util::JsonValue value;
+    try {
+        value = leqa::util::json_parse(text);
+    } catch (const leqa::util::ParseError&) {
+        return 0; // rejection is the expected outcome for most byte strings
+    }
+
+    const std::string first = value.dump();
+    leqa::util::JsonValue reparsed;
+    try {
+        reparsed = leqa::util::json_parse(first);
+    } catch (const leqa::util::ParseError&) {
+        FUZZ_REQUIRE(false, ("dump() produced unparsable JSON: " + first).c_str());
+    }
+    const std::string second = reparsed.dump();
+    FUZZ_REQUIRE(first == second,
+                 ("parse->dump is not a fixed point:\n  " + first + "\n  " + second)
+                     .c_str());
+    return 0;
+}

@@ -1,0 +1,68 @@
+/// \file replay_main.cpp
+/// \brief Corpus-replay driver: a `main()` that feeds files through the same
+///        `LLVMFuzzerTestOneInput` libFuzzer links against.
+///
+/// Each fuzz_*.cpp defines only the libFuzzer entry point, so one source
+/// file builds two ways: with `-fsanitize=fuzzer` (Clang, CI's fuzz-smoke
+/// job) libFuzzer provides main and explores; linked against this file
+/// (any compiler, LEQA_BUILD_TESTS) the binary replays its seed corpus and
+/// checked-in regressions deterministically under ctest — including the
+/// ASan+UBSan and TSan legs, which is how fuzz findings stay fixed.
+///
+/// Usage: `<target>_replay <file-or-directory>...` — directories are walked
+/// non-recursively, entries replayed in sorted order.  Exits non-zero when
+/// an argument is missing or unreadable; a harness failure aborts (the
+/// LEQA_CHECK fail handler is process-fatal under replay).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+bool replay_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "replay: cannot read %s\n", path.string().c_str());
+        return false;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    (void)LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                                 bytes.size());
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::size_t replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path arg(argv[i]);
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            std::vector<std::filesystem::path> entries;
+            for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+                if (entry.is_regular_file()) entries.push_back(entry.path());
+            }
+            std::sort(entries.begin(), entries.end());
+            for (const auto& entry : entries) {
+                if (!replay_file(entry)) return 1;
+                ++replayed;
+            }
+        } else if (std::filesystem::is_regular_file(arg, ec)) {
+            if (!replay_file(arg)) return 1;
+            ++replayed;
+        } else {
+            std::fprintf(stderr, "replay: no such file or directory: %s\n", argv[i]);
+            return 1;
+        }
+    }
+    std::printf("replayed %zu input(s)\n", replayed);
+    return 0;
+}

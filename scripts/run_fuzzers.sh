@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Build the libFuzzer targets (Clang + ASan/UBSan) and run each for a
+# bounded smoke pass over its seed corpus, then replay the checked-in
+# regressions.  CI's fuzz-smoke job runs this exact script; locally it is
+# the way to reproduce or extend a fuzzing session.
+#
+# Usage: scripts/run_fuzzers.sh [seconds-per-target] [target...]
+#
+#   seconds-per-target  -max_total_time per fuzzer (default 60)
+#   target...           subset of fuzz targets (default: all fuzz/fuzz_*.cpp)
+#
+# Environment:
+#   CC/CXX        compiler (default clang/clang++; must be Clang)
+#   BUILD_DIR     build tree (default build-fuzz)
+#   CORPUS_DIR    writable corpus state; seeded from fuzz/corpus and kept
+#                 across runs for accumulation (default <BUILD_DIR>/corpus)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SECONDS_PER_TARGET="${1:-60}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+BUILD_DIR="${BUILD_DIR:-build-fuzz}"
+CORPUS_DIR="${CORPUS_DIR:-${BUILD_DIR}/corpus}"
+export CC="${CC:-clang}"
+export CXX="${CXX:-clang++}"
+
+if ! command -v "${CXX}" >/dev/null 2>&1; then
+    echo "error: ${CXX} not found (libFuzzer needs Clang)" >&2
+    exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+    TARGETS=("$@")
+else
+    TARGETS=()
+    for source in fuzz/fuzz_*.cpp; do
+        name="$(basename "${source}" .cpp)"
+        TARGETS+=("${name}")
+    done
+fi
+
+# shellcheck disable=SC2086  # CMAKE_CONFIGURE_ARGS is deliberately word-split
+cmake -S . -B "${BUILD_DIR}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLEQA_FUZZ=ON \
+    -DLEQA_BUILD_TESTS=OFF \
+    -DLEQA_BUILD_EXAMPLES=OFF \
+    -DLEQA_BUILD_BENCHES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined" \
+    ${CMAKE_CONFIGURE_ARGS:-}
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TARGETS[@]}"
+
+STATUS=0
+for name in "${TARGETS[@]}"; do
+    echo "== ${name}: regressions =="
+    if [ -d "fuzz/regressions/${name}" ]; then
+        # Replay known findings first: -runs=0 executes each file once and
+        # exits, so a regression that crashes fails fast and unambiguously.
+        "${BUILD_DIR}/fuzz/${name}" -runs=0 "fuzz/regressions/${name}" \
+            || { echo "error: ${name} regression replay failed" >&2; STATUS=1; continue; }
+    fi
+
+    echo "== ${name}: fuzzing for ${SECONDS_PER_TARGET}s =="
+    mkdir -p "${CORPUS_DIR}/${name}"
+    SEED_DIRS=()
+    [ -d "fuzz/corpus/${name}" ] && SEED_DIRS+=("fuzz/corpus/${name}")
+    [ -d "fuzz/regressions/${name}" ] && SEED_DIRS+=("fuzz/regressions/${name}")
+    "${BUILD_DIR}/fuzz/${name}" \
+        -max_total_time="${SECONDS_PER_TARGET}" \
+        -timeout=20 \
+        -rss_limit_mb=4096 \
+        -print_final_stats=1 \
+        -artifact_prefix="${BUILD_DIR}/fuzz/${name}-" \
+        "${CORPUS_DIR}/${name}" "${SEED_DIRS[@]}" \
+        || { echo "error: ${name} found a crash (artifact under ${BUILD_DIR}/fuzz/)" >&2; STATUS=1; }
+done
+
+if [ "${STATUS}" -ne 0 ]; then
+    echo "fuzz: FAIL" >&2
+    exit 1
+fi
+echo "fuzz: clean"

@@ -142,6 +142,11 @@ OptimizeResult optimize_placement(const qodg::Qodg& graph,
         }
     }
 
+    // Debug stage-boundary contract: after the whole move sequence the
+    // incremental timer still agrees bit-for-bit with a from-scratch
+    // evaluation (compiled out of Release).
+    LEQA_DCHECK_OK(timer.audit());
+
     result.final_latency_us = best_latency;
     result.improved = best_latency < result.initial_latency_us;
     result.seconds = clock.seconds();

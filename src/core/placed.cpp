@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "util/error.h"
 
@@ -139,6 +140,10 @@ PlacedTimer::PlacedTimer(const qodg::Qodg& graph, const circuit::Circuit& circ,
 
     in_fwd_.assign(n, 0);
     in_bwd_.assign(n, 0);
+
+    // Debug stage-boundary contract: the from-scratch passes above agree
+    // with the reference kernels (compiled out of Release).
+    LEQA_DCHECK_OK(audit());
 }
 
 std::int32_t PlacedTimer::occupant(fabric::UlbId ulb) const {
@@ -367,6 +372,41 @@ void PlacedTimer::flush_tails() {
         --v;
     }
     bwd_hi_ = 0;
+}
+
+std::string PlacedTimer::audit() {
+    flush_tails();
+    const qodg::NodeId end = graph_->end();
+    const qodg::LongestPath reference = graph_->longest_path(delay_);
+    for (std::size_t v = 0; v < arrival_.size(); ++v) {
+        if (arrival_[v] != reference.distance[v]) {
+            return "placed: arrival[" + std::to_string(v) + "] = " +
+                   std::to_string(arrival_[v]) + " diverges from the "
+                   "from-scratch longest path " +
+                   std::to_string(reference.distance[v]);
+        }
+    }
+    for (qodg::NodeId v = end + 1; v-- > 0;) {
+        double fresh = 0.0;
+        if (v != end) {
+            double acc = -std::numeric_limits<double>::infinity();
+            for (const qodg::NodeId w : graph_->successors(v)) {
+                const double candidate = delay_[w] + tail_[w];
+                if (candidate > acc) acc = candidate;
+            }
+            fresh = std::isfinite(acc) ? acc : 0.0;
+        }
+        if (tail_[v] != fresh) {
+            return "placed: tail[" + std::to_string(v) + "] = " +
+                   std::to_string(tail_[v]) + " violates the downstream "
+                   "recurrence (expected " + std::to_string(fresh) + ")";
+        }
+    }
+    if (latency_ != arrival_[end]) {
+        return "placed: cached latency " + std::to_string(latency_) +
+               " != arrival at end node " + std::to_string(arrival_[end]);
+    }
+    return {};
 }
 
 double PlacedTimer::restore_last_move() {

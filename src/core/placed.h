@@ -142,6 +142,14 @@ public:
     /// Nodes whose arrival was recomputed by the last apply_* (cone size).
     [[nodiscard]] std::size_t last_retimed_nodes() const { return last_retimed_; }
 
+    /// Full consistency audit of the incremental state (a validator in the
+    /// LEQA_DCHECK_OK shape): arrivals bit-identical to a from-scratch
+    /// Qodg::longest_path(delays()), tails satisfying the descending
+    /// recurrence tail[v] = max_w (delay[w] + tail[w]) (0 at end), and
+    /// latency_us() == arrival at the end node.  Flushes any deferred tail
+    /// scan first.  Returns the first violation, empty when consistent.
+    [[nodiscard]] std::string audit();
+
 private:
     /// Fill scratch_changes_ with the CNOT delay changes of re-homing; the
     /// caller has already (tentatively or actually) updated coords_.

@@ -496,19 +496,142 @@ CoverageHistogram LineTopology::coverage_histogram(int zone_extent) const {
     return CoverageHistogram::from_bins(std::move(bins), static_cast<double>(a));
 }
 
+// ----------------------------------------------------------- validation --
+
+std::string validate_coverage(const CoverageHistogram& histogram,
+                              double expected_mass) {
+    double multiplicity_sum = 0.0;
+    double mass = 0.0;
+    for (std::size_t i = 0; i < histogram.bins().size(); ++i) {
+        const CoverageHistogram::Bin& bin = histogram.bins()[i];
+        if (!(bin.probability > 0.0) || bin.probability > 1.0 + 1e-12) {
+            return "coverage: bin " + std::to_string(i) + " probability " +
+                   std::to_string(bin.probability) + " outside (0, 1]";
+        }
+        if (!(bin.multiplicity > 0.0)) {
+            return "coverage: bin " + std::to_string(i) + " has non-positive "
+                   "multiplicity " + std::to_string(bin.multiplicity);
+        }
+        multiplicity_sum += bin.multiplicity;
+        mass += bin.probability * bin.multiplicity;
+    }
+    const auto rel_mismatch = [](double actual, double expected) {
+        return std::abs(actual - expected) >
+               1e-6 * std::max({std::abs(expected), std::abs(actual), 1.0});
+    };
+    if (rel_mismatch(multiplicity_sum, histogram.cells())) {
+        return "coverage: bin multiplicities sum to " +
+               std::to_string(multiplicity_sum) + ", expected cells() = " +
+               std::to_string(histogram.cells());
+    }
+    if (rel_mismatch(mass, expected_mass)) {
+        return "coverage: expected covered area " + std::to_string(mass) +
+               " != zone area " + std::to_string(expected_mass) +
+               " (Eq. 5 mass conservation)";
+    }
+    return {};
+}
+
+std::string validate_topology(const Topology& topology, std::size_t max_pairs) {
+    // The adjacency is a symmetric encoding of an undirected graph, so it
+    // is cyclic by construction — validate structure only.
+    if (std::string err = graph::validate_csr(topology.adjacency().offsets(),
+                                              topology.adjacency().targets(),
+                                              /*topological=*/false,
+                                              /*acyclic=*/false);
+        !err.empty()) {
+        return "topology adjacency: " + err;
+    }
+    const std::size_t n = topology.num_ulbs();
+    if (topology.adjacency().num_nodes() != n) {
+        return "topology: adjacency covers " +
+               std::to_string(topology.adjacency().num_nodes()) + " nodes for " +
+               std::to_string(n) + " ULBs";
+    }
+    if (topology.adjacency().num_edges() != 2 * topology.num_segments()) {
+        return "topology: " + std::to_string(topology.num_segments()) +
+               " segments must appear as " +
+               std::to_string(2 * topology.num_segments()) + " arcs, found " +
+               std::to_string(topology.adjacency().num_edges());
+    }
+
+    // Segment-table closure: every segment's endpoints resolve back to it,
+    // and every arc's aligned segment id connects exactly its arc.
+    for (SegmentId s = 0; static_cast<std::size_t>(s) < topology.num_segments();
+         ++s) {
+        const auto [u, v] = topology.segment_endpoints(s);
+        if (u == v) return "topology: segment " + std::to_string(s) + " is a loop";
+        if (!topology.adjacent(u, v) || !topology.adjacent(v, u)) {
+            return "topology: segment " + std::to_string(s) +
+                   " endpoints are not mutually adjacent";
+        }
+        if (topology.segment_between(u, v) != s ||
+            topology.segment_between(v, u) != s) {
+            return "topology: segment_between does not invert "
+                   "segment_endpoints for segment " + std::to_string(s);
+        }
+    }
+
+    // Route-table closure on a deterministic pair sample: each route is a
+    // connected segment walk a -> b over the adjacency of the right length.
+    const std::size_t total_pairs = n * n;
+    const std::size_t stride =
+        std::max<std::size_t>(1, total_pairs / std::max<std::size_t>(1, max_pairs));
+    for (std::size_t k = 0; k < total_pairs; k += stride) {
+        const auto a = static_cast<UlbId>(k / n);
+        const auto b = static_cast<UlbId>(k % n);
+        const UlbCoord ca = topology.ulb_coord(a);
+        const UlbCoord cb = topology.ulb_coord(b);
+        const std::vector<SegmentId> route = topology.route(ca, cb);
+        const int hops = topology.distance(ca, cb);
+        if (static_cast<int>(route.size()) != hops) {
+            return "topology: route " + ca.to_string() + " -> " + cb.to_string() +
+                   " has " + std::to_string(route.size()) + " segments but "
+                   "distance is " + std::to_string(hops);
+        }
+        UlbId cursor = a;
+        for (const SegmentId s : route) {
+            const auto [u, v] = topology.segment_endpoints(s);
+            if (cursor != u && cursor != v) {
+                return "topology: route " + ca.to_string() + " -> " +
+                       cb.to_string() + " is not a connected segment walk";
+            }
+            cursor = cursor == u ? v : u;
+        }
+        if (cursor != b) {
+            return "topology: route " + ca.to_string() + " -> " + cb.to_string() +
+                   " ends at ULB " + std::to_string(cursor);
+        }
+    }
+    return {};
+}
+
 // ---------------------------------------------------------------- factory --
 
 std::shared_ptr<const Topology> make_topology(TopologyKind kind, int width,
                                               int height) {
+    std::shared_ptr<const Topology> topology;
     switch (kind) {
         case TopologyKind::Grid:
-            return std::make_shared<const GridTopology>(width, height);
+            topology = std::make_shared<const GridTopology>(width, height);
+            break;
         case TopologyKind::Torus:
-            return std::make_shared<const TorusTopology>(width, height);
+            topology = std::make_shared<const TorusTopology>(width, height);
+            break;
         case TopologyKind::Line:
-            return std::make_shared<const LineTopology>(width, height);
+            topology = std::make_shared<const LineTopology>(width, height);
+            break;
+        default:
+            throw util::InputError("unknown fabric topology kind");
     }
-    throw util::InputError("unknown fabric topology kind");
+    // Debug stage-boundary contract: every topology entering the system is
+    // structurally clean (compiled out of Release).  Skipped for huge
+    // fabrics: validation forces the lazy adjacency, and e.g. a 50000-wide
+    // analytic sweep never needs (and cannot afford) those arrays.
+    if (static_cast<std::size_t>(topology->num_ulbs()) <= 65536) {
+        LEQA_DCHECK_OK(validate_topology(*topology, /*max_pairs=*/32));
+    }
+    return topology;
 }
 
 std::shared_ptr<const Topology> make_topology(const PhysicalParams& params) {

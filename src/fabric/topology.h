@@ -240,4 +240,24 @@ public:
 [[nodiscard]] std::shared_ptr<const Topology> make_topology(
     const PhysicalParams& params);
 
+// --- structural validation -------------------------------------------------
+
+/// Coverage-mass conservation: every bin probability in (0, 1] with a
+/// positive multiplicity, multiplicities summing to `cells()`, and the
+/// expected covered area sum(p_i * m_i) equal to `expected_mass` (the zone
+/// area: extent^2 on 2D topologies, extent on a line) within 1e-6 relative.
+/// Returns the first violation, empty when clean (LEQA_DCHECK_OK shape).
+[[nodiscard]] std::string validate_coverage(const CoverageHistogram& histogram,
+                                            double expected_mass);
+
+/// Structural audit of a topology instance: CSR adjacency validity
+/// (graph::validate_csr), segment-table closure (segment_endpoints /
+/// segment_between / neighbor_segments agree arc by arc), and route-table
+/// closure over the CSR subgraph — for a deterministic sample of at most
+/// `max_pairs` ULB pairs, `route(a, b)` must be a chain of adjacent
+/// segments from a to b of length `distance(a, b)`.  Returns the first
+/// violation, empty when clean.
+[[nodiscard]] std::string validate_topology(const Topology& topology,
+                                            std::size_t max_pairs = 64);
+
 } // namespace leqa::fabric

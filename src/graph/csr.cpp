@@ -1,6 +1,7 @@
 #include "graph/csr.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/error.h"
 
@@ -123,6 +124,70 @@ std::vector<NodeId> extract_path(std::span<const double> distance,
     }
     std::reverse(path.begin(), path.end());
     return path;
+}
+
+std::string validate_csr(std::span<const std::uint32_t> offsets,
+                         std::span<const NodeId> targets, bool topological,
+                         bool acyclic) {
+    if (offsets.empty()) {
+        return targets.empty() ? std::string()
+                               : "csr: targets without an offset array";
+    }
+    if (offsets.front() != 0) return "csr: offsets[0] must be 0";
+    const std::size_t n = offsets.size() - 1;
+    for (std::size_t u = 0; u < n; ++u) {
+        if (offsets[u] > offsets[u + 1]) {
+            return "csr: offsets not monotone at node " + std::to_string(u);
+        }
+    }
+    if (offsets.back() != targets.size()) {
+        return "csr: offsets end at " + std::to_string(offsets.back()) + " but " +
+               std::to_string(targets.size()) + " targets are stored";
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+        for (std::uint32_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const NodeId v = targets[e];
+            if (v >= n) {
+                return "csr: edge " + std::to_string(u) + "->" + std::to_string(v) +
+                       " targets a node out of range (n=" + std::to_string(n) + ")";
+            }
+            if (v == u) return "csr: self loop at node " + std::to_string(u);
+            if (e > offsets[u] && targets[e - 1] >= v) {
+                return "csr: successor list of node " + std::to_string(u) +
+                       " is not sorted/duplicate-free";
+            }
+            if (topological && v < u) {
+                return "csr: edge " + std::to_string(u) + "->" + std::to_string(v) +
+                       " violates the claimed topological order";
+            }
+        }
+    }
+    if (acyclic && !topological) {
+        // Kahn's algorithm: a DAG drains completely; leftovers are a cycle.
+        std::vector<std::uint32_t> in_degree(n, 0);
+        for (const NodeId v : targets) ++in_degree[v];
+        std::vector<NodeId> frontier;
+        for (std::size_t u = 0; u < n; ++u) {
+            if (in_degree[u] == 0) frontier.push_back(static_cast<NodeId>(u));
+        }
+        std::size_t drained = 0;
+        while (!frontier.empty()) {
+            const NodeId u = frontier.back();
+            frontier.pop_back();
+            ++drained;
+            for (std::uint32_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+                if (--in_degree[targets[e]] == 0) frontier.push_back(targets[e]);
+            }
+        }
+        if (drained != n) {
+            return "csr: cycle through " + std::to_string(n - drained) + " node(s)";
+        }
+    }
+    return {};
+}
+
+std::string validate_csr(const CsrDigraph& g) {
+    return validate_csr(g.offsets(), g.targets(), g.topologically_ordered());
 }
 
 std::vector<double> downstream_delay(const CsrDigraph& g,

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace leqa::graph {
@@ -46,6 +47,10 @@ public:
     /// True when every edge goes from a lower to a higher id (node ids form
     /// a topological order); precondition of the kernels below.
     [[nodiscard]] bool topologically_ordered() const { return topological_; }
+
+    /// Raw CSR arrays (read-only views; validate_csr and serializers).
+    [[nodiscard]] std::span<const std::uint32_t> offsets() const { return offsets_; }
+    [[nodiscard]] std::span<const NodeId> targets() const { return targets_; }
 
     /// Per-node in-degree (one O(|E|) pass).
     [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
@@ -119,5 +124,21 @@ struct LongestPathResult {
 /// delay (the priority function of list scheduling).
 [[nodiscard]] std::vector<double> downstream_delay(const CsrDigraph& g,
                                                    std::span<const double> delays);
+
+// --- structural validation -------------------------------------------------
+
+/// Validate raw CSR arrays: monotone offsets ending at `targets.size()`,
+/// in-bounds targets, sorted duplicate-free successor lists, no self loops,
+/// and — unless `acyclic` is false (symmetric adjacency encodings are
+/// cyclic by construction) — acyclicity, by the low->high edge rule when
+/// `topological` is claimed, by Kahn's algorithm otherwise.  Returns a
+/// description of the first violation, or an empty string when the
+/// structure is clean (the convention LEQA_DCHECK_OK consumes).
+[[nodiscard]] std::string validate_csr(std::span<const std::uint32_t> offsets,
+                                       std::span<const NodeId> targets,
+                                       bool topological, bool acyclic = true);
+
+/// Validate a frozen digraph (same checks over its internal arrays).
+[[nodiscard]] std::string validate_csr(const CsrDigraph& g);
 
 } // namespace leqa::graph

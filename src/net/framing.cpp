@@ -1,5 +1,7 @@
 #include "net/framing.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace leqa::net {
@@ -16,6 +18,12 @@ LineReader::LineReader(std::size_t max_line_bytes) : max_line_(max_line_bytes) {
 }
 
 void LineReader::feed(std::string_view data) {
+    // Diagnostic prefix kept for an overlong line: the first `kept` bytes of
+    // the logical (CR-stripped) line.  Capping at max_line_ + 1 keeps the
+    // prefix independent of how the stream is chunked — a mid-line overflow
+    // is detected with at least that many bytes buffered, so whole-feed and
+    // byte-at-a-time feeds frame byte-identical events.
+    const std::size_t kept = std::min(kOverlongPrefix, max_line_ + 1);
     while (!data.empty()) {
         const std::size_t newline = data.find('\n');
         if (discarding_) {
@@ -33,7 +41,7 @@ void LineReader::feed(std::string_view data) {
             // Strip a CR so "\r\n" clients frame identically to "\n" ones.
             if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
             if (partial_.size() > max_line_) {
-                partial_.resize(kOverlongPrefix);
+                partial_.resize(std::min(partial_.size(), kept));
                 ready_.push_back(WireLine{std::move(partial_), /*overlong=*/true});
             } else {
                 ready_.push_back(WireLine{std::move(partial_), /*overlong=*/false});
@@ -41,9 +49,15 @@ void LineReader::feed(std::string_view data) {
             partial_.clear();
             continue;
         }
-        if (partial_.size() > max_line_) {
+        // Mid-line cap check.  A single trailing CR may still be stripped
+        // when the newline arrives, so it does not count against the cap —
+        // otherwise a "…\r\n" line landing its CR on a segment boundary
+        // would frame as overlong chunked but clean whole.
+        std::size_t effective = partial_.size();
+        if (effective > 0 && partial_.back() == '\r') --effective;
+        if (effective > max_line_) {
             // Cap blown mid-line: report once, then eat until the newline.
-            partial_.resize(kOverlongPrefix);
+            partial_.resize(std::min(effective, kept));
             ready_.push_back(WireLine{std::move(partial_), /*overlong=*/true});
             partial_.clear();
             discarding_ = true;
@@ -58,7 +72,8 @@ void LineReader::finish() {
     }
     if (partial_.empty()) return;
     if (partial_.size() > max_line_) {
-        partial_.resize(kOverlongPrefix);
+        partial_.resize(
+            std::min(partial_.size(), std::min(kOverlongPrefix, max_line_ + 1)));
         ready_.push_back(WireLine{std::move(partial_), /*overlong=*/true});
     } else {
         ready_.push_back(WireLine{std::move(partial_), /*overlong=*/false});

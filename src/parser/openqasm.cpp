@@ -214,7 +214,9 @@ std::string write_openqasm(const circuit::Circuit& circ) {
     std::ostringstream out;
     out << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
     for (const auto& comment : circ.comments()) out << "// " << comment << '\n';
-    out << "qreg q[" << circ.num_qubits() << "];\n";
+    // A qubit-less circuit (legal: a program with no qreg statements) must
+    // round-trip; "qreg q[0];" would be rejected on re-parse.
+    if (circ.num_qubits() > 0) out << "qreg q[" << circ.num_qubits() << "];\n";
     for (const circuit::Gate& gate : circ.gates()) {
         std::string mnemonic;
         switch (gate.kind) {

@@ -46,6 +46,9 @@ Qodg::Qodg(const circuit::Circuit& circ) {
 
     csr_ = builder.build(/*merge_parallel=*/true);
     rcsr_ = csr_.reversed();
+    // Debug stage-boundary contract: the frozen QODG is a clean,
+    // topologically ordered DAG (compiled out of Release).
+    LEQA_DCHECK_OK(graph::validate_csr(csr_));
 
     constexpr auto kZeroRow = static_cast<std::uint16_t>(circuit::kGateKindCount);
     delay_row_.assign(nodes_.size(), kZeroRow);

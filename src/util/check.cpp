@@ -1,0 +1,34 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace leqa::util {
+
+namespace {
+
+[[noreturn]] void default_fail(const char* /*expression*/, const char* /*file*/,
+                               int /*line*/, const std::string& message) {
+    // The message format predates the handler indirection; keep it stable
+    // (tests and callers match on the prefix).
+    throw InternalError("internal check failed: " + message);
+}
+
+std::atomic<CheckFailHandler> g_handler{&default_fail};
+
+} // namespace
+
+CheckFailHandler set_check_fail_handler(CheckFailHandler handler) {
+    return g_handler.exchange(handler != nullptr ? handler : &default_fail);
+}
+
+void check_failed(const char* expression, const char* file, int line,
+                  const std::string& message) {
+    g_handler.load()(expression, file, line, message);
+    // Handlers must not return; enforce the [[noreturn]] contract.
+    std::abort();
+}
+
+} // namespace leqa::util

@@ -1,0 +1,89 @@
+/// \file check.h
+/// \brief Invariant-checking macros shared by the library and the fuzz /
+///        property harnesses.
+///
+/// Three tiers:
+///
+///   - `LEQA_CHECK(cond, msg)`   — always on.  Guards invariants whose
+///     violation means a bug in this library (never bad user input; that is
+///     `LEQA_REQUIRE` in util/error.h).  On failure the installed fail
+///     handler runs; the default throws util::InternalError with the same
+///     "internal check failed: ..." message the historical macro produced.
+///   - `LEQA_DCHECK(cond, msg)`  — Debug builds only.  Expands to nothing
+///     in Release (`NDEBUG`): the condition is *not evaluated*, so O(V+E)
+///     structural validators can sit at stage boundaries for free in
+///     production builds.  The condition still has to compile in Release
+///     (it is used in an unevaluated context), so rot is caught either way.
+///   - `LEQA_DCHECK_OK(expr)`    — Debug-only check of a *validator*: \p
+///     expr must yield a `std::string` that is empty when the structure is
+///     clean (the convention of graph::validate_csr and friends); a
+///     non-empty result fails with that description as the message.
+///
+/// The fail handler is swappable (`set_check_fail_handler`) so death tests
+/// and libFuzzer harnesses can turn a failed check into an abort with a
+/// recognizable banner instead of an exception that some catch-all might
+/// swallow.  Handlers must not return; if one does, std::abort runs.
+#pragma once
+
+#include <string>
+
+namespace leqa::util {
+
+/// Invoked when a LEQA_CHECK / LEQA_DCHECK fails.  Must not return
+/// (throwing is fine; the default handler throws util::InternalError).
+using CheckFailHandler = void (*)(const char* expression, const char* file, int line,
+                                  const std::string& message);
+
+/// Install a new fail handler and return the previous one.  Passing
+/// nullptr restores the default (throwing) handler.
+CheckFailHandler set_check_fail_handler(CheckFailHandler handler);
+
+/// Dispatch a failed check to the installed handler (never returns).
+[[noreturn]] void check_failed(const char* expression, const char* file, int line,
+                               const std::string& message);
+
+} // namespace leqa::util
+
+/// Always-on invariant check; failure dispatches to the fail handler (the
+/// default throws ::leqa::util::InternalError).
+#define LEQA_CHECK(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::leqa::util::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+        }                                                                    \
+    } while (false)
+
+// NDEBUG is what CMake's Release/RelWithDebInfo configurations define; a
+// Debug (or sanitizer) build keeps the checks.  LEQA_FORCE_DCHECK turns
+// them back on in optimized builds (the fuzz harnesses use it so coverage-
+// guided runs check contracts at full speed).
+#if defined(NDEBUG) && !defined(LEQA_FORCE_DCHECK)
+#define LEQA_DCHECK_ENABLED 0
+#else
+#define LEQA_DCHECK_ENABLED 1
+#endif
+
+#if LEQA_DCHECK_ENABLED
+#define LEQA_DCHECK(cond, msg) LEQA_CHECK(cond, msg)
+#define LEQA_DCHECK_OK(expr)                                                 \
+    do {                                                                     \
+        const std::string leqa_dcheck_err_ = (expr);                         \
+        if (!leqa_dcheck_err_.empty()) {                                     \
+            ::leqa::util::check_failed(#expr, __FILE__, __LINE__,            \
+                                       leqa_dcheck_err_);                    \
+        }                                                                    \
+    } while (false)
+#else
+// sizeof over a ternary keeps the operands compiling (and silences
+// -Wunused on variables referenced only from checks) without evaluating
+// anything: the expansion contributes zero instructions.
+#define LEQA_DCHECK(cond, msg)                                               \
+    do {                                                                     \
+        (void)sizeof((cond) ? 1 : 0);                                        \
+        (void)sizeof(msg);                                                   \
+    } while (false)
+#define LEQA_DCHECK_OK(expr)                                                 \
+    do {                                                                     \
+        (void)sizeof(expr);                                                  \
+    } while (false)
+#endif

@@ -2,12 +2,15 @@
 /// \brief Exception types and error-checking helpers used across the library.
 ///
 /// All recoverable failures in this library are reported by throwing
-/// leqa::util::Error (or a subclass).  The LEQA_REQUIRE / LEQA_CHECK macros
-/// provide printf-style formatted precondition checks.
+/// leqa::util::Error (or a subclass).  LEQA_REQUIRE guards user input;
+/// the invariant macros (LEQA_CHECK / LEQA_DCHECK) live in util/check.h and
+/// are re-exported here for the many historical include sites.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+
+#include "util/check.h" // LEQA_CHECK / LEQA_DCHECK (historically defined here)
 
 namespace leqa::util {
 
@@ -86,13 +89,5 @@ public:
     do {                                                                     \
         if (!(cond)) {                                                       \
             throw ::leqa::util::InputError(std::string("requirement failed: ") + (msg)); \
-        }                                                                    \
-    } while (false)
-
-/// Throw InternalError when \p cond is false.  Use for invariants.
-#define LEQA_CHECK(cond, msg)                                                \
-    do {                                                                     \
-        if (!(cond)) {                                                       \
-            throw ::leqa::util::InternalError(std::string("internal check failed: ") + (msg)); \
         }                                                                    \
     } while (false)

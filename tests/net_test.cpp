@@ -135,6 +135,44 @@ TEST(NetFraming, FinishEmitsUnterminatedTail) {
     EXPECT_EQ(tail->text, "tail-no-newline");
 }
 
+// Regressions (found by fuzz_framing; inputs checked in under
+// fuzz/regressions/fuzz_framing/): with a cap below the 256-byte
+// diagnostic-prefix bound, the overlong resize used to *grow* a short line,
+// padding the kept prefix with NULs past the bytes the client ever sent.
+// The kept prefix is now deterministic — the first min(256, cap + 1) bytes
+// of the logical line, however the stream is segmented.
+TEST(NetFraming, OverlongPrefixNeverOutgrowsTheLine) {
+    for (const bool terminated : {true, false}) {
+        ln::LineReader reader(2); // the minimum cap, far below the 256 prefix
+        reader.feed(terminated ? "abcdef\n" : "abcdef");
+        reader.finish();
+        auto overlong = reader.next();
+        ASSERT_TRUE(overlong.has_value());
+        EXPECT_TRUE(overlong->overlong);
+        EXPECT_EQ(overlong->text, "abc"); // first cap+1 bytes, no NUL padding
+        EXPECT_FALSE(reader.next().has_value());
+    }
+}
+
+// A "...\r\n" line whose CR lands on a segment boundary must frame exactly
+// like the whole-feed case: the CR pending a possible strip does not count
+// against the cap.
+TEST(NetFraming, TrailingCrOnSegmentBoundaryDoesNotFlipOverlong) {
+    ln::LineReader whole(2);
+    whole.feed("xy\r\n");
+    ln::LineReader chunked(2);
+    for (const char byte : {'x', 'y', '\r', '\n'}) {
+        chunked.feed(std::string_view(&byte, 1));
+    }
+    for (ln::LineReader* reader : {&whole, &chunked}) {
+        auto line = reader->next();
+        ASSERT_TRUE(line.has_value());
+        EXPECT_FALSE(line->overlong);
+        EXPECT_EQ(line->text, "xy");
+        EXPECT_FALSE(reader->next().has_value());
+    }
+}
+
 // ---------------------------------------------------------------- reactor --
 
 TEST(NetServer, ManyConnectionsWithOverlappingIdSpaces) {

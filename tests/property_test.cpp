@@ -3,12 +3,16 @@
 // the invariants every configuration must satisfy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
+#include "core/engine.h"
 #include "core/leqa.h"
 #include "fabric/geometry.h"
 #include "fabric/params.h"
+#include "fabric/topology.h"
+#include "graph/csr.h"
 #include "iig/iig.h"
 #include "mathx/queueing.h"
 #include "qodg/qodg.h"
@@ -250,3 +254,77 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GeometrySweep,
                                            std::pair{12, 1}, std::pair{3, 17},
                                            std::pair{17, 3}, std::pair{16, 16},
                                            std::pair{60, 60}));
+
+// ------------------------------------------- structured estimator fuzzing --
+//
+// The structured counterpart of the byte-level fuzz/ harnesses: each seed
+// generates a random circuit AND a random small topology (benchgen-style,
+// drawn from one Rng stream), then checks the whole-system invariants the
+// byte fuzzers cannot reach — the structural validators stay clean on every
+// generated instance, and on grid fabrics the staged engine reproduces the
+// golden single-pass estimator to 1e-9 relative (the DESIGN.md parity bar,
+// here on adversarially random rather than benchmark circuits).
+
+class StructuredFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructuredFuzzSweep, RandomCircuitAndTopologyHoldEveryContract) {
+    leqa::util::Rng rng(GetParam());
+
+    // Random instance: circuit shape and fabric drawn like fuzzer bytes.
+    const std::size_t qubits = 2 + rng.index(14);        // [2, 15]
+    const std::size_t gates = 1 + rng.index(200);        // [1, 200]
+    const auto circ = random_ft_circuit(qubits, gates, rng.next());
+    lf::PhysicalParams params;
+    params.width = 3 + static_cast<int>(rng.index(10));  // [3, 12]
+    params.height = 3 + static_cast<int>(rng.index(10));
+    params.nc = 1 + static_cast<int>(rng.index(6));
+    params.v = 0.0005 * static_cast<double>(1 + rng.index(40)); // [5e-4, 2e-2]
+    const auto kind_pick = rng.index(3);
+    params.topology = kind_pick == 0   ? lf::TopologyKind::Grid
+                      : kind_pick == 1 ? lf::TopologyKind::Torus
+                                       : lf::TopologyKind::Line;
+    if (params.topology == lf::TopologyKind::Line) params.height = 1;
+
+    // The QODG of any generated circuit is a clean topological DAG.
+    const leqa::qodg::Qodg graph(circ);
+    ASSERT_EQ(leqa::graph::validate_csr(graph.csr()), "");
+
+    // The topology and its whole coverage family are structurally clean.
+    const auto topology = lf::make_topology(params);
+    ASSERT_EQ(lf::validate_topology(*topology), "") << topology->name();
+    const int max_extent = params.topology == lf::TopologyKind::Line
+                               ? params.width
+                               : std::min(params.width, params.height);
+    for (int extent = 1; extent <= max_extent; ++extent) {
+        const double expected_mass =
+            params.topology == lf::TopologyKind::Line
+                ? static_cast<double>(extent)
+                : static_cast<double>(extent) * extent;
+        ASSERT_EQ(lf::validate_coverage(topology->coverage_histogram(extent),
+                                        expected_mass),
+                  "")
+            << topology->name() << " extent " << extent;
+    }
+
+    // Estimates stay finite and bounded on every topology kind.
+    const lcore::LeqaEstimator estimator(params);
+    const auto estimate = estimator.estimate(circ);
+    ASSERT_TRUE(std::isfinite(estimate.latency_us));
+    ASSERT_GT(estimate.latency_us, 0.0);
+    ASSERT_LE(estimate.covered_area, static_cast<double>(params.area()) + 1e-6);
+
+    // Grid instances additionally pass the staged-vs-golden parity bar.
+    if (params.topology == lf::TopologyKind::Grid) {
+        const leqa::iig::Iig iig(circ);
+        const auto profile = lcore::CircuitProfile::build(graph, iig);
+        const auto staged = lcore::EstimationEngine(params).estimate(profile);
+        const auto reference = estimator.estimate_reference(graph, iig);
+        const double scale = std::max(
+            {std::abs(reference.latency_us), std::abs(staged.latency_us), 1e-300});
+        EXPECT_LE(std::abs(staged.latency_us - reference.latency_us) / scale, 1e-9)
+            << staged.latency_us << " vs " << reference.latency_us;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuredFuzzSweep,
+                         ::testing::Range<std::uint64_t>(1000, 1024));
